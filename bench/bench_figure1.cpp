@@ -1,0 +1,56 @@
+// E2 -- regenerates Figure 1 of the paper: an undesired power schedule
+// (classical ASAP: everything as early as possible, large spikes above
+// the threshold) versus the desired schedule (pasap: the same operations
+// stretched so no cycle exceeds the cap P, slightly longer tail within
+// the same period T).
+//
+// Workload: the hal benchmark under Table 1, parallel multipliers (the
+// spiky configuration).  The cap is chosen at ~55 % of the unconstrained
+// peak, mirroring the paper's sketch where the spike clearly pierces the
+// threshold line ('!' marks the cap column in the charts below).
+#include <cstdio>
+#include <iostream>
+
+#include "cdfg/benchmarks.h"
+#include "power/tracker.h"
+#include "sched/asap_alap.h"
+#include "sched/pasap.h"
+#include "support/strings.h"
+
+int main()
+{
+    using namespace phls;
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const module_assignment fastest = fastest_assignment(g, lib, unbounded_power);
+
+    const schedule asap = asap_schedule(g, lib, fastest);
+    const power_profile undesired = asap.profile(lib);
+    const double cap = 0.55 * undesired.peak();
+
+    const pasap_result constrained = pasap(g, lib, fastest, cap);
+    if (!constrained.feasible) {
+        std::cout << "pasap infeasible: " << constrained.reason << "\n";
+        return 1;
+    }
+    const power_profile desired = constrained.sched.profile(lib);
+
+    std::cout << "=== Figure 1: power schedules for 'hal' (cap P = " << strf("%.2f", cap)
+              << ") ===\n\n";
+    std::cout << "Undesired schedule (classical ASAP), peak " << strf("%.2f", undesired.peak())
+              << ", latency " << asap.latency(lib) << " cycles:\n"
+              << undesired.ascii_chart(cap) << '\n';
+    std::cout << "Desired schedule (pasap), peak " << strf("%.2f", desired.peak())
+              << ", latency " << constrained.sched.latency(lib) << " cycles:\n"
+              << desired.ascii_chart(cap) << '\n';
+
+    std::cout << strf("peak reduced %.2f -> %.2f (cap %.2f); energy %.2f -> %.2f "
+                      "(identical work, %.1f%% spread over %d extra cycles)\n",
+                      undesired.peak(), desired.peak(), cap, undesired.energy(),
+                      desired.energy(), 0.0,
+                      constrained.sched.latency(lib) - asap.latency(lib));
+    const bool shape_ok = desired.peak() <= cap + 1e-9 && undesired.peak() > cap;
+    std::cout << "paper shape (spike above cap eliminated): " << (shape_ok ? "YES" : "NO")
+              << '\n';
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// E1 -- regenerates Table 1 of the paper: the functional-unit library
+// (module name, operations, area, clock cycles, power per cycle), plus
+// the derived per-operation energy column for the serial/parallel
+// multiplier trade the paper discusses.
+#include <cstdio>
+#include <iostream>
+
+#include "library/library.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+int main()
+{
+    using namespace phls;
+    const module_library lib = table1_library();
+
+    std::cout << "=== Table 1: functional unit library (" << lib.name() << ") ===\n\n";
+    ascii_table t({"Module", "Oprs", "Area", "Clk-cyc.", "P", "Energy/op"});
+    t.set_align(1, align::left);
+    for (const fu_module& m : lib.modules())
+        t.add_row({m.name, m.ops_string(), strf("%.0f", m.area),
+                   std::to_string(m.latency), strf("%.1f", m.power),
+                   strf("%.1f", m.energy())});
+    t.print(std::cout);
+
+    std::cout << "\nPaper reference rows (DATE'03 Table 1):\n"
+                 "  add {+} 87 1 2.5 | sub {-} 87 1 2.5 | comp {>} 8 1 2.5\n"
+                 "  ALU {+,-,>} 97 1 2.5 | Mult(ser.) {*} 103 4 2.7\n"
+                 "  Mult(par.) {*} 339 2 8.1 | input imp 16 1 0.2 | output xpt 16 1 1.7\n";
+    std::cout << "\nNote: serial multiplier is cheaper in area (103 vs 339), power\n"
+                 "(2.7 vs 8.1) and energy (10.8 vs 16.2) but twice as slow -- the\n"
+                 "speed/power/area trade the synthesis explores.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "battery/battery.h"
+
+#include "support/errors.h"
+
+namespace phls {
+
+void check_load(const load_profile& load)
+{
+    check(!load.current.empty(), "load profile is empty");
+    check(load.dt > 0.0, "load profile dt must be positive");
+    for (double i : load.current) check(i >= 0.0, "load profile has negative current");
+}
+
+namespace {
+
+class ideal_battery final : public battery_model {
+public:
+    explicit ideal_battery(double capacity) : capacity_(capacity)
+    {
+        check(capacity > 0.0, "battery capacity must be positive");
+    }
+
+    std::string name() const override { return "ideal"; }
+
+    lifetime_result lifetime(const load_profile& load, double max_seconds) const override
+    {
+        check_load(load);
+        lifetime_result r;
+        double charge = 0.0;
+        double t = 0.0;
+        std::size_t i = 0;
+        while (t < max_seconds) {
+            const double current = load.current[i];
+            const double step_charge = current * load.dt;
+            if (charge + step_charge >= capacity_) {
+                // Death occurs inside this step; interpolate.
+                const double frac =
+                    step_charge > 0.0 ? (capacity_ - charge) / step_charge : 1.0;
+                r.seconds = t + frac * load.dt;
+                r.charge_delivered = capacity_;
+                r.exhausted = true;
+                return r;
+            }
+            charge += step_charge;
+            t += load.dt;
+            ++i;
+            if (i == load.current.size()) {
+                if (!load.periodic) break;
+                i = 0;
+            }
+        }
+        r.seconds = t;
+        r.charge_delivered = charge;
+        r.exhausted = false;
+        return r;
+    }
+
+private:
+    double capacity_;
+};
+
+} // namespace
+
+std::unique_ptr<battery_model> make_ideal_battery(double capacity)
+{
+    return std::make_unique<ideal_battery>(capacity);
+}
+
+} // namespace phls

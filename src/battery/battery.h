@@ -1,0 +1,69 @@
+// Battery lifetime models.
+//
+// The paper's motivation (its §1, citing Luo/Jha DAC'01 and Lahiri et al.
+// DATE'02) is that battery lifetime depends strongly on the *current
+// profile*, not just total energy: peak currents above a threshold cost
+// disproportionate charge, especially for low-quality cells, and
+// flattening the profile has been reported to extend lifetime by 20-30 %.
+// We have no physical battery, so this substrate simulates one (DESIGN.md
+// §2): an ideal charge bucket (profile-insensitive control), Peukert's
+// law, and a Rakhmatov-Vrudhula-style diffusion model (profile-sensitive).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace phls {
+
+/// A discretised current demand: current[i] amps over the i-th step of
+/// `dt` seconds.  When `periodic`, the pattern repeats until the battery
+/// is exhausted.
+struct load_profile {
+    std::vector<double> current;
+    double dt = 1.0;
+    bool periodic = true;
+};
+
+/// Result of a lifetime simulation.
+struct lifetime_result {
+    double seconds = 0.0;        ///< time until exhaustion (or horizon)
+    double charge_delivered = 0.0; ///< integral of current until death
+    bool exhausted = false;      ///< false if the simulation horizon ended first
+};
+
+/// Abstract battery.
+class battery_model {
+public:
+    virtual ~battery_model() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Simulates `load` until the battery is exhausted or `max_seconds`
+    /// elapses; throws phls::error on malformed loads (negative currents,
+    /// dt <= 0, empty profile).
+    virtual lifetime_result lifetime(const load_profile& load,
+                                     double max_seconds = 1e9) const = 0;
+};
+
+/// Ideal charge bucket: lifetime depends only on total charge drawn.
+/// capacity is in ampere-seconds.
+std::unique_ptr<battery_model> make_ideal_battery(double capacity);
+
+/// Peukert's law, generalised to time-varying loads: the battery is
+/// exhausted when the integral of I(t)^exponent dt reaches `capacity`
+/// (exponent 1 reduces to the ideal bucket; real cells are 1.1-1.3).
+std::unique_ptr<battery_model> make_peukert_battery(double capacity, double exponent);
+
+/// Rakhmatov-Vrudhula diffusion model: apparent charge lost is
+///   sigma(t) = integral i + 2 * sum_{m=1..terms} y_m(t),
+///   y_m' = i - beta^2 m^2 y_m,
+/// exhausted when sigma reaches `alpha`.  Smaller `beta` = worse
+/// (low-quality) cell, i.e. stronger rate sensitivity.
+std::unique_ptr<battery_model> make_rakhmatov_battery(double alpha, double beta,
+                                                      int terms = 10);
+
+/// Validates a load profile (shared by all models).
+void check_load(const load_profile& load);
+
+} // namespace phls

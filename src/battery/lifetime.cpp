@@ -1,0 +1,32 @@
+#include "battery/lifetime.h"
+
+#include "support/errors.h"
+
+namespace phls {
+
+load_profile to_load(const power_profile& profile, double voltage, double cycle_seconds,
+                     int idle_cycles)
+{
+    check(voltage > 0.0, "voltage must be positive");
+    check(cycle_seconds > 0.0, "cycle time must be positive");
+    check(idle_cycles >= 0, "idle cycle count must be non-negative");
+    load_profile load;
+    load.dt = cycle_seconds;
+    load.periodic = true;
+    load.current.reserve(static_cast<std::size_t>(profile.cycle_count() + idle_cycles));
+    for (double p : profile.values()) load.current.push_back(p / voltage);
+    for (int i = 0; i < idle_cycles; ++i) load.current.push_back(0.0);
+    check(!load.current.empty(), "profile has no cycles");
+    return load;
+}
+
+double lifetime_gain(const battery_model& model, const load_profile& baseline,
+                     const load_profile& candidate, double max_seconds)
+{
+    const lifetime_result b = model.lifetime(baseline, max_seconds);
+    const lifetime_result c = model.lifetime(candidate, max_seconds);
+    check(b.seconds > 0.0, "baseline lifetime is zero");
+    return (c.seconds - b.seconds) / b.seconds;
+}
+
+} // namespace phls

@@ -1,0 +1,23 @@
+// Bridging schedules to battery loads and comparing design alternatives.
+#pragma once
+
+#include <memory>
+
+#include "battery/battery.h"
+#include "power/profile.h"
+
+namespace phls {
+
+/// Converts a per-cycle power profile into a periodic current load:
+/// current = power / voltage, one step per clock cycle of `cycle_seconds`.
+/// `idle_cycles` appends zero-current cycles after each iteration,
+/// modelling a system that runs the kernel once per period and sleeps.
+load_profile to_load(const power_profile& profile, double voltage,
+                     double cycle_seconds, int idle_cycles = 0);
+
+/// Relative lifetime gain of `candidate` over `baseline` under `model`:
+/// (lifetime(candidate) - lifetime(baseline)) / lifetime(baseline).
+double lifetime_gain(const battery_model& model, const load_profile& baseline,
+                     const load_profile& candidate, double max_seconds = 1e9);
+
+} // namespace phls

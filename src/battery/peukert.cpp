@@ -1,0 +1,66 @@
+#include <cmath>
+
+#include "battery/battery.h"
+#include "support/errors.h"
+
+namespace phls {
+
+namespace {
+
+class peukert_battery final : public battery_model {
+public:
+    peukert_battery(double capacity, double exponent)
+        : capacity_(capacity), exponent_(exponent)
+    {
+        check(capacity > 0.0, "battery capacity must be positive");
+        check(exponent >= 1.0, "Peukert exponent must be >= 1");
+    }
+
+    std::string name() const override { return "peukert"; }
+
+    lifetime_result lifetime(const load_profile& load, double max_seconds) const override
+    {
+        check_load(load);
+        lifetime_result r;
+        double effective = 0.0; // integral of I^k
+        double charge = 0.0;    // integral of I (what the circuit received)
+        double t = 0.0;
+        std::size_t i = 0;
+        while (t < max_seconds) {
+            const double current = load.current[i];
+            const double step_eff = std::pow(current, exponent_) * load.dt;
+            if (effective + step_eff >= capacity_) {
+                const double frac = step_eff > 0.0 ? (capacity_ - effective) / step_eff : 1.0;
+                r.seconds = t + frac * load.dt;
+                r.charge_delivered = charge + current * frac * load.dt;
+                r.exhausted = true;
+                return r;
+            }
+            effective += step_eff;
+            charge += current * load.dt;
+            t += load.dt;
+            ++i;
+            if (i == load.current.size()) {
+                if (!load.periodic) break;
+                i = 0;
+            }
+        }
+        r.seconds = t;
+        r.charge_delivered = charge;
+        r.exhausted = false;
+        return r;
+    }
+
+private:
+    double capacity_;
+    double exponent_;
+};
+
+} // namespace
+
+std::unique_ptr<battery_model> make_peukert_battery(double capacity, double exponent)
+{
+    return std::make_unique<peukert_battery>(capacity, exponent);
+}
+
+} // namespace phls

@@ -1,0 +1,96 @@
+#include <cmath>
+#include <vector>
+
+#include "battery/battery.h"
+#include "support/errors.h"
+
+namespace phls {
+
+namespace {
+
+// Discrete-time integration of the Rakhmatov-Vrudhula diffusion model.
+// For piecewise-constant current I over a step of length dt, each
+// diffusion mode y_m obeys y_m' = I - beta^2 m^2 y_m, giving the exact
+// update y_m <- y_m * e^{-lambda dt} + I * (1 - e^{-lambda dt}) / lambda
+// with lambda = beta^2 m^2.  The apparent charge lost is
+// sigma = charge_drawn + 2 * sum_m y_m; death at sigma >= alpha.
+class rakhmatov_battery final : public battery_model {
+public:
+    rakhmatov_battery(double alpha, double beta, int terms)
+        : alpha_(alpha), beta_(beta), terms_(terms)
+    {
+        check(alpha > 0.0, "Rakhmatov alpha must be positive");
+        check(beta > 0.0, "Rakhmatov beta must be positive");
+        check(terms >= 1, "Rakhmatov model needs at least one diffusion term");
+    }
+
+    std::string name() const override { return "rakhmatov"; }
+
+    lifetime_result lifetime(const load_profile& load, double max_seconds) const override
+    {
+        check_load(load);
+
+        std::vector<double> lambda(static_cast<std::size_t>(terms_));
+        std::vector<double> decay(static_cast<std::size_t>(terms_));
+        std::vector<double> gain(static_cast<std::size_t>(terms_));
+        for (int m = 1; m <= terms_; ++m) {
+            const double l = beta_ * beta_ * m * m;
+            lambda[static_cast<std::size_t>(m - 1)] = l;
+            decay[static_cast<std::size_t>(m - 1)] = std::exp(-l * load.dt);
+            gain[static_cast<std::size_t>(m - 1)] =
+                (1.0 - decay[static_cast<std::size_t>(m - 1)]) / l;
+        }
+
+        std::vector<double> y(static_cast<std::size_t>(terms_), 0.0);
+        lifetime_result r;
+        double charge = 0.0;
+        double t = 0.0;
+        std::size_t i = 0;
+        double prev_sigma = 0.0;
+        while (t < max_seconds) {
+            const double current = load.current[i];
+            charge += current * load.dt;
+            double unavailable = 0.0;
+            for (int m = 0; m < terms_; ++m) {
+                const std::size_t mi = static_cast<std::size_t>(m);
+                y[mi] = y[mi] * decay[mi] + current * gain[mi];
+                unavailable += y[mi];
+            }
+            const double sigma = charge + 2.0 * unavailable;
+            t += load.dt;
+            if (sigma >= alpha_) {
+                // Interpolate the death time within the step.
+                const double span = sigma - prev_sigma;
+                const double frac = span > 0.0 ? (alpha_ - prev_sigma) / span : 1.0;
+                r.seconds = t - load.dt + frac * load.dt;
+                r.charge_delivered = charge - current * load.dt * (1.0 - frac);
+                r.exhausted = true;
+                return r;
+            }
+            prev_sigma = sigma;
+            ++i;
+            if (i == load.current.size()) {
+                if (!load.periodic) break;
+                i = 0;
+            }
+        }
+        r.seconds = t;
+        r.charge_delivered = charge;
+        r.exhausted = false;
+        return r;
+    }
+
+private:
+    double alpha_;
+    double beta_;
+    int terms_;
+};
+
+} // namespace
+
+std::unique_ptr<battery_model> make_rakhmatov_battery(double alpha, double beta, int terms)
+{
+    return std::make_unique<rakhmatov_battery>(alpha, beta, terms);
+}
+
+} // namespace phls

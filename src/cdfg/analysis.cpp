@@ -1,0 +1,68 @@
+#include "cdfg/analysis.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace phls {
+
+std::vector<int> earliest_starts(const graph& g, const delay_fn& delay)
+{
+    std::vector<int> start(static_cast<std::size_t>(g.node_count()), 0);
+    for (node_id v : g.topo_order()) {
+        int t = 0;
+        for (node_id p : g.preds(v)) t = std::max(t, start[p.index()] + delay(p));
+        start[v.index()] = t;
+    }
+    return start;
+}
+
+int critical_path_length(const graph& g, const delay_fn& delay)
+{
+    const std::vector<int> start = earliest_starts(g, delay);
+    int length = 0;
+    for (node_id v : g.nodes()) length = std::max(length, start[v.index()] + delay(v));
+    return length;
+}
+
+std::vector<int> latest_starts(const graph& g, const delay_fn& delay, int latency)
+{
+    if (latency < critical_path_length(g, delay)) return {};
+    std::vector<int> start(static_cast<std::size_t>(g.node_count()), 0);
+    const std::vector<node_id> order = g.topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const node_id v = *it;
+        int latest = latency - delay(v);
+        for (node_id s : g.succs(v)) latest = std::min(latest, start[s.index()] - delay(v));
+        start[v.index()] = latest;
+    }
+    return start;
+}
+
+std::map<op_kind, int> op_histogram(const graph& g)
+{
+    std::map<op_kind, int> hist;
+    for (node_id v : g.nodes()) ++hist[g.kind(v)];
+    return hist;
+}
+
+reachability::reachability(const graph& g)
+{
+    const std::size_t n = static_cast<std::size_t>(g.node_count());
+    matrix_.assign(n, std::vector<char>(n, 0));
+    // Process in reverse topological order: reach(v) = succs(v) plus their
+    // reach sets.
+    const std::vector<node_id> order = g.topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const node_id v = *it;
+        std::vector<char>& row = matrix_[v.index()];
+        for (node_id s : g.succs(v)) {
+            row[s.index()] = 1;
+            const std::vector<char>& srow = matrix_[s.index()];
+            for (std::size_t j = 0; j < srow.size(); ++j)
+                if (srow[j]) row[j] = 1;
+        }
+    }
+}
+
+} // namespace phls

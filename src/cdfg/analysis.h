@@ -1,0 +1,54 @@
+// Structural analyses over CDFGs: longest paths under a delay model,
+// reachability (needed by the compatibility graph), and kind histograms.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cdfg/graph.h"
+
+namespace phls {
+
+/// Per-node execution delay in clock cycles; must be >= 1.
+using delay_fn = std::function<int(node_id)>;
+
+/// Earliest start time of every node when every operation starts as soon
+/// as its predecessors finish (classic unconstrained ASAP times).
+std::vector<int> earliest_starts(const graph& g, const delay_fn& delay);
+
+/// Length of the critical path in cycles: max over nodes of
+/// earliest_start + delay.  Equals the minimum feasible latency of any
+/// schedule under this delay model.
+int critical_path_length(const graph& g, const delay_fn& delay);
+
+/// Latest start times for a target latency `T` (classic ALAP).  Returns an
+/// empty vector if T is below the critical path length (infeasible).
+std::vector<int> latest_starts(const graph& g, const delay_fn& delay, int latency);
+
+/// Number of nodes of each kind.
+std::map<op_kind, int> op_histogram(const graph& g);
+
+/// Transitive reachability: reaches(a, b) is true iff there is a directed
+/// path from a to b (a != b).  O(V*E) construction, O(1) queries; CDFG
+/// benchmark sizes make the dense representation cheap.
+class reachability {
+public:
+    explicit reachability(const graph& g);
+
+    bool reaches(node_id a, node_id b) const
+    {
+        return matrix_[a.index()][b.index()] != 0;
+    }
+
+    /// True if neither node reaches the other.
+    bool independent(node_id a, node_id b) const
+    {
+        return a != b && !reaches(a, b) && !reaches(b, a);
+    }
+
+private:
+    std::vector<std::vector<char>> matrix_;
+};
+
+} // namespace phls

@@ -1,0 +1,329 @@
+#include "cdfg/benchmarks.h"
+
+#include "cdfg/builder.h"
+#include "support/errors.h"
+#include "support/strings.h"
+
+namespace phls {
+
+graph make_hal()
+{
+    // One Euler step of y'' + 3xy' + 3y = 0 (De Micheli, "Synthesis and
+    // Optimization of Digital Circuits", diffeq example):
+    //   xl = x + dx
+    //   ul = u - (3*x)*(u*dx) - (3*y)*dx
+    //   yl = y + u*dx
+    //   c  = xl < a
+    // The literal constant 3 is not a graph node; multiplications by it
+    // have a single data predecessor.
+    graph_builder b("hal");
+    const node_id x = b.input("x");
+    const node_id dx = b.input("dx");
+    const node_id u = b.input("u");
+    const node_id y = b.input("y");
+    const node_id a = b.input("a");
+
+    const node_id m1 = b.mul("m1", x);       // 3*x
+    const node_id m2 = b.mul("m2", u, dx);   // u*dx
+    const node_id m3 = b.mul("m3", y);       // 3*y
+    const node_id m4 = b.mul("m4", m1, m2);  // (3x)*(u dx)
+    const node_id m5 = b.mul("m5", m3, dx);  // (3y)*dx
+    const node_id m6 = b.mul("m6", u, dx);   // u*dx (recomputed for yl)
+
+    const node_id s1 = b.sub("s1", u, m4);   // u - 3x*u*dx
+    const node_id s2 = b.sub("s2", s1, m5);  // ul
+    const node_id a1 = b.add("a1", x, dx);   // xl
+    const node_id a2 = b.add("a2", y, m6);   // yl
+    const node_id c1 = b.cmp("c1", a1, a);   // xl < a
+
+    b.output("xl", a1);
+    b.output("ul", s2);
+    b.output("yl", a2);
+    b.output("c", c1);
+    return b.build();
+}
+
+namespace {
+
+/// Emits a Loeffler 3-multiplier plane rotation:
+///   out1 = u*cos + v*sin,  out2 = -u*sin + v*cos
+/// factored as t = u+v; ms = sin*t; mu = (cos-sin)*u; mv = (cos+sin)*v;
+/// out1 = mu + ms; out2 = mv - ms.  Constant coefficients are implicit.
+struct rotator_result {
+    node_id out1;
+    node_id out2;
+};
+
+rotator_result rotate(graph_builder& b, const std::string& prefix, node_id u, node_id v)
+{
+    const node_id t = b.add(prefix + "_t", u, v);
+    const node_id ms = b.mul(prefix + "_ms", t);
+    const node_id mu = b.mul(prefix + "_mu", u);
+    const node_id mv = b.mul(prefix + "_mv", v);
+    const node_id o1 = b.add(prefix + "_o1", mu, ms);
+    const node_id o2 = b.sub(prefix + "_o2", mv, ms);
+    return {o1, o2};
+}
+
+} // namespace
+
+graph make_cosine()
+{
+    graph_builder b("cosine");
+    std::vector<node_id> x;
+    for (int i = 0; i < 8; ++i) x.push_back(b.input(strf("x%d", i)));
+
+    // Stage 1: input butterflies.
+    const node_id a0 = b.add("a0", x[0], x[7]);
+    const node_id a1 = b.add("a1", x[1], x[6]);
+    const node_id a2 = b.add("a2", x[2], x[5]);
+    const node_id a3 = b.add("a3", x[3], x[4]);
+    const node_id a4 = b.sub("a4", x[3], x[4]);
+    const node_id a5 = b.sub("a5", x[2], x[5]);
+    const node_id a6 = b.sub("a6", x[1], x[6]);
+    const node_id a7 = b.sub("a7", x[0], x[7]);
+
+    // Stage 2 even: second butterfly level.
+    const node_id b0 = b.add("b0", a0, a3);
+    const node_id b1 = b.add("b1", a1, a2);
+    const node_id b2 = b.sub("b2", a1, a2);
+    const node_id b3 = b.sub("b3", a0, a3);
+
+    // Stage 2 odd: two rotators (angles 3pi/16 and pi/16).
+    const rotator_result r47 = rotate(b, "r47", a4, a7); // -> (b4, b7)
+    const rotator_result r56 = rotate(b, "r56", a5, a6); // -> (b5, b6)
+
+    // Stage 3 even: c4 scalings and the pi/8 rotator.
+    const node_id e0 = b.add("e0", b0, b1);
+    const node_id y0m = b.mul("y0m", e0); // c4*(b0+b1)
+    const node_id e1 = b.sub("e1", b0, b1);
+    const node_id y4m = b.mul("y4m", e1); // c4*(b0-b1)
+    const rotator_result r26 = rotate(b, "r26", b2, b3); // -> (y2, y6)
+
+    // Stage 3 odd: butterflies on the rotator outputs.
+    const node_id c4n = b.add("c4n", r47.out1, r56.out2); // b4+b6
+    const node_id c5n = b.sub("c5n", r47.out2, r56.out1); // b7-b5
+    const node_id c6n = b.sub("c6n", r47.out1, r56.out2); // b4-b6
+    const node_id c7n = b.add("c7n", r47.out2, r56.out1); // b7+b5
+
+    // Stage 4 odd: sqrt2 scalings and final butterflies.
+    const node_id t5 = b.mul("t5", c5n); // sqrt2*c5n
+    const node_id t6 = b.mul("t6", c6n); // sqrt2*c6n
+    const node_id y1a = b.add("y1a", c7n, t6);
+    const node_id y7s = b.sub("y7s", c7n, t6);
+    const node_id y3a = b.add("y3a", c4n, t5);
+    const node_id y5s = b.sub("y5s", c4n, t5);
+
+    b.output("y0", y0m);
+    b.output("y1", y1a);
+    b.output("y2", r26.out1);
+    b.output("y3", y3a);
+    b.output("y4", y4m);
+    b.output("y5", y5s);
+    b.output("y6", r26.out2);
+    b.output("y7", y7s);
+    return b.build();
+}
+
+graph make_elliptic()
+{
+    // 5th-order elliptic wave digital filter in its standard HLS shape:
+    // 26 additions, 8 constant multiplications; state variables enter as
+    // inputs (s2..s39, named after the classic sv* registers) and leave as
+    // outputs.  Critical path: 8 adds + 3 mults (+ input + output), i.e.
+    // 16 cycles with the parallel multiplier and 22 with the serial one.
+    graph_builder b("elliptic");
+    const node_id x = b.input("x");
+    const node_id s2 = b.input("s2");
+    const node_id s13 = b.input("s13");
+    const node_id s18 = b.input("s18");
+    const node_id s26 = b.input("s26");
+    const node_id s33 = b.input("s33");
+    const node_id s38 = b.input("s38");
+    const node_id s39 = b.input("s39");
+
+    // Left adaptor chain.
+    const node_id a1 = b.add("a1", x, s2);
+    const node_id a2 = b.add("a2", a1, s13);
+    const node_id m1 = b.mul("m1", a2);
+    const node_id a3 = b.add("a3", m1, a1);
+    const node_id a4 = b.add("a4", m1, s18);
+    const node_id m2 = b.mul("m2", a3);
+    const node_id a5 = b.add("a5", m2, a4);
+    const node_id a6 = b.add("a6", m2, a2);
+
+    // Right adaptor chain (mirror).
+    const node_id a7 = b.add("a7", s39, s38);
+    const node_id a8 = b.add("a8", a7, s33);
+    const node_id m3 = b.mul("m3", a8);
+    const node_id a9 = b.add("a9", m3, a7);
+    const node_id a10 = b.add("a10", m3, s26);
+    const node_id m4 = b.mul("m4", a9);
+    const node_id a11 = b.add("a11", m4, a10);
+    const node_id a12 = b.add("a12", m4, a8);
+
+    // Middle adaptor joining the halves.
+    const node_id a13 = b.add("a13", a5, a11);
+    const node_id m5 = b.mul("m5", a13);
+    const node_id a14 = b.add("a14", m5, a6);
+    const node_id a15 = b.add("a15", m5, a12);
+    const node_id a16 = b.add("a16", a14, a15); // filter output y
+
+    // Reflected waves back into the state registers.
+    const node_id a17 = b.add("a17", a14, a5);
+    const node_id a18 = b.add("a18", a17, a1); // s2'
+    const node_id a19 = b.add("a19", a15, a11);
+    const node_id a20 = b.add("a20", a19, a7); // s39'
+    const node_id m6 = b.mul("m6", a6);
+    const node_id a21 = b.add("a21", m6, a3); // s13'
+    const node_id m7 = b.mul("m7", a12);
+    const node_id a22 = b.add("a22", m7, a9); // s33'
+    const node_id m8 = b.mul("m8", a13);
+    const node_id a23 = b.add("a23", m8, a14); // s18'
+    const node_id a24 = b.add("a24", a4, a10);
+    const node_id a25 = b.add("a25", a23, a24); // s26'
+    const node_id a26 = b.add("a26", a21, a22); // s38'
+
+    b.output("y", a16);
+    b.output("s2n", a18);
+    b.output("s13n", a21);
+    b.output("s18n", a23);
+    b.output("s26n", a25);
+    b.output("s33n", a22);
+    b.output("s38n", a26);
+    b.output("s39n", a20);
+    return b.build();
+}
+
+graph make_fir16()
+{
+    graph_builder b("fir16");
+    std::vector<node_id> taps;
+    for (int i = 0; i < 16; ++i) {
+        const node_id x = b.input(strf("x%d", i));
+        taps.push_back(b.mul(strf("m%d", i), x)); // c_i * x_i
+    }
+    // Balanced reduction tree: 15 additions.
+    int level = 0;
+    while (taps.size() > 1) {
+        std::vector<node_id> next;
+        for (std::size_t i = 0; i + 1 < taps.size(); i += 2)
+            next.push_back(b.add(strf("s%d_%zu", level, i / 2), taps[i], taps[i + 1]));
+        if (taps.size() % 2 == 1) next.push_back(taps.back());
+        taps = std::move(next);
+        ++level;
+    }
+    b.output("y", taps.front());
+    return b.build();
+}
+
+graph make_ar_lattice()
+{
+    // Four normalised lattice stages (4 mult + 2 add each), taps after
+    // stages 2 and 4, plus an input pre-add: 16 mult, 12 add.
+    graph_builder b("ar_lattice");
+    const node_id x = b.input("x");
+    const node_id s0 = b.input("s0");
+    const node_id g0 = b.input("g0");
+
+    node_id f = b.add("f0", x, s0);
+    node_id g = g0;
+    std::vector<node_id> taps;
+    for (int stage = 1; stage <= 4; ++stage) {
+        const node_id p1 = b.mul(strf("p%da", stage), f);
+        const node_id p2 = b.mul(strf("p%db", stage), g);
+        const node_id p3 = b.mul(strf("p%dc", stage), f);
+        const node_id p4 = b.mul(strf("p%dd", stage), g);
+        f = b.add(strf("f%d", stage), p1, p2);
+        g = b.add(strf("g%d", stage), p3, p4);
+        if (stage % 2 == 0) taps.push_back(b.add(strf("tap%d", stage), f, g));
+    }
+    const node_id y = b.add("y", taps[0], taps[1]);
+    b.output("yout", y);
+    b.output("fout", f);
+    b.output("gout", g);
+    return b.build();
+}
+
+graph make_iir_biquad()
+{
+    // Two direct-form-II biquad sections in cascade; each section is
+    //   w = x + a1*w1 + a2*w2 ;  y = b0*w + b1*w1 + b2*w2
+    // with 5 constant multiplications and 4 additions.
+    graph_builder b("iir_biquad");
+    node_id signal = b.input("x");
+    for (int sec = 1; sec <= 2; ++sec) {
+        const node_id w1 = b.input(strf("w1_%d", sec));
+        const node_id w2 = b.input(strf("w2_%d", sec));
+        const node_id ma1 = b.mul(strf("ma1_%d", sec), w1);
+        const node_id ma2 = b.mul(strf("ma2_%d", sec), w2);
+        const node_id s1 = b.add(strf("s1_%d", sec), signal, ma1);
+        const node_id w = b.add(strf("w_%d", sec), s1, ma2);
+        const node_id mb0 = b.mul(strf("mb0_%d", sec), w);
+        const node_id mb1 = b.mul(strf("mb1_%d", sec), w1);
+        const node_id mb2 = b.mul(strf("mb2_%d", sec), w2);
+        const node_id s2 = b.add(strf("s2_%d", sec), mb0, mb1);
+        const node_id ysec = b.add(strf("y_%d", sec), s2, mb2);
+        b.output(strf("w1n_%d", sec), w);  // w1' = w
+        b.output(strf("w2n_%d", sec), w1); // w2' = w1 (register shift)
+        signal = ysec;
+    }
+    b.output("y", signal);
+    return b.build();
+}
+
+graph make_fft8()
+{
+    // Radix-2 decimation-in-time butterflies over 8 real samples
+    // (teaching form: one twiddle multiplication per butterfly):
+    //   top    = a + w*b
+    //   bottom = a - w*b
+    graph_builder b("fft8");
+    std::vector<node_id> stage;
+    for (int i = 0; i < 8; ++i) stage.push_back(b.input(strf("x%d", i)));
+
+    const int strides[3] = {1, 2, 4};
+    for (int s = 0; s < 3; ++s) {
+        const int stride = strides[s];
+        std::vector<node_id> next(8);
+        std::vector<char> done(8, 0);
+        for (int i = 0; i < 8; ++i) {
+            if (done[static_cast<std::size_t>(i)]) continue;
+            const int j = i + stride;
+            const node_id tw = b.mul(strf("w%d_%d", s, i), stage[static_cast<std::size_t>(j)]);
+            next[static_cast<std::size_t>(i)] =
+                b.add(strf("bt%d_%d", s, i), stage[static_cast<std::size_t>(i)], tw);
+            next[static_cast<std::size_t>(j)] =
+                b.sub(strf("bb%d_%d", s, i), stage[static_cast<std::size_t>(i)], tw);
+            done[static_cast<std::size_t>(i)] = 1;
+            done[static_cast<std::size_t>(j)] = 1;
+        }
+        stage = std::move(next);
+    }
+    for (int i = 0; i < 8; ++i) b.output(strf("y%d", i), stage[static_cast<std::size_t>(i)]);
+    return b.build();
+}
+
+std::vector<std::string> benchmark_names()
+{
+    return {"hal", "cosine", "elliptic", "fir16", "ar_lattice", "iir_biquad", "fft8"};
+}
+
+std::vector<std::string> paper_benchmark_names()
+{
+    return {"hal", "cosine", "elliptic"};
+}
+
+graph benchmark_by_name(const std::string& name)
+{
+    if (name == "hal") return make_hal();
+    if (name == "cosine") return make_cosine();
+    if (name == "elliptic") return make_elliptic();
+    if (name == "fir16") return make_fir16();
+    if (name == "ar_lattice") return make_ar_lattice();
+    if (name == "iir_biquad") return make_iir_biquad();
+    if (name == "fft8") return make_fft8();
+    throw error("unknown benchmark '" + name + "'");
+}
+
+} // namespace phls

@@ -1,0 +1,52 @@
+// Fluent construction of CDFGs.
+//
+//   graph_builder b("hal");
+//   auto x  = b.input("x");
+//   auto dx = b.input("dx");
+//   auto t1 = b.mul("t1", x, dx);
+//   b.output("out", t1);
+//   graph g = b.build();          // validates
+//
+// Single-operand arithmetic overloads model a constant second operand
+// (e.g. `3 * x` in the HAL benchmark).
+#pragma once
+
+#include <string>
+
+#include "cdfg/graph.h"
+
+namespace phls {
+
+/// Incrementally builds and finally validates a graph.
+class graph_builder {
+public:
+    explicit graph_builder(std::string name) : g_(std::move(name)) {}
+
+    node_id input(const std::string& label);
+    node_id output(const std::string& label, node_id src);
+
+    node_id add(const std::string& label, node_id a, node_id b);
+    node_id sub(const std::string& label, node_id a, node_id b);
+    node_id mul(const std::string& label, node_id a, node_id b);
+    node_id cmp(const std::string& label, node_id a, node_id b);
+
+    /// Arithmetic with one constant operand.
+    node_id add(const std::string& label, node_id a);
+    node_id sub(const std::string& label, node_id a);
+    node_id mul(const std::string& label, node_id a);
+    node_id cmp(const std::string& label, node_id a);
+
+    /// Generic form.
+    node_id op(op_kind kind, const std::string& label, const std::vector<node_id>& operands);
+
+    /// Validates and returns the finished graph; the builder is left empty.
+    graph build();
+
+    /// Access to the graph under construction (e.g. for queries mid-build).
+    const graph& peek() const { return g_; }
+
+private:
+    graph g_;
+};
+
+} // namespace phls

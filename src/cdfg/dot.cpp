@@ -1,0 +1,41 @@
+#include "cdfg/dot.h"
+
+#include <sstream>
+
+namespace phls {
+
+namespace {
+
+const char* shape_for(op_kind k)
+{
+    switch (k) {
+    case op_kind::input: return "invtriangle";
+    case op_kind::output: return "triangle";
+    case op_kind::mult: return "box";
+    default: return "ellipse";
+    }
+}
+
+} // namespace
+
+std::string to_dot(const graph& g, const dot_options& options)
+{
+    std::ostringstream os;
+    os << "digraph \"" << g.name() << "\" {\n";
+    os << "  rankdir=TB;\n";
+    for (node_id v : g.nodes()) {
+        os << "  n" << v.value() << " [label=\"" << g.label(v);
+        if (options.show_kind) os << "\\n" << op_kind_symbol(g.kind(v));
+        if (v.index() < options.start_times.size())
+            os << "\\nt=" << options.start_times[v.index()];
+        if (v.index() < options.clusters.size() && !options.clusters[v.index()].empty())
+            os << "\\n" << options.clusters[v.index()];
+        os << "\", shape=" << shape_for(g.kind(v)) << "];\n";
+    }
+    for (node_id v : g.nodes())
+        for (node_id s : g.succs(v)) os << "  n" << v.value() << " -> n" << s.value() << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace phls

@@ -1,0 +1,22 @@
+// Graphviz export of CDFGs, optionally annotated with a schedule (start
+// times become rank labels) for visual debugging of the heuristics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.h"
+
+namespace phls {
+
+/// Options controlling the DOT rendering.
+struct dot_options {
+    bool show_kind = true;             ///< append the op symbol to labels
+    std::vector<int> start_times;      ///< optional, per node; shown if sized
+    std::vector<std::string> clusters; ///< optional, per node: FU instance name
+};
+
+/// Renders the graph in Graphviz DOT syntax.
+std::string to_dot(const graph& g, const dot_options& options = {});
+
+} // namespace phls

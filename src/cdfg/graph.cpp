@@ -1,0 +1,140 @@
+#include "cdfg/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/errors.h"
+
+namespace phls {
+
+const graph::node& graph::at(node_id n) const
+{
+    check(n.valid() && n.index() < nodes_.size(), "invalid node id");
+    return nodes_[n.index()];
+}
+
+graph::node& graph::at(node_id n)
+{
+    check(n.valid() && n.index() < nodes_.size(), "invalid node id");
+    return nodes_[n.index()];
+}
+
+node_id graph::add_node(op_kind kind, const std::string& label)
+{
+    check(!label.empty(), "node label must be non-empty");
+    check(!find(label).has_value(), "duplicate node label '" + label + "'");
+    nodes_.push_back(node{kind, label, {}, {}});
+    return node_id(static_cast<int>(nodes_.size()) - 1);
+}
+
+void graph::add_edge(node_id from, node_id to)
+{
+    check(from != to, "self-loop on node '" + at(from).label + "'");
+    at(from).succs.push_back(to);
+    at(to).preds.push_back(from);
+    ++edge_count_;
+}
+
+std::vector<node_id> graph::nodes() const
+{
+    std::vector<node_id> out;
+    out.reserve(nodes_.size());
+    for (int i = 0; i < node_count(); ++i) out.push_back(node_id(i));
+    return out;
+}
+
+std::optional<node_id> graph::find(const std::string& label) const
+{
+    for (int i = 0; i < node_count(); ++i)
+        if (nodes_[static_cast<std::size_t>(i)].label == label) return node_id(i);
+    return std::nullopt;
+}
+
+std::vector<node_id> graph::nodes_of_kind(op_kind k) const
+{
+    std::vector<node_id> out;
+    for (int i = 0; i < node_count(); ++i)
+        if (nodes_[static_cast<std::size_t>(i)].kind == k) out.push_back(node_id(i));
+    return out;
+}
+
+int graph::count_of_kind(op_kind k) const
+{
+    return static_cast<int>(nodes_of_kind(k).size());
+}
+
+bool graph::is_acyclic() const
+{
+    // Kahn's algorithm: the graph is acyclic iff all nodes drain.
+    std::vector<int> indegree(static_cast<std::size_t>(node_count()), 0);
+    for (int i = 0; i < node_count(); ++i)
+        indegree[static_cast<std::size_t>(i)] =
+            static_cast<int>(nodes_[static_cast<std::size_t>(i)].preds.size());
+
+    std::queue<int> ready;
+    for (int i = 0; i < node_count(); ++i)
+        if (indegree[static_cast<std::size_t>(i)] == 0) ready.push(i);
+    int drained = 0;
+    while (!ready.empty()) {
+        const int v = ready.front();
+        ready.pop();
+        ++drained;
+        for (node_id s : nodes_[static_cast<std::size_t>(v)].succs)
+            if (--indegree[s.index()] == 0) ready.push(s.value());
+    }
+    return drained == node_count();
+}
+
+std::vector<node_id> graph::topo_order() const
+{
+    std::vector<int> indegree(static_cast<std::size_t>(node_count()), 0);
+    for (int i = 0; i < node_count(); ++i)
+        indegree[static_cast<std::size_t>(i)] =
+            static_cast<int>(nodes_[static_cast<std::size_t>(i)].preds.size());
+
+    // Min-heap over node ids gives a deterministic order independent of
+    // insertion history.
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    for (int i = 0; i < node_count(); ++i)
+        if (indegree[static_cast<std::size_t>(i)] == 0) ready.push(i);
+
+    std::vector<node_id> order;
+    order.reserve(nodes_.size());
+    while (!ready.empty()) {
+        const int v = ready.top();
+        ready.pop();
+        order.push_back(node_id(v));
+        for (node_id s : nodes_[static_cast<std::size_t>(v)].succs)
+            if (--indegree[s.index()] == 0) ready.push(s.value());
+    }
+    check(static_cast<int>(order.size()) == node_count(),
+          "graph '" + name_ + "' contains a cycle");
+    return order;
+}
+
+void graph::validate() const
+{
+    check(is_acyclic(), "graph '" + name_ + "' contains a cycle");
+    for (int i = 0; i < node_count(); ++i) {
+        const node& nd = nodes_[static_cast<std::size_t>(i)];
+        const auto where = "node '" + nd.label + "' in graph '" + name_ + "'";
+        const int np = static_cast<int>(nd.preds.size());
+        const int ns = static_cast<int>(nd.succs.size());
+        switch (nd.kind) {
+        case op_kind::input:
+            check(np == 0, where + ": input must have no predecessors");
+            break;
+        case op_kind::output:
+            check(np == 1, where + ": output must have exactly one predecessor");
+            check(ns == 0, where + ": output must have no successors");
+            break;
+        default:
+            check(np >= 1 && np <= 2,
+                  where + ": binary operation must have one or two predecessors");
+            check(ns >= 1, where + ": operation result is never consumed");
+            break;
+        }
+    }
+}
+
+} // namespace phls

@@ -1,0 +1,88 @@
+// Control/data-flow graph (CDFG) container.
+//
+// A CDFG is a DAG of operations.  Edges are data dependencies; parallel
+// edges are allowed (an operation may consume the same value on both
+// operand ports, e.g. x*x).  Constant operands are *not* represented as
+// nodes, matching the classic HLS benchmark encodings, so a binary
+// operation may legally have a single predecessor.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdfg/op.h"
+#include "support/ids.h"
+
+namespace phls {
+
+/// Directed acyclic data-flow graph of operations.
+class graph {
+public:
+    graph() = default;
+    explicit graph(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /// Adds a node; labels must be unique and non-empty.
+    node_id add_node(op_kind kind, const std::string& label);
+
+    /// Adds a data edge from producer `from` to consumer `to`.
+    /// Parallel edges are allowed; self-loops are rejected.
+    void add_edge(node_id from, node_id to);
+
+    int node_count() const { return static_cast<int>(nodes_.size()); }
+    int edge_count() const { return edge_count_; }
+
+    op_kind kind(node_id n) const { return at(n).kind; }
+    const std::string& label(node_id n) const { return at(n).label; }
+
+    /// Predecessors (producers) of `n`, in insertion order, with multiplicity.
+    const std::vector<node_id>& preds(node_id n) const { return at(n).preds; }
+    /// Successors (consumers) of `n`, in insertion order, with multiplicity.
+    const std::vector<node_id>& succs(node_id n) const { return at(n).succs; }
+
+    /// All node ids, 0..node_count-1.
+    std::vector<node_id> nodes() const;
+
+    /// Node with the given label, if any.
+    std::optional<node_id> find(const std::string& label) const;
+
+    /// Nodes of the given kind, in id order.
+    std::vector<node_id> nodes_of_kind(op_kind k) const;
+
+    /// Number of nodes of the given kind.
+    int count_of_kind(op_kind k) const;
+
+    /// True if the graph contains no cycle.
+    bool is_acyclic() const;
+
+    /// Deterministic topological order (smallest ready id first).
+    /// Throws phls::error if the graph is cyclic.
+    std::vector<node_id> topo_order() const;
+
+    /// Structural validation; throws phls::error describing the first
+    /// problem found.  Checks: acyclicity; inputs have no predecessors;
+    /// outputs have exactly one predecessor and no successors; binary
+    /// operations have one or two predecessors; no dead (unconsumed)
+    /// non-output operation.
+    void validate() const;
+
+private:
+    struct node {
+        op_kind kind;
+        std::string label;
+        std::vector<node_id> preds;
+        std::vector<node_id> succs;
+    };
+
+    const node& at(node_id n) const;
+    node& at(node_id n);
+
+    std::string name_;
+    std::vector<node> nodes_;
+    int edge_count_ = 0;
+};
+
+} // namespace phls

@@ -1,0 +1,52 @@
+#include "cdfg/op.h"
+
+#include <ostream>
+
+#include "support/errors.h"
+#include "support/strings.h"
+
+namespace phls {
+
+std::string_view op_kind_name(op_kind k)
+{
+    switch (k) {
+    case op_kind::input: return "input";
+    case op_kind::output: return "output";
+    case op_kind::add: return "add";
+    case op_kind::sub: return "sub";
+    case op_kind::mult: return "mult";
+    case op_kind::comp: return "comp";
+    }
+    return "?";
+}
+
+std::string_view op_kind_symbol(op_kind k)
+{
+    switch (k) {
+    case op_kind::input: return "imp";
+    case op_kind::output: return "xpt";
+    case op_kind::add: return "+";
+    case op_kind::sub: return "-";
+    case op_kind::mult: return "*";
+    case op_kind::comp: return ">";
+    }
+    return "?";
+}
+
+op_kind parse_op_kind(std::string_view text)
+{
+    const std::string t = to_lower(trim(text));
+    for (op_kind k : all_op_kinds()) {
+        if (t == op_kind_name(k) || t == op_kind_symbol(k)) return k;
+    }
+    // Accepted aliases seen in other HLS tool formats.
+    if (t == "mul" || t == "mpy") return op_kind::mult;
+    if (t == "cmp" || t == "lt" || t == "gt") return op_kind::comp;
+    if (t == "in") return op_kind::input;
+    if (t == "out") return op_kind::output;
+    throw error("unknown operation kind '" + std::string(text) + "'");
+}
+
+std::ostream& operator<<(std::ostream& os, op_kind k) { return os << op_kind_name(k); }
+
+} // namespace phls

@@ -1,0 +1,61 @@
+// Operation kinds appearing in control/data-flow graphs.
+//
+// The set matches the DATE'03 paper's functional-unit library (Table 1):
+// arithmetic {+, -, *, >} plus explicit input (`imp`) and output (`xpt`)
+// interface operations, which the paper models as library modules with
+// their own area and power.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace phls {
+
+/// Kind of a CDFG operation node.
+enum class op_kind {
+    input,  ///< value import (paper module `input`/`imp`)
+    output, ///< value export (paper module `output`/`xpt`)
+    add,    ///< addition
+    sub,    ///< subtraction
+    mult,   ///< multiplication
+    comp,   ///< comparison (>)
+};
+
+/// Number of distinct op kinds (for dense tables keyed by kind).
+inline constexpr int op_kind_count = 6;
+
+/// All kinds, in declaration order.
+constexpr std::array<op_kind, op_kind_count> all_op_kinds()
+{
+    return {op_kind::input, op_kind::output, op_kind::add,
+            op_kind::sub,   op_kind::mult,  op_kind::comp};
+}
+
+/// Dense index of `k` in [0, op_kind_count).
+constexpr int op_kind_index(op_kind k) { return static_cast<int>(k); }
+
+/// Canonical lower-case name ("input", "add", ...).
+std::string_view op_kind_name(op_kind k);
+
+/// Operator symbol as used by the paper's Table 1 ("+", "-", "*", ">",
+/// "imp", "xpt").
+std::string_view op_kind_symbol(op_kind k);
+
+/// Parses a kind from either its name or its symbol; throws phls::error on
+/// unknown text.
+op_kind parse_op_kind(std::string_view text);
+
+/// True for the two interface kinds.
+constexpr bool is_io(op_kind k) { return k == op_kind::input || k == op_kind::output; }
+
+/// True for two-operand arithmetic/comparison kinds.
+constexpr bool is_binary(op_kind k)
+{
+    return k == op_kind::add || k == op_kind::sub || k == op_kind::mult || k == op_kind::comp;
+}
+
+std::ostream& operator<<(std::ostream& os, op_kind k);
+
+} // namespace phls

@@ -1,0 +1,28 @@
+// Random layered DAG generator.
+//
+// Property-based tests and the runtime benchmarks need arbitrarily sized
+// CDFGs with the same structural invariants as the paper benchmarks
+// (acyclic, inputs feed operations, every operation is consumed, outputs
+// close all sinks).  Generation is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "cdfg/graph.h"
+
+namespace phls {
+
+/// Parameters for random_dag().
+struct random_dag_params {
+    int operations = 20;     ///< arithmetic/comparison op count (>= 1)
+    int inputs = 4;          ///< input node count (>= 1)
+    int layers = 5;          ///< target dependency depth (>= 1)
+    double mult_fraction = 0.3; ///< probability an op is a multiplication
+    double comp_fraction = 0.05; ///< probability an op is a comparison
+    double second_operand_probability = 0.8; ///< chance of a second data edge
+};
+
+/// Generates a valid CDFG; the result always passes graph::validate().
+graph random_dag(const random_dag_params& params, std::uint64_t seed);
+
+} // namespace phls

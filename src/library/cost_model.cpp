@@ -1,0 +1,14 @@
+#include "library/cost_model.h"
+
+#include "support/strings.h"
+
+namespace phls {
+
+std::string describe(const cost_model& cm)
+{
+    if (!cm.include_interconnect) return "cost model: FU area only";
+    return strf("cost model: FU area + %.1f/register + %.1f/extra mux input",
+                cm.register_area, cm.mux_area_per_extra_input);
+}
+
+} // namespace phls

@@ -1,0 +1,47 @@
+// Functional-unit module descriptors (rows of the paper's Table 1).
+//
+// A module type implements a set of operation kinds with a fixed area, a
+// fixed execution delay in clock cycles, and a fixed per-cycle power draw
+// while executing.  Energy per operation is therefore delay * power; the
+// serial multiplier (4 cycles @ 2.7) is both lower-power and lower-energy
+// than the parallel one (2 cycles @ 8.1), which is exactly the trade the
+// paper's design-space exploration exercises.
+#pragma once
+
+#include <bitset>
+#include <string>
+#include <vector>
+
+#include "cdfg/op.h"
+
+namespace phls {
+
+/// One functional-unit module type.
+struct fu_module {
+    std::string name;                   ///< unique within a library
+    std::bitset<op_kind_count> ops;     ///< kinds this module implements
+    double area = 0.0;                  ///< area units
+    int latency = 1;                    ///< execution delay, clock cycles
+    double power = 0.0;                 ///< power per executing clock cycle
+
+    bool supports(op_kind k) const { return ops.test(static_cast<std::size_t>(op_kind_index(k))); }
+
+    /// Energy of one operation execution.
+    double energy() const { return latency * power; }
+
+    /// Kinds supported, in canonical order.
+    std::vector<op_kind> supported_kinds() const;
+
+    /// "{+,-,>}"-style rendering of the supported set (Table 1 notation).
+    std::string ops_string() const;
+};
+
+/// Convenience constructor.
+fu_module make_module(const std::string& name, std::initializer_list<op_kind> kinds,
+                      double area, int latency, double power);
+
+/// Structural validation; throws phls::error on nonsense (empty name, no
+/// ops, latency < 1, negative area/power, io kinds mixed with arithmetic).
+void validate_module(const fu_module& m);
+
+} // namespace phls

@@ -1,0 +1,85 @@
+#include "power/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "support/errors.h"
+#include "support/strings.h"
+
+namespace phls {
+
+double power_profile::at(int cycle) const
+{
+    check(cycle >= 0, "power_profile::at: negative cycle");
+    if (cycle >= cycle_count()) return 0.0;
+    return cycles_[static_cast<std::size_t>(cycle)];
+}
+
+void power_profile::deposit(int start, int duration, double power)
+{
+    check(start >= 0 && duration >= 0, "power_profile::deposit: bad interval");
+    if (start + duration > cycle_count())
+        cycles_.resize(static_cast<std::size_t>(start + duration), 0.0);
+    for (int c = start; c < start + duration; ++c)
+        cycles_[static_cast<std::size_t>(c)] += power;
+}
+
+void power_profile::withdraw(int start, int duration, double power)
+{
+    check(start >= 0 && start + duration <= cycle_count(),
+          "power_profile::withdraw: interval was never deposited");
+    for (int c = start; c < start + duration; ++c) {
+        cycles_[static_cast<std::size_t>(c)] -= power;
+        // Guard against floating-point drift producing tiny negatives.
+        if (cycles_[static_cast<std::size_t>(c)] < 0.0 &&
+            cycles_[static_cast<std::size_t>(c)] > -1e-9)
+            cycles_[static_cast<std::size_t>(c)] = 0.0;
+        check(cycles_[static_cast<std::size_t>(c)] >= 0.0,
+              "power_profile::withdraw exceeds deposits");
+    }
+}
+
+double power_profile::peak() const
+{
+    double p = 0.0;
+    for (double v : cycles_) p = std::max(p, v);
+    return p;
+}
+
+double power_profile::average() const
+{
+    if (cycles_.empty()) return 0.0;
+    return energy() / static_cast<double>(cycles_.size());
+}
+
+double power_profile::energy() const
+{
+    return std::accumulate(cycles_.begin(), cycles_.end(), 0.0);
+}
+
+std::string power_profile::ascii_chart(double cap, int width) const
+{
+    const double scale_max = std::max(peak(), std::isfinite(cap) ? cap : 0.0);
+    std::ostringstream os;
+    for (int c = 0; c < cycle_count(); ++c) {
+        const double v = cycles_[static_cast<std::size_t>(c)];
+        const int bar =
+            scale_max > 0.0 ? static_cast<int>(std::lround(v / scale_max * width)) : 0;
+        const int cap_col = std::isfinite(cap) && scale_max > 0.0
+                                ? static_cast<int>(std::lround(cap / scale_max * width))
+                                : -1;
+        os << strf("%4d |", c);
+        for (int i = 0; i < width + 2; ++i) {
+            if (i == cap_col && i >= bar)
+                os << '!';
+            else
+                os << (i < bar ? '#' : ' ');
+        }
+        os << strf("| %6.2f\n", v);
+    }
+    return os.str();
+}
+
+} // namespace phls

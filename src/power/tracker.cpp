@@ -1,0 +1,26 @@
+#include "power/tracker.h"
+
+#include "support/errors.h"
+
+namespace phls {
+
+bool power_tracker::fits(int start, int duration, double power) const
+{
+    if (power > cap_ + tolerance) return false;
+    for (int c = start; c < start + duration; ++c)
+        if (profile_.at(c) + power > cap_ + tolerance) return false;
+    return true;
+}
+
+void power_tracker::reserve(int start, int duration, double power)
+{
+    check(fits(start, duration, power), "power_tracker::reserve would exceed the cap");
+    profile_.deposit(start, duration, power);
+}
+
+void power_tracker::release(int start, int duration, double power)
+{
+    profile_.withdraw(start, duration, power);
+}
+
+} // namespace phls

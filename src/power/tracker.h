@@ -1,0 +1,50 @@
+// Incremental power-availability bookkeeping for the pasap/palap
+// schedulers and the clique partitioner.
+//
+// The tracker answers "does operation power p fit in every cycle of
+// [start, start+duration) under the cap?" and records reservations so
+// later queries see them.  Cycles beyond the current horizon are free.
+#pragma once
+
+#include <limits>
+
+#include "power/profile.h"
+
+namespace phls {
+
+/// Reservation ledger against a per-cycle power cap.
+class power_tracker {
+public:
+    /// `cap` may be infinity for unconstrained tracking.
+    explicit power_tracker(double cap) : cap_(cap) {}
+
+    double cap() const { return cap_; }
+
+    /// True if depositing `power` over [start, start+duration) keeps every
+    /// cycle at or below the cap (within a small tolerance for exact
+    /// decimal sums such as Table 1's).
+    bool fits(int start, int duration, double power) const;
+
+    /// Records the reservation; call only after fits() (checked).
+    void reserve(int start, int duration, double power);
+
+    /// Removes a reservation previously made.
+    void release(int start, int duration, double power);
+
+    /// Power already reserved in `cycle`.
+    double used(int cycle) const { return profile_.at(cycle); }
+
+    const power_profile& profile() const { return profile_; }
+
+    /// Tolerance used when comparing sums against the cap.
+    static constexpr double tolerance = 1e-9;
+
+private:
+    double cap_;
+    power_profile profile_;
+};
+
+/// Convenience: an infinite cap.
+inline constexpr double unbounded_power = std::numeric_limits<double>::infinity();
+
+} // namespace phls

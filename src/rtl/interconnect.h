@@ -1,0 +1,38 @@
+// Interconnect estimation: multiplexer inputs per FU port and register
+// count, combined into the area model of DESIGN.md / cost_model.h.
+//
+// Port model: a binary operation reads operand 0 and operand 1 in the
+// order its predecessors were attached; a single-predecessor arithmetic
+// op has a constant on the free port (no mux contribution); outputs have
+// one port; inputs none.  A port of an FU instance driven by k distinct
+// sources (registers or forwarding producers) needs a k-input mux, which
+// costs (k-1) * mux_area_per_extra_input.
+#pragma once
+
+#include <vector>
+
+#include "library/cost_model.h"
+#include "rtl/regalloc.h"
+#include "rtl/value_lifetime.h"
+#include "sched/schedule.h"
+
+namespace phls {
+
+/// Aggregate interconnect statistics for a bound design.
+struct interconnect_stats {
+    int register_count = 0;
+    int mux_extra_inputs = 0; ///< sum over ports of (sources - 1)
+    double register_area = 0.0;
+    double mux_area = 0.0;
+
+    double total() const { return register_area + mux_area; }
+};
+
+/// Estimates registers and muxes for a complete schedule + binding.
+/// `instance_of[v]` is the flat FU instance executing node v.
+interconnect_stats estimate_interconnect(const graph& g, const module_library& lib,
+                                         const schedule& s,
+                                         const std::vector<int>& instance_of,
+                                         const cost_model& costs);
+
+} // namespace phls

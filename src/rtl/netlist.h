@@ -1,0 +1,57 @@
+// Structural netlist construction and export.
+//
+// Turns a scheduled + bound design into an explicit datapath netlist:
+// FU instances, registers (left-edge shared), and source->port
+// connections (the muxes).  Exports a human-readable text form and a
+// skeleton structural Verilog module; both are meant for inspection and
+// downstream tooling, not for tape-out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "library/cost_model.h"
+#include "rtl/interconnect.h"
+#include "sched/schedule.h"
+
+namespace phls {
+
+/// A datapath netlist.
+struct netlist {
+    struct fu {
+        int index = 0;
+        module_id module;
+        std::vector<node_id> ops; ///< operations executed, by start time
+    };
+    struct storage {
+        int index = 0;
+        std::vector<node_id> values; ///< producers time-sharing the register
+    };
+    /// One driver of an FU input port.
+    struct connection {
+        int fu_index = 0;
+        int port = 0;
+        bool from_register = false;
+        int source_index = 0; ///< register index or producing fu index
+    };
+
+    std::string design_name;
+    std::vector<fu> fus;
+    std::vector<storage> registers;
+    std::vector<connection> connections; ///< unique (fu, port, source) triples
+};
+
+/// Builds the netlist for a complete schedule and binding.
+/// `instance_modules[i]` is the module type of flat instance i.
+netlist build_netlist(const std::string& design_name, const graph& g,
+                      const module_library& lib, const schedule& s,
+                      const std::vector<int>& instance_of,
+                      const std::vector<module_id>& instance_modules);
+
+/// Human-readable listing.
+std::string netlist_to_text(const netlist& nl, const graph& g, const module_library& lib);
+
+/// Skeleton structural Verilog (instances, registers, mux comments).
+std::string netlist_to_verilog(const netlist& nl, const graph& g, const module_library& lib);
+
+} // namespace phls

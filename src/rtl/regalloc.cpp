@@ -1,0 +1,46 @@
+#include "rtl/regalloc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace phls {
+
+regalloc_result left_edge_allocate(const std::vector<value_lifetime>& lifetimes)
+{
+    regalloc_result result;
+    result.register_of.assign(lifetimes.size(), -1);
+
+    // Sort candidate intervals by birth (left edge), tie-broken by death
+    // then producer id for determinism.
+    std::vector<std::size_t> order(lifetimes.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::erase_if(order, [&](std::size_t i) { return !lifetimes[i].needs_register(); });
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (lifetimes[a].birth != lifetimes[b].birth)
+            return lifetimes[a].birth < lifetimes[b].birth;
+        if (lifetimes[a].death != lifetimes[b].death)
+            return lifetimes[a].death < lifetimes[b].death;
+        return lifetimes[a].producer < lifetimes[b].producer;
+    });
+
+    std::vector<int> register_free_at; // death of the last value in each register
+    for (std::size_t i : order) {
+        int chosen = -1;
+        for (std::size_t r = 0; r < register_free_at.size(); ++r) {
+            if (register_free_at[r] <= lifetimes[i].birth) {
+                chosen = static_cast<int>(r);
+                break;
+            }
+        }
+        if (chosen < 0) {
+            chosen = static_cast<int>(register_free_at.size());
+            register_free_at.push_back(0);
+        }
+        register_free_at[static_cast<std::size_t>(chosen)] = lifetimes[i].death;
+        result.register_of[i] = chosen;
+    }
+    result.register_count = static_cast<int>(register_free_at.size());
+    return result;
+}
+
+} // namespace phls

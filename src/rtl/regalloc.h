@@ -1,0 +1,23 @@
+// Left-edge register allocation: values whose lifetimes do not overlap
+// share a register.  Classic channel-routing-derived algorithm; optimal
+// register count for interval sharing.
+#pragma once
+
+#include <vector>
+
+#include "rtl/value_lifetime.h"
+
+namespace phls {
+
+/// Result of register allocation.
+struct regalloc_result {
+    int register_count = 0;
+    /// Register index per lifetime (aligned with the input vector);
+    /// -1 when the value is forwarded combinationally (no register).
+    std::vector<int> register_of;
+};
+
+/// Allocates registers for `lifetimes` (any order; sorted internally).
+regalloc_result left_edge_allocate(const std::vector<value_lifetime>& lifetimes);
+
+} // namespace phls

@@ -1,0 +1,28 @@
+#include "rtl/value_lifetime.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace phls {
+
+std::vector<value_lifetime> compute_value_lifetimes(const graph& g,
+                                                    const module_library& lib,
+                                                    const schedule& s)
+{
+    check(s.complete(), "value lifetimes need a complete schedule");
+    std::vector<value_lifetime> out;
+    for (node_id v : g.nodes()) {
+        if (g.kind(v) == op_kind::output) continue; // outputs produce nothing
+        if (g.succs(v).empty()) continue;
+        value_lifetime lt;
+        lt.producer = v;
+        lt.birth = s.finish(v, lib);
+        lt.death = lt.birth;
+        for (node_id c : g.succs(v)) lt.death = std::max(lt.death, s.start(c));
+        out.push_back(lt);
+    }
+    return out;
+}
+
+} // namespace phls

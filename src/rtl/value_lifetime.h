@@ -1,0 +1,30 @@
+// Value lifetimes.
+//
+// Every non-output operation produces one value at its finish cycle; the
+// value must be held until the start cycle of its last consumer.  A value
+// whose last consumer starts exactly when it is produced is forwarded
+// combinationally and needs no register.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace phls {
+
+/// Lifetime [birth, death) of one produced value.
+struct value_lifetime {
+    node_id producer;
+    int birth = 0; ///< finish cycle of the producer
+    int death = 0; ///< start cycle of the last consumer (>= birth)
+
+    bool needs_register() const { return death > birth; }
+};
+
+/// Lifetimes of all values with at least one consumer, in producer-id
+/// order.  Requires a complete schedule.
+std::vector<value_lifetime> compute_value_lifetimes(const graph& g,
+                                                    const module_library& lib,
+                                                    const schedule& s);
+
+} // namespace phls

@@ -1,0 +1,44 @@
+#include "sched/asap_alap.h"
+
+#include "cdfg/analysis.h"
+#include "support/errors.h"
+
+namespace phls {
+
+namespace {
+
+delay_fn make_delay(const module_library& lib, const module_assignment& assignment)
+{
+    return [&lib, &assignment](node_id v) { return lib.module(assignment[v.index()]).latency; };
+}
+
+} // namespace
+
+schedule asap_schedule(const graph& g, const module_library& lib,
+                       const module_assignment& assignment)
+{
+    check(static_cast<int>(assignment.size()) == g.node_count(),
+          "assignment size does not match graph");
+    schedule s(g.node_count());
+    const std::vector<int> starts = earliest_starts(g, make_delay(lib, assignment));
+    for (node_id v : g.nodes()) {
+        s.set_start(v, starts[v.index()]);
+        s.set_module(v, assignment[v.index()]);
+    }
+    return s;
+}
+
+schedule alap_schedule(const graph& g, const module_library& lib,
+                       const module_assignment& assignment, int latency)
+{
+    check(static_cast<int>(assignment.size()) == g.node_count(),
+          "assignment size does not match graph");
+    schedule s(g.node_count());
+    for (node_id v : g.nodes()) s.set_module(v, assignment[v.index()]);
+    const std::vector<int> starts = latest_starts(g, make_delay(lib, assignment), latency);
+    if (starts.empty()) return s; // infeasible: left incomplete
+    for (node_id v : g.nodes()) s.set_start(v, starts[v.index()]);
+    return s;
+}
+
+} // namespace phls

@@ -1,0 +1,20 @@
+// Classic (power-oblivious) ASAP and ALAP scheduling under a module
+// assignment.  These are the schedules the paper's pasap/palap "stretch";
+// they also drive the two-step baseline and force-directed scheduling.
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace phls {
+
+/// Earliest-start schedule; always feasible for a DAG.
+schedule asap_schedule(const graph& g, const module_library& lib,
+                       const module_assignment& assignment);
+
+/// Latest-start schedule for latency `T`.  Returns an incomplete schedule
+/// (no starts set) when T is below the critical path length; check with
+/// schedule::complete().
+schedule alap_schedule(const graph& g, const module_library& lib,
+                       const module_assignment& assignment, int latency);
+
+} // namespace phls

@@ -1,0 +1,133 @@
+#include "sched/force_directed.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/mobility.h"
+#include "support/errors.h"
+
+namespace phls {
+
+namespace {
+
+// Execution probability table: prob[v][c] = probability operator v is
+// executing in cycle c, assuming a uniform start distribution over its
+// window [s_min, s_max].
+std::vector<std::vector<double>> probabilities(const graph& g, const module_library& lib,
+                                               const module_assignment& assignment,
+                                               const time_windows& w, int latency)
+{
+    std::vector<std::vector<double>> prob(static_cast<std::size_t>(g.node_count()),
+                                          std::vector<double>(static_cast<std::size_t>(latency), 0.0));
+    for (node_id v : g.nodes()) {
+        const int d = lib.module(assignment[v.index()]).latency;
+        const int lo = w.s_min[v.index()];
+        const int hi = w.s_max[v.index()];
+        const double weight = 1.0 / (hi - lo + 1);
+        for (int s = lo; s <= hi; ++s)
+            for (int c = s; c < s + d && c < latency; ++c)
+                prob[v.index()][static_cast<std::size_t>(c)] += weight;
+    }
+    return prob;
+}
+
+// Distribution graphs per module type: dg[m][c] = sum of probabilities of
+// operators assigned to module type m.
+std::map<int, std::vector<double>> distribution_graphs(
+    const graph& g, const module_assignment& assignment,
+    const std::vector<std::vector<double>>& prob, int latency)
+{
+    std::map<int, std::vector<double>> dg;
+    for (node_id v : g.nodes()) {
+        std::vector<double>& row = dg.try_emplace(assignment[v.index()].value(),
+                                                  std::vector<double>(
+                                                      static_cast<std::size_t>(latency), 0.0))
+                                       .first->second;
+        for (int c = 0; c < latency; ++c)
+            row[static_cast<std::size_t>(c)] += prob[v.index()][static_cast<std::size_t>(c)];
+    }
+    return dg;
+}
+
+} // namespace
+
+fds_result force_directed_schedule(const graph& g, const module_library& lib,
+                                   const module_assignment& assignment, int latency)
+{
+    fds_result result;
+    result.sched = schedule(g.node_count());
+    for (node_id v : g.nodes()) result.sched.set_module(v, assignment[v.index()]);
+
+    std::vector<int> fixed(static_cast<std::size_t>(g.node_count()), -1);
+    time_windows w = classic_windows(g, lib, assignment, latency, fixed);
+    if (!w.feasible) {
+        result.reason = w.reason;
+        return result;
+    }
+
+    int remaining = g.node_count();
+    while (remaining > 0) {
+        // Pin all zero-mobility operators for free.
+        bool pinned_any = false;
+        for (node_id v : g.nodes()) {
+            if (fixed[v.index()] < 0 && w.s_min[v.index()] == w.s_max[v.index()]) {
+                fixed[v.index()] = w.s_min[v.index()];
+                --remaining;
+                pinned_any = true;
+            }
+        }
+        if (remaining == 0) break;
+        if (pinned_any) {
+            w = classic_windows(g, lib, assignment, latency, fixed);
+            check(w.feasible, "force-directed: windows collapsed after zero-mobility pins");
+            continue;
+        }
+
+        const std::vector<std::vector<double>> prob =
+            probabilities(g, lib, assignment, w, latency);
+        const std::map<int, std::vector<double>> dg =
+            distribution_graphs(g, assignment, prob, latency);
+
+        // Evaluate every (operator, start) candidate by total force.
+        double best_force = 0.0;
+        node_id best_v;
+        int best_t = -1;
+        for (node_id v : g.nodes()) {
+            if (fixed[v.index()] >= 0) continue;
+            for (int t = w.s_min[v.index()]; t <= w.s_max[v.index()]; ++t) {
+                fixed[v.index()] = t;
+                const time_windows w2 = classic_windows(g, lib, assignment, latency, fixed);
+                fixed[v.index()] = -1;
+                if (!w2.feasible) continue;
+                const std::vector<std::vector<double>> prob2 =
+                    probabilities(g, lib, assignment, w2, latency);
+                double force = 0.0;
+                for (node_id u : g.nodes()) {
+                    const std::vector<double>& weights =
+                        dg.at(assignment[u.index()].value());
+                    for (int c = 0; c < latency; ++c)
+                        force += weights[static_cast<std::size_t>(c)] *
+                                 (prob2[u.index()][static_cast<std::size_t>(c)] -
+                                  prob[u.index()][static_cast<std::size_t>(c)]);
+                }
+                if (best_t < 0 || force < best_force ||
+                    (force == best_force && (v < best_v || (v == best_v && t < best_t)))) {
+                    best_force = force;
+                    best_v = v;
+                    best_t = t;
+                }
+            }
+        }
+        check(best_t >= 0, "force-directed: no candidate placement found");
+        fixed[best_v.index()] = best_t;
+        --remaining;
+        w = classic_windows(g, lib, assignment, latency, fixed);
+        check(w.feasible, "force-directed: windows collapsed after pinning");
+    }
+
+    for (node_id v : g.nodes()) result.sched.set_start(v, fixed[v.index()]);
+    result.feasible = true;
+    return result;
+}
+
+} // namespace phls

@@ -1,0 +1,26 @@
+// Force-directed scheduling (Paulin & Knight), a classic time-constrained
+// scheduler that balances expected resource usage.  Serves as step one of
+// the two-step baseline and as an independent comparison point (E7).
+// Power-oblivious by construction.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace phls {
+
+/// Outcome of force-directed scheduling.
+struct fds_result {
+    bool feasible = false;
+    std::string reason;
+    schedule sched;
+};
+
+/// Schedules `g` within `latency` cycles, minimising the expected number
+/// of concurrently busy instances per module type via the classic force
+/// heuristic.  Infeasible when `latency` is below the critical path.
+fds_result force_directed_schedule(const graph& g, const module_library& lib,
+                                   const module_assignment& assignment, int latency);
+
+} // namespace phls

@@ -1,0 +1,107 @@
+#include "sched/list_sched.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace phls {
+
+allocation minimal_allocation(const module_library& lib, const module_assignment& assignment)
+{
+    allocation alloc(static_cast<std::size_t>(lib.size()), 0);
+    for (module_id m : assignment) alloc[m.index()] = 1;
+    return alloc;
+}
+
+list_sched_result list_schedule(const graph& g, const module_library& lib,
+                                const module_assignment& assignment, const allocation& alloc)
+{
+    const int n = g.node_count();
+    check(static_cast<int>(assignment.size()) == n, "assignment size does not match graph");
+    check(static_cast<int>(alloc.size()) == lib.size(), "allocation size does not match library");
+
+    list_sched_result result;
+    result.sched = schedule(n);
+    result.instance_of.assign(static_cast<std::size_t>(n), -1);
+    for (node_id v : g.nodes()) result.sched.set_module(v, assignment[v.index()]);
+
+    for (node_id v : g.nodes()) {
+        if (alloc[assignment[v.index()].index()] <= 0) {
+            result.reason = "allocation has no instance of module '" +
+                            lib.module(assignment[v.index()]).name + "' needed by '" +
+                            g.label(v) + "'";
+            return result;
+        }
+    }
+
+    // Flat instance numbering: instances of module m start at base[m].
+    std::vector<int> base(static_cast<std::size_t>(lib.size()) + 1, 0);
+    for (int m = 0; m < lib.size(); ++m)
+        base[static_cast<std::size_t>(m) + 1] =
+            base[static_cast<std::size_t>(m)] + alloc[static_cast<std::size_t>(m)];
+    result.total_instances = base.back();
+    // busy_until[i] = first cycle instance i is free again.
+    std::vector<int> busy_until(static_cast<std::size_t>(result.total_instances), 0);
+
+    // Longest delay-weighted path to a sink, as list priority.
+    std::vector<long> priority(static_cast<std::size_t>(n), 0);
+    const std::vector<node_id> topo = g.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const node_id v = *it;
+        long below = 0;
+        for (node_id s : g.succs(v)) below = std::max(below, priority[s.index()]);
+        priority[v.index()] = below + lib.module(assignment[v.index()]).latency;
+    }
+
+    std::vector<int> unscheduled_preds(static_cast<std::size_t>(n), 0);
+    for (node_id v : g.nodes())
+        unscheduled_preds[v.index()] = static_cast<int>(g.preds(v).size());
+    std::vector<int> data_ready(static_cast<std::size_t>(n), 0);
+
+    int remaining = n;
+    int cycle = 0;
+    long guard = 0;
+    for (node_id v : g.nodes()) guard += lib.module(assignment[v.index()]).latency;
+    guard += n + 1;
+
+    while (remaining > 0) {
+        check(cycle <= guard, "list_schedule failed to converge");
+        // Ready ops whose data arrived by `cycle`, best priority first.
+        std::vector<node_id> ready;
+        for (node_id v : g.nodes())
+            if (!result.sched.scheduled(v) && unscheduled_preds[v.index()] == 0 &&
+                data_ready[v.index()] <= cycle)
+                ready.push_back(v);
+        std::sort(ready.begin(), ready.end(), [&](node_id a, node_id b) {
+            if (priority[a.index()] != priority[b.index()])
+                return priority[a.index()] > priority[b.index()];
+            return a < b;
+        });
+        for (node_id v : ready) {
+            const module_id m = assignment[v.index()];
+            // First free instance of this module type.
+            int chosen = -1;
+            for (int i = base[m.index()]; i < base[m.index() + 1]; ++i) {
+                if (busy_until[static_cast<std::size_t>(i)] <= cycle) {
+                    chosen = i;
+                    break;
+                }
+            }
+            if (chosen < 0) continue; // all instances busy this cycle
+            const int d = lib.module(m).latency;
+            result.sched.set_start(v, cycle);
+            result.instance_of[v.index()] = chosen;
+            busy_until[static_cast<std::size_t>(chosen)] = cycle + d;
+            --remaining;
+            for (node_id s : g.succs(v)) {
+                --unscheduled_preds[s.index()];
+                data_ready[s.index()] = std::max(data_ready[s.index()], cycle + d);
+            }
+        }
+        ++cycle;
+    }
+    result.feasible = true;
+    return result;
+}
+
+} // namespace phls

@@ -1,0 +1,40 @@
+// Resource-constrained list scheduling (baseline, experiment E7).
+//
+// Given a fixed allocation (how many instances of each module type exist)
+// and a module assignment, schedules operations cycle by cycle: among
+// data-ready operations, the one with the longest path to a sink grabs a
+// free instance first.  Power is ignored — the resulting peak power is
+// what the paper's integrated algorithm improves on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace phls {
+
+/// Instance counts per module type (indexed by module_id).
+using allocation = std::vector<int>;
+
+/// Builds the minimal allocation that makes `assignment` schedulable:
+/// one instance of every module type used.
+allocation minimal_allocation(const module_library& lib, const module_assignment& assignment);
+
+/// Result of list scheduling.
+struct list_sched_result {
+    bool feasible = false;
+    std::string reason;
+    schedule sched;
+    /// Flat instance index per node (instances numbered per module type,
+    /// then flattened in library order); the verifier and reuse stats use it.
+    std::vector<int> instance_of;
+    int total_instances = 0;
+};
+
+/// Schedules `g` under `alloc`; infeasible only if some used module type
+/// has zero instances.
+list_sched_result list_schedule(const graph& g, const module_library& lib,
+                                const module_assignment& assignment, const allocation& alloc);
+
+} // namespace phls

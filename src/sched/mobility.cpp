@@ -1,0 +1,122 @@
+#include "sched/mobility.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+#include "support/strings.h"
+
+namespace phls {
+
+time_windows power_windows(const graph& g, const module_library& lib,
+                           const module_assignment& assignment, double max_power,
+                           int latency, const pasap_options& options)
+{
+    time_windows w;
+    const pasap_result lo = pasap(g, lib, assignment, max_power, options);
+    if (!lo.feasible) {
+        w.reason = "pasap: " + lo.reason;
+        return w;
+    }
+    if (lo.sched.latency(lib) > latency) {
+        w.reason = strf("pasap schedule needs %d cycles, latency bound is %d",
+                        lo.sched.latency(lib), latency);
+        return w;
+    }
+    // The pasap schedule is a complete valid solution, so the problem is
+    // feasible; palap can only *widen* windows.  Because both are greedy
+    // heuristics they may disagree (palap may fail or place an operator
+    // before its pasap time under power contention); in that case the
+    // operator's window degenerates to its pasap time, which is always a
+    // usable witness.
+    const pasap_result hi = palap(g, lib, assignment, max_power, latency, options);
+    w.s_min.resize(static_cast<std::size_t>(g.node_count()));
+    w.s_max.resize(static_cast<std::size_t>(g.node_count()));
+    for (node_id v : g.nodes()) {
+        w.s_min[v.index()] = lo.sched.start(v);
+        w.s_max[v.index()] =
+            hi.feasible ? std::max(lo.sched.start(v), hi.sched.start(v)) : lo.sched.start(v);
+    }
+    w.feasible = true;
+    return w;
+}
+
+std::vector<int> constrained_earliest(const graph& g, const module_library& lib,
+                                      const module_assignment& assignment,
+                                      const std::vector<int>& fixed)
+{
+    const int n = g.node_count();
+    check(static_cast<int>(assignment.size()) == n, "assignment size does not match graph");
+    check(fixed.empty() || static_cast<int>(fixed.size()) == n,
+          "fixed size does not match graph");
+    std::vector<int> start(static_cast<std::size_t>(n), 0);
+    for (node_id v : g.topo_order()) {
+        int t = 0;
+        for (node_id p : g.preds(v))
+            t = std::max(t, start[p.index()] + lib.module(assignment[p.index()]).latency);
+        if (!fixed.empty() && fixed[v.index()] >= 0) {
+            if (fixed[v.index()] < t) return {}; // pin violates a dependency
+            t = fixed[v.index()];
+        }
+        start[v.index()] = t;
+    }
+    return start;
+}
+
+std::vector<int> constrained_latest(const graph& g, const module_library& lib,
+                                    const module_assignment& assignment, int latency,
+                                    const std::vector<int>& fixed)
+{
+    const int n = g.node_count();
+    check(static_cast<int>(assignment.size()) == n, "assignment size does not match graph");
+    check(fixed.empty() || static_cast<int>(fixed.size()) == n,
+          "fixed size does not match graph");
+    std::vector<int> start(static_cast<std::size_t>(n), 0);
+    const std::vector<node_id> order = g.topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const node_id v = *it;
+        const int d = lib.module(assignment[v.index()]).latency;
+        int t = latency - d;
+        for (node_id s : g.succs(v)) t = std::min(t, start[s.index()] - d);
+        if (!fixed.empty() && fixed[v.index()] >= 0) {
+            if (fixed[v.index()] > t) return {};
+            t = fixed[v.index()];
+        }
+        if (t < 0) return {};
+        start[v.index()] = t;
+    }
+    // A pinned op may also be unreachable from below: verify pins held.
+    if (!fixed.empty())
+        for (node_id v : g.nodes())
+            if (fixed[v.index()] >= 0 && start[v.index()] != fixed[v.index()]) return {};
+    return start;
+}
+
+time_windows classic_windows(const graph& g, const module_library& lib,
+                             const module_assignment& assignment, int latency,
+                             const std::vector<int>& fixed_starts)
+{
+    time_windows w;
+    const std::vector<int> lo = constrained_earliest(g, lib, assignment, fixed_starts);
+    if (lo.empty()) {
+        w.reason = "pinned operator violates a data dependency";
+        return w;
+    }
+    const std::vector<int> hi = constrained_latest(g, lib, assignment, latency, fixed_starts);
+    if (hi.empty()) {
+        w.reason = strf("latency bound %d is below the critical path", latency);
+        return w;
+    }
+    for (node_id v : g.nodes()) {
+        if (lo[v.index()] > hi[v.index()]) {
+            w.reason = strf("operator '%s' has crossing window [%d, %d]",
+                            g.label(v).c_str(), lo[v.index()], hi[v.index()]);
+            return w;
+        }
+    }
+    w.s_min = lo;
+    w.s_max = hi;
+    w.feasible = true;
+    return w;
+}
+
+} // namespace phls

@@ -1,0 +1,59 @@
+// Start-time windows.
+//
+// The paper derives each operator's feasible start window from pasap
+// (earliest power-feasible start) and palap (latest power-feasible start
+// under the latency bound); the compatibility graph is built from these
+// windows, "bounding the design space to those of power feasible
+// schedules".  power_windows() packages that computation.
+//
+// constrained_earliest/latest are the power-oblivious counterparts with
+// support for pinned operators; they serve force-directed scheduling and
+// the two-step baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/pasap.h"
+
+namespace phls {
+
+/// Per-operator start-time windows [s_min, s_max].
+struct time_windows {
+    bool feasible = false;
+    std::string reason;
+    std::vector<int> s_min;
+    std::vector<int> s_max;
+
+    int mobility(node_id v) const { return s_max[v.index()] - s_min[v.index()]; }
+};
+
+/// Windows from pasap/palap under power cap `max_power` and latency bound
+/// `latency`.  Feasibility is decided by pasap alone: its schedule is a
+/// complete valid witness (the paper's "deleted operator" event therefore
+/// reduces to pasap failing or overrunning the latency bound).  palap,
+/// being an independent greedy pass, only *widens* a window beyond the
+/// pasap time when it agrees; where it disagrees the window degenerates
+/// to the pasap time.  `options.fixed_starts` carries committed operators.
+time_windows power_windows(const graph& g, const module_library& lib,
+                           const module_assignment& assignment, double max_power,
+                           int latency, const pasap_options& options = {});
+
+/// Classic windows (no power cap) under `latency`, same reporting.
+time_windows classic_windows(const graph& g, const module_library& lib,
+                             const module_assignment& assignment, int latency,
+                             const std::vector<int>& fixed_starts = {});
+
+/// ASAP start times with pinned operators: fixed[v] >= 0 forces start(v).
+/// Returns an empty vector if a pin violates a data dependency.
+std::vector<int> constrained_earliest(const graph& g, const module_library& lib,
+                                      const module_assignment& assignment,
+                                      const std::vector<int>& fixed);
+
+/// ALAP start times with pinned operators under `latency`; empty vector if
+/// infeasible.
+std::vector<int> constrained_latest(const graph& g, const module_library& lib,
+                                    const module_assignment& assignment, int latency,
+                                    const std::vector<int>& fixed);
+
+} // namespace phls

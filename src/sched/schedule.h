@@ -1,0 +1,89 @@
+// Schedule representation: per-operation start times plus the module type
+// each operation is assumed to execute on (the module determines delay
+// and per-cycle power; instance binding lives in synth/datapath.h).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "library/library.h"
+#include "power/profile.h"
+#include "support/ids.h"
+
+namespace phls {
+
+/// Per-operation module-type choice (delay/power model for scheduling).
+using module_assignment = std::vector<module_id>;
+
+/// Builds an assignment that maps every node to the same policy choice:
+/// the fastest module with power <= max_power.  Throws phls::error when a
+/// kind has no candidate at all; returns an empty vector when a kind
+/// exists but no candidate fits under max_power (caller decides how to
+/// report infeasibility).
+module_assignment fastest_assignment(const graph& g, const module_library& lib,
+                                     double max_power);
+
+/// Cheapest-area counterpart of fastest_assignment.
+module_assignment cheapest_assignment(const graph& g, const module_library& lib,
+                                      double max_power);
+
+/// Start times + module types for every operation of one graph.
+class schedule {
+public:
+    schedule() = default;
+    explicit schedule(int node_count)
+        : start_(static_cast<std::size_t>(node_count), -1),
+          module_(static_cast<std::size_t>(node_count))
+    {
+    }
+
+    int node_count() const { return static_cast<int>(start_.size()); }
+
+    bool scheduled(node_id v) const { return start_[v.index()] >= 0; }
+    int start(node_id v) const { return start_[v.index()]; }
+    void set_start(node_id v, int t) { start_[v.index()] = t; }
+    void clear_start(node_id v) { start_[v.index()] = -1; }
+
+    module_id module_of(node_id v) const { return module_[v.index()]; }
+    void set_module(node_id v, module_id m) { module_[v.index()] = m; }
+
+    /// Delay of `v` under its assigned module.
+    int delay(node_id v, const module_library& lib) const
+    {
+        return lib.module(module_[v.index()]).latency;
+    }
+
+    /// First cycle after `v` finishes.
+    int finish(node_id v, const module_library& lib) const
+    {
+        return start_[v.index()] + delay(v, lib);
+    }
+
+    bool complete() const;
+
+    /// Max finish over all (scheduled) operations.
+    int latency(const module_library& lib) const;
+
+    /// Per-cycle power: each scheduled op deposits its module power over
+    /// its execution interval.
+    power_profile profile(const module_library& lib) const;
+
+    const std::vector<int>& starts() const { return start_; }
+    const module_assignment& modules() const { return module_; }
+
+private:
+    std::vector<int> start_;
+    module_assignment module_;
+};
+
+/// Validates a complete schedule: every op scheduled at t >= 0, modules
+/// support the op kinds, and every data dependency v -> s satisfies
+/// start(s) >= finish(v).  Optionally also checks latency <= max_latency
+/// and peak power <= max_power.  Throws phls::error describing the first
+/// violation.
+void validate_schedule(const graph& g, const module_library& lib, const schedule& s,
+                       int max_latency = -1,
+                       double max_power = std::numeric_limits<double>::infinity());
+
+} // namespace phls

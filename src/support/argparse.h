@@ -1,0 +1,69 @@
+// Minimal command-line argument parser for the phls CLI tool.
+//
+// Supports long/short named options with values (--latency 17, -T 17),
+// boolean flags (--verbose), and positional arguments.  Unknown options
+// and missing required values are reported, not ignored.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace phls {
+
+/// Declarative option set + parsed values.
+class arg_parser {
+public:
+    explicit arg_parser(std::string program) : program_(std::move(program)) {}
+
+    /// Registers a boolean flag, e.g. add_flag("--verify", "-v", "run checks").
+    /// `short_name` may be empty.
+    void add_flag(const std::string& name, const std::string& short_name,
+                  const std::string& help);
+
+    /// Registers an option that takes a value; `fallback` (may be empty)
+    /// is returned by get() when the option is absent.
+    void add_option(const std::string& name, const std::string& short_name,
+                    const std::string& help, const std::string& fallback = "");
+
+    /// Parses argv-style tokens (without the program name).  Returns
+    /// false and sets error() on unknown options or missing values.
+    bool parse(const std::vector<std::string>& args);
+
+    const std::string& error() const { return error_; }
+
+    /// True if the flag/option appeared on the command line.
+    bool has(const std::string& name) const;
+
+    /// Value of an option (or its fallback).  Throws phls::error for
+    /// unregistered names (programming error).
+    std::string get(const std::string& name) const;
+    int get_int(const std::string& name) const;
+    double get_double(const std::string& name) const;
+
+    const std::vector<std::string>& positionals() const { return positionals_; }
+
+    /// Usage text listing all registered options.
+    std::string usage() const;
+
+private:
+    struct spec {
+        std::string name;
+        std::string short_name;
+        std::string help;
+        std::string fallback;
+        bool is_flag = false;
+        bool present = false;
+        std::string value;
+    };
+
+    spec* find(const std::string& token);
+    const spec* find_registered(const std::string& name) const;
+
+    std::string program_;
+    std::vector<spec> specs_;
+    std::vector<std::string> positionals_;
+    std::string error_;
+};
+
+} // namespace phls

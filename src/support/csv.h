@@ -1,0 +1,32 @@
+// Minimal CSV writer; the Figure-2 bench emits machine-readable series
+// next to its human-readable output so the curves can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace phls {
+
+/// Writes rows of cells as RFC-4180-style CSV (quoting only when needed).
+class csv_writer {
+public:
+    explicit csv_writer(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t row_count() const { return rows_.size(); }
+
+    void print(std::ostream& os) const;
+
+    /// Writes to `path`; throws phls::error if the file cannot be opened.
+    void save(const std::string& path) const;
+
+private:
+    static std::string escape(const std::string& cell);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace phls

@@ -1,0 +1,59 @@
+// Strongly typed integer identifiers.
+//
+// The library indexes nodes, modules and functional-unit instances by
+// dense integers.  Wrapping them in distinct types prevents the classic
+// bug of passing a node id where an instance id is expected.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace phls {
+
+/// A dense integer id tagged with a phantom type.
+template <typename Tag>
+class typed_id {
+public:
+    constexpr typed_id() = default;
+    constexpr explicit typed_id(int value) : value_(value) {}
+
+    constexpr int value() const { return value_; }
+    constexpr bool valid() const { return value_ >= 0; }
+
+    /// Index into a std::vector keyed by this id family.
+    constexpr std::size_t index() const { return static_cast<std::size_t>(value_); }
+
+    friend constexpr bool operator==(typed_id a, typed_id b) { return a.value_ == b.value_; }
+    friend constexpr bool operator!=(typed_id a, typed_id b) { return a.value_ != b.value_; }
+    friend constexpr bool operator<(typed_id a, typed_id b) { return a.value_ < b.value_; }
+    friend constexpr bool operator>(typed_id a, typed_id b) { return a.value_ > b.value_; }
+    friend constexpr bool operator<=(typed_id a, typed_id b) { return a.value_ <= b.value_; }
+    friend constexpr bool operator>=(typed_id a, typed_id b) { return a.value_ >= b.value_; }
+
+private:
+    int value_ = -1;
+};
+
+struct node_tag {};
+struct module_tag {};
+struct instance_tag {};
+struct register_tag {};
+
+/// Identifies an operation node in a CDFG.
+using node_id = typed_id<node_tag>;
+/// Identifies a module type in a functional-unit library.
+using module_id = typed_id<module_tag>;
+/// Identifies an allocated functional-unit instance in a datapath.
+using instance_id = typed_id<instance_tag>;
+/// Identifies a register allocated by the RTL back-end.
+using register_id = typed_id<register_tag>;
+
+} // namespace phls
+
+template <typename Tag>
+struct std::hash<phls::typed_id<Tag>> {
+    std::size_t operator()(phls::typed_id<Tag> id) const
+    {
+        return std::hash<int>()(id.value());
+    }
+};

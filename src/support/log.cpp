@@ -1,0 +1,35 @@
+#include "support/log.h"
+
+#include <iostream>
+
+namespace phls {
+
+namespace {
+
+log_level g_level = log_level::warning;
+
+const char* level_name(log_level level)
+{
+    switch (level) {
+    case log_level::debug: return "debug";
+    case log_level::info: return "info";
+    case log_level::warning: return "warning";
+    case log_level::error: return "error";
+    case log_level::off: return "off";
+    }
+    return "?";
+}
+
+} // namespace
+
+void set_log_level(log_level level) { g_level = level; }
+
+log_level get_log_level() { return g_level; }
+
+void log_message(log_level level, const std::string& message)
+{
+    if (level < g_level || g_level == log_level::off) return;
+    std::cerr << "[phls:" << level_name(level) << "] " << message << '\n';
+}
+
+} // namespace phls

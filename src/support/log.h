@@ -1,0 +1,47 @@
+// Tiny leveled logger.  The synthesis heuristics can trace every greedy
+// decision at `debug` level, which the ablation bench and the tests use to
+// inspect behaviour without coupling to internals.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace phls {
+
+enum class log_level { debug, info, warning, error, off };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+/// Emits one log line to stderr if `level` passes the threshold.
+void log_message(log_level level, const std::string& message);
+
+namespace detail {
+
+class log_line {
+public:
+    explicit log_line(log_level level) : level_(level) {}
+    log_line(const log_line&) = delete;
+    log_line& operator=(const log_line&) = delete;
+    ~log_line() { log_message(level_, stream_.str()); }
+
+    template <typename T>
+    log_line& operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    log_level level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+inline detail::log_line log_debug() { return detail::log_line(log_level::debug); }
+inline detail::log_line log_info() { return detail::log_line(log_level::info); }
+inline detail::log_line log_warning() { return detail::log_line(log_level::warning); }
+
+} // namespace phls

@@ -1,0 +1,44 @@
+// Deterministic random number generation for property tests and the
+// random-DAG workload generator.  splitmix64 keeps results identical
+// across standard libraries (std::mt19937 would too, but the distribution
+// adaptors are not portable).
+#pragma once
+
+#include <cstdint>
+
+namespace phls {
+
+/// Deterministic 64-bit generator (splitmix64).
+class rng {
+public:
+    explicit rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+    int uniform_int(int lo, int hi)
+    {
+        const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int>(next() % span);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /// Bernoulli draw with probability p.
+    bool chance(double p) { return uniform() < p; }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace phls

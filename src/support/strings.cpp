@@ -1,0 +1,103 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/errors.h"
+
+namespace phls {
+
+std::string strf(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::string_view trim(std::string_view s)
+{
+    std::size_t begin = 0;
+    while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+    std::size_t end = s.size();
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(trim(s.substr(start)));
+            break;
+        }
+        out.emplace_back(trim(s.substr(start, pos - start)));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+        std::size_t j = i;
+        while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+        if (j > i) out.emplace_back(s.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+bool is_blank_or_comment(std::string_view s)
+{
+    const std::string_view t = trim(s);
+    return t.empty() || t.front() == '#';
+}
+
+std::string to_lower(std::string_view s)
+{
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+int parse_int(std::string_view s, const std::string& what)
+{
+    s = trim(s);
+    int value = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    check(ec == std::errc() && ptr == s.data() + s.size(),
+          "expected integer for " + what + ", got '" + std::string(s) + "'");
+    return value;
+}
+
+double parse_double(std::string_view s, const std::string& what)
+{
+    s = trim(s);
+    // std::from_chars<double> is available in libstdc++ 11+, but accept a
+    // strtod fallback-free implementation for clarity.
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    check(ec == std::errc() && ptr == s.data() + s.size(),
+          "expected number for " + what + ", got '" + std::string(s) + "'");
+    return value;
+}
+
+} // namespace phls

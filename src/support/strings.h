@@ -1,0 +1,35 @@
+// Small string utilities used by the text front-ends and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phls {
+
+/// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, trimming each piece; empty pieces are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; empty pieces are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// True if `s` consists only of whitespace or starts (after whitespace)
+/// with the comment character '#'.
+bool is_blank_or_comment(std::string_view s);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// Parses an integer; throws phls::error naming `what` on failure.
+int parse_int(std::string_view s, const std::string& what);
+
+/// Parses a double; throws phls::error naming `what` on failure.
+double parse_double(std::string_view s, const std::string& what);
+
+} // namespace phls

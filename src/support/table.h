@@ -1,0 +1,51 @@
+// ASCII table rendering for reports and benchmark output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace phls {
+
+/// Column alignment inside an ascii_table.
+enum class align { left, right };
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+///
+/// Used by the bench binaries to regenerate the paper's Table 1 and by the
+/// datapath/report printers.
+class ascii_table {
+public:
+    /// Creates a table with the given column headers (all right-aligned by
+    /// default except the first column).
+    explicit ascii_table(std::vector<std::string> headers);
+
+    /// Overrides the alignment of column `col`.
+    void set_align(std::size_t col, align a);
+
+    /// Appends a row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Appends a horizontal separator line.
+    void add_separator();
+
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Renders the table (header, separator, rows).
+    void print(std::ostream& os) const;
+
+    /// Renders to a string, for tests.
+    std::string to_string() const;
+
+private:
+    struct row {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<align> aligns_;
+    std::vector<row> rows_;
+};
+
+} // namespace phls

@@ -1,0 +1,210 @@
+#include "synth/clique.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cdfg/analysis.h"
+#include "sched/mobility.h"
+#include "support/errors.h"
+#include "support/log.h"
+#include "support/strings.h"
+#include "synth/compat.h"
+
+namespace phls {
+
+namespace {
+
+std::string design_name(const graph& g, const synthesis_constraints& c)
+{
+    if (c.max_power == unbounded_power) return strf("%s_T%d_Pinf", g.name().c_str(), c.latency);
+    return strf("%s_T%d_P%.3g", g.name().c_str(), c.latency, c.max_power);
+}
+
+/// Everything the merge loop mutates, so a failed decision can roll back.
+struct partition_state {
+    std::vector<int> fixed;          // committed/locked start times, -1 free
+    module_assignment assignment;    // current per-node module
+    std::vector<char> committed;     // bound to an instance
+    power_tracker committed_power;   // reservations of committed ops
+    datapath dp;
+    time_windows windows;
+
+    explicit partition_state(double cap) : committed_power(cap) {}
+};
+
+} // namespace
+
+synthesis_result run_clique_partitioning(const graph& g, const module_library& lib,
+                                         const synthesis_constraints& constraints,
+                                         const synthesis_options& options)
+{
+    const int n = g.node_count();
+    const double cap = constraints.max_power;
+    synthesis_result result;
+    result.dp = datapath(design_name(g, constraints), n);
+    check(constraints.latency >= 1, "latency constraint must be positive");
+
+    // 1. Prospect modules under the power cap.
+    const prospect_result prospect = make_prospect(g, lib, options.policy, cap);
+    if (!prospect.ok) {
+        result.reason = prospect.reason;
+        return result;
+    }
+
+    partition_state st(cap);
+    st.fixed.assign(static_cast<std::size_t>(n), -1);
+    st.assignment = prospect.assignment;
+    st.committed.assign(static_cast<std::size_t>(n), 0);
+    st.dp = datapath(design_name(g, constraints), n);
+
+    const pasap_options sched_opts_base{options.order, {}};
+
+    const auto recompute_windows = [&](partition_state& s) {
+        pasap_options o = sched_opts_base;
+        o.fixed_starts = s.fixed;
+        ++result.stats.window_recomputes;
+        return power_windows(g, lib, s.assignment, cap, constraints.latency, o);
+    };
+
+    // 2. Initial pasap/palap windows.
+    st.windows = recompute_windows(st);
+    if (!st.windows.feasible) {
+        result.reason = st.windows.reason;
+        return result;
+    }
+
+    const reachability reach(g);
+    bool locked = false;
+
+    // Locks every free operator to its current pasap start time (the
+    // paper's backtrack remedy); the pasap schedule itself witnesses
+    // feasibility.
+    const auto lock_all = [&](partition_state& s) {
+        for (node_id v : g.nodes())
+            if (s.fixed[v.index()] < 0) s.fixed[v.index()] = s.windows.s_min[v.index()];
+        locked = true;
+        result.stats.locked = true;
+        if (result.stats.merges_before_lock < 0)
+            result.stats.merges_before_lock = result.stats.merges;
+        const time_windows w = recompute_windows(s);
+        check(w.feasible, "internal: locking to the pasap schedule failed: " + w.reason);
+        s.windows = w;
+    };
+
+    if (options.lock_from_start) lock_all(st);
+
+    // Commits one operation onto an instance at time t.
+    const auto commit_op = [&](partition_state& s, node_id v, int inst, int t) {
+        const module_id m = s.dp.instances[static_cast<std::size_t>(inst)].module;
+        s.assignment[v.index()] = m;
+        s.fixed[v.index()] = t;
+        s.committed[v.index()] = 1;
+        s.committed_power.reserve(t, lib.module(m).latency, lib.module(m).power);
+        s.dp.bind(v, inst, t);
+    };
+
+    // 3. Greedy merge loop.
+    std::set<std::string> blacklist;
+    while (true) {
+        compat_inputs in;
+        in.g = &g;
+        in.lib = &lib;
+        in.costs = &options.costs;
+        in.reach = &reach;
+        in.max_power = cap;
+        in.windows = &st.windows;
+        in.fixed = &st.fixed;
+        in.committed = &st.committed;
+        in.instances = &st.dp.instances;
+        in.committed_power = &st.committed_power;
+        in.assignment = &st.assignment;
+        in.locked = locked;
+
+        std::vector<merge_candidate> candidates = enumerate_candidates(in);
+        std::erase_if(candidates, [&](const merge_candidate& c) {
+            return c.saving < 0.0 || blacklist.count(c.key()) > 0;
+        });
+        const int bi = best_candidate(candidates);
+        if (bi < 0) break;
+        const merge_candidate chosen = candidates[static_cast<std::size_t>(bi)];
+
+        partition_state snapshot = st;
+        if (chosen.type == merge_candidate::merge_type::pair) {
+            const int inst = st.dp.add_instance(chosen.module);
+            commit_op(st, chosen.a, inst, chosen.t_a);
+            commit_op(st, chosen.b, inst, chosen.t_b);
+        } else {
+            commit_op(st, chosen.a, chosen.instance, chosen.t_a);
+        }
+
+        const time_windows w2 = recompute_windows(st);
+        if (w2.feasible) {
+            st.windows = w2;
+            ++result.stats.merges;
+            if (chosen.type == merge_candidate::merge_type::pair)
+                ++result.stats.pair_merges;
+            else
+                ++result.stats.join_merges;
+            blacklist.clear();
+            log_debug() << "accepted " << chosen.key() << " saving " << chosen.saving;
+            continue;
+        }
+
+        // The decision deleted an unscheduled operator: backtrack one step
+        // and (first time) lock the remaining operators to the last valid
+        // pasap schedule.
+        st = std::move(snapshot);
+        ++result.stats.rejected;
+        log_debug() << "rejected " << chosen.key() << ": " << w2.reason;
+        if (!locked && options.enable_backtrack_lock)
+            lock_all(st);
+        else
+            blacklist.insert(chosen.key());
+    }
+
+    // 4. Finalisation: leftover operators become singleton instances.
+    // First give each a chance to move to the cheapest power-feasible
+    // module (validated by a full window recompute), then batch-commit
+    // the rest at their pasap times, which are feasible by construction.
+    for (node_id v : g.nodes()) {
+        if (st.committed[v.index()]) continue;
+        if (!options.allow_cheapest_rebind) continue;
+        const module_id cheap = *lib.cheapest_for(g.kind(v), cap);
+        if (cheap == st.assignment[v.index()]) continue;
+        partition_state snapshot = st;
+        const int inst = st.dp.add_instance(cheap);
+        st.assignment[v.index()] = cheap;
+        const int t = st.windows.s_min[v.index()];
+        if (!st.committed_power.fits(t, lib.module(cheap).latency, lib.module(cheap).power)) {
+            st = std::move(snapshot);
+            ++result.stats.finalize_fallbacks;
+            continue;
+        }
+        st.fixed[v.index()] = t;
+        st.committed[v.index()] = 1;
+        st.committed_power.reserve(t, lib.module(cheap).latency, lib.module(cheap).power);
+        st.dp.bind(v, inst, t);
+        const time_windows w2 = recompute_windows(st);
+        if (w2.feasible) {
+            st.windows = w2;
+            ++result.stats.finalize_rebinds;
+        } else {
+            st = std::move(snapshot);
+            ++result.stats.finalize_fallbacks;
+        }
+    }
+    for (node_id v : g.nodes()) {
+        if (st.committed[v.index()]) continue;
+        const int inst = st.dp.add_instance(st.assignment[v.index()]);
+        st.dp.bind(v, inst, st.windows.s_min[v.index()]);
+        st.committed[v.index()] = 1;
+    }
+
+    result.dp = std::move(st.dp);
+    result.stats.merges_before_lock =
+        result.stats.locked ? result.stats.merges_before_lock : result.stats.merges;
+    result.feasible = true;
+    return result;
+}
+
+} // namespace phls

@@ -1,0 +1,81 @@
+// Power-aware time-extended compatibility graph (the paper's V1).
+//
+// Following Jou/Kuang/Chen's integrated formulation, a synthesis decision
+// is either
+//   * pair    — two unbound operations share one *new* FU instance of a
+//               common module type, or
+//   * join    — an unbound operation joins an already allocated instance.
+//
+// Two operations are compatible w.r.t. a module type m when m implements
+// both kinds under the power cap AND their power-feasible windows (from
+// pasap/palap — this is the paper's enhancement of V1) admit sequential,
+// dependency-consistent, power-feasible execution.  Each candidate
+// carries concrete start times and the estimated area saving; the greedy
+// partitioner (clique.h) picks the best one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "library/cost_model.h"
+#include "power/tracker.h"
+#include "sched/mobility.h"
+#include "synth/datapath.h"
+
+namespace phls {
+
+/// One synthesis decision in the compatibility graph.
+struct merge_candidate {
+    enum class merge_type { pair, join };
+
+    merge_type type = merge_type::pair;
+    node_id a;          ///< first operation (always set)
+    node_id b;          ///< second operation (pair only)
+    int instance = -1;  ///< target instance (join only)
+    module_id module;   ///< module type the ops will execute on
+    double saving = 0.0; ///< estimated area saved by this decision
+    int t_a = -1;       ///< committed start time for a
+    int t_b = -1;       ///< committed start time for b (pair only)
+
+    /// Stable identity for blacklist bookkeeping.
+    std::string key() const;
+};
+
+/// State the enumeration works from (owned by the partitioner).
+struct compat_inputs {
+    const graph* g = nullptr;
+    const module_library* lib = nullptr;
+    const cost_model* costs = nullptr;
+    const reachability* reach = nullptr;
+    double max_power = unbounded_power;
+    const time_windows* windows = nullptr;   ///< current pasap/palap windows
+    const std::vector<int>* fixed = nullptr; ///< committed/locked start times (-1 = free)
+    const std::vector<char>* committed = nullptr; ///< per node: bound to an instance
+    const std::vector<fu_instance>* instances = nullptr;
+    const power_tracker* committed_power = nullptr; ///< reservations of committed ops
+    const module_assignment* assignment = nullptr;  ///< current per-node modules
+    bool locked = false; ///< all free ops pinned to their pasap times
+};
+
+/// Standalone area of one operation: the cheapest module for its kind
+/// that is power-feasible *and* slow enough to still fit the operation's
+/// window (latency <= prospect delay + mobility).  A critical
+/// multiplication cannot fall back to the serial multiplier, so its
+/// realistic standalone cost is the parallel one -- without this the
+/// greedy under-values sharing expensive fast units.
+double standalone_area(const compat_inputs& in, node_id v);
+
+/// Mux-penalty estimate for adding one more operation to an instance of
+/// module `m`: one extra source per data port.
+double mux_penalty(const fu_module& m, const cost_model& costs);
+
+/// Enumerates all currently valid decisions, each with concrete times and
+/// saving.  Deterministic order.
+std::vector<merge_candidate> enumerate_candidates(const compat_inputs& in);
+
+/// Picks the best candidate: max saving, then joins before pairs, then
+/// smaller operation ids.  Returns index into `candidates`, or -1 if empty.
+int best_candidate(const std::vector<merge_candidate>& candidates);
+
+} // namespace phls

@@ -1,0 +1,40 @@
+// Exact reference synthesiser (branch-and-bound).
+//
+// Enumerates module choice, start time and instance binding per operation
+// in topological order, pruning on a lower area bound, and returns a
+// provably minimal-area datapath under (T, Pmax) — for small graphs.
+// This gives the repository something the paper could not: a measured
+// optimality gap for the greedy clique partitioner (bench_exact_gap).
+//
+// Complexity is exponential; `node_limit` bounds the search, and
+// `solved == false` reports an exhausted budget (the incumbent, if any,
+// is still a valid design).
+#pragma once
+
+#include "synth/synthesizer.h"
+
+namespace phls {
+
+/// Search budget and scope limits.
+struct exact_options {
+    int max_operations = 24;      ///< refuse larger graphs outright
+    long node_limit = 5'000'000;  ///< search-tree nodes before giving up
+    cost_model costs;
+};
+
+/// Outcome of the exact search.
+struct exact_result {
+    bool solved = false;   ///< search completed (result is optimal)
+    bool feasible = false; ///< an incumbent design exists
+    std::string reason;
+    datapath dp;           ///< best design found
+    long explored = 0;     ///< search-tree nodes visited
+};
+
+/// Minimises total area (FU + interconnect, evaluated exactly at leaves;
+/// FU area is used as the admissible bound during search).
+exact_result exact_synthesize(const graph& g, const module_library& lib,
+                              const synthesis_constraints& constraints,
+                              const exact_options& options = {});
+
+} // namespace phls

@@ -1,0 +1,104 @@
+#include "synth/explore.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/errors.h"
+
+namespace phls {
+
+std::vector<sweep_point> sweep_power(const graph& g, const module_library& lib,
+                                     int latency, const std::vector<double>& caps,
+                                     const synthesis_options& options)
+{
+    std::vector<sweep_point> out;
+    out.reserve(caps.size());
+    for (double cap : caps) {
+        sweep_point pt;
+        pt.cap = cap;
+        pt.latency_bound = latency;
+        const synthesis_result r =
+            synthesize(g, lib, {latency, cap}, options);
+        pt.feasible = r.feasible;
+        pt.stats = r.stats;
+        if (r.feasible) {
+            pt.area = r.dp.area.total();
+            pt.peak = r.dp.peak_power(lib);
+            pt.latency = r.dp.latency(lib);
+        }
+        out.push_back(pt);
+    }
+    return out;
+}
+
+std::vector<double> default_power_grid(const graph& g, const module_library& lib,
+                                       int latency, int points,
+                                       const synthesis_options& options)
+{
+    check(points >= 2, "power grid needs at least two points");
+
+    // Lower edge: no operation can run below the min per-cycle power of
+    // its kind, so the sweep starts just under that necessary bound.
+    double low = 0.0;
+    for (node_id v : g.nodes()) {
+        const std::optional<double> p = lib.min_power_for(g.kind(v));
+        check(p.has_value(), "library does not cover the graph");
+        low = std::max(low, *p);
+    }
+
+    // Upper edge: the unconstrained design's peak; everything above it is
+    // a plateau.
+    const synthesis_result unconstrained =
+        synthesize(g, lib, {latency, unbounded_power}, options);
+    double high = unconstrained.feasible ? unconstrained.dp.peak_power(lib) : low * 4.0;
+    high = std::max(high, low + 1.0);
+
+    std::vector<double> caps;
+    caps.reserve(static_cast<std::size_t>(points));
+    const double start = std::max(0.5, low - 1.0);
+    const double stop = high * 1.15;
+    for (int i = 0; i < points; ++i)
+        caps.push_back(start + (stop - start) * i / (points - 1));
+    return caps;
+}
+
+std::vector<sweep_point> monotone_envelope(const std::vector<sweep_point>& points)
+{
+    std::vector<sweep_point> out = points;
+    for (sweep_point& p : out) {
+        for (const sweep_point& q : points) {
+            if (!q.feasible || q.peak > p.cap + 1e-9) continue;
+            if (!p.feasible || q.area < p.area ||
+                (q.area == p.area && q.peak < p.peak)) {
+                p.feasible = true;
+                p.area = q.area;
+                p.peak = q.peak;
+                p.latency = q.latency;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<sweep_point> pareto_front(const std::vector<sweep_point>& points)
+{
+    std::vector<sweep_point> feasible;
+    for (const sweep_point& p : points)
+        if (p.feasible) feasible.push_back(p);
+    std::sort(feasible.begin(), feasible.end(), [](const sweep_point& a, const sweep_point& b) {
+        if (a.peak != b.peak) return a.peak < b.peak;
+        return a.area < b.area;
+    });
+    std::vector<sweep_point> front;
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const sweep_point& p : feasible) {
+        if (p.area < best_area - 1e-12) {
+            front.push_back(p);
+            best_area = p.area;
+        }
+    }
+    return front;
+}
+
+} // namespace phls

@@ -1,0 +1,49 @@
+// Design-space exploration: the (T, Pmax) sweeps behind Figure 2 and the
+// DSE example, plus Pareto-front extraction.
+#pragma once
+
+#include <vector>
+
+#include "synth/synthesizer.h"
+
+namespace phls {
+
+/// One synthesis run inside a sweep.
+struct sweep_point {
+    double cap = 0.0;   ///< Pmax used
+    int latency_bound = 0;
+    bool feasible = false;
+    double area = 0.0;
+    double peak = 0.0;  ///< achieved peak power
+    int latency = 0;    ///< achieved latency
+    synthesis_stats stats;
+};
+
+/// Synthesises once per cap in `caps` at fixed latency bound.
+std::vector<sweep_point> sweep_power(const graph& g, const module_library& lib,
+                                     int latency, const std::vector<double>& caps,
+                                     const synthesis_options& options = {});
+
+/// A power grid for Figure-2-style curves: `points` values spanning from
+/// just below the infeasibility threshold to just above the design's
+/// unconstrained peak (so the sweep shows both the cliff and the plateau).
+std::vector<double> default_power_grid(const graph& g, const module_library& lib,
+                                       int latency, int points,
+                                       const synthesis_options& options = {});
+
+/// Monotone envelope of a cap-ascending sweep: every design whose
+/// *achieved* peak fits under a looser cap is also a valid solution
+/// there, so each point is replaced by the smallest-area such design.
+/// This reports "the best design found satisfying the constraint" and
+/// makes the area curve non-increasing in the cap; the raw per-cap
+/// greedy outcome stays available in the input (the greedy can genuinely
+/// produce *better* designs under a mild cap than under none, because
+/// power-feasible windows guide its decisions -- see EXPERIMENTS.md).
+std::vector<sweep_point> monotone_envelope(const std::vector<sweep_point>& points);
+
+/// Pareto-minimal subset of feasible points in the (peak, area) plane:
+/// keeps points where no other feasible point has both a lower-or-equal
+/// peak and a lower area.  Sorted by peak ascending.
+std::vector<sweep_point> pareto_front(const std::vector<sweep_point>& points);
+
+} // namespace phls

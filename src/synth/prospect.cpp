@@ -1,0 +1,39 @@
+#include "synth/prospect.h"
+
+#include "support/strings.h"
+
+namespace phls {
+
+std::string to_string(prospect_policy policy)
+{
+    switch (policy) {
+    case prospect_policy::fastest_fit: return "fastest_fit";
+    case prospect_policy::cheapest_fit: return "cheapest_fit";
+    }
+    return "?";
+}
+
+prospect_result make_prospect(const graph& g, const module_library& lib,
+                              prospect_policy policy, double max_power)
+{
+    prospect_result result;
+    lib.check_covers(g);
+    result.assignment.resize(static_cast<std::size_t>(g.node_count()));
+    for (node_id v : g.nodes()) {
+        const op_kind k = g.kind(v);
+        const std::optional<module_id> m = policy == prospect_policy::fastest_fit
+                                               ? lib.fastest_for(k, max_power)
+                                               : lib.cheapest_for(k, max_power);
+        if (!m) {
+            result.reason =
+                strf("no module for kind '%s' fits under power cap %.3f",
+                     std::string(op_kind_name(k)).c_str(), max_power);
+            return result;
+        }
+        result.assignment[v.index()] = *m;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace phls

@@ -1,0 +1,35 @@
+// Prospect module policy (DESIGN.md §5).
+//
+// Before any binding decision, pasap/palap need a delay/power estimate per
+// operation.  The prospect policy picks, per operation kind, a
+// *power-feasible* module: under a cap below the parallel multiplier's
+// 8.1 power units the policy automatically falls back to the serial
+// multiplier — the speed/power/area trade the paper highlights.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace phls {
+
+/// Which power-feasible module to assume for unbound operations.
+enum class prospect_policy {
+    fastest_fit,  ///< fastest module with power <= cap (default)
+    cheapest_fit, ///< cheapest-area module with power <= cap
+};
+
+std::string to_string(prospect_policy policy);
+
+/// Outcome of prospect selection.
+struct prospect_result {
+    bool ok = false;
+    std::string reason;
+    module_assignment assignment;
+};
+
+/// Builds the per-operation assignment under `policy` and cap `max_power`.
+prospect_result make_prospect(const graph& g, const module_library& lib,
+                              prospect_policy policy, double max_power);
+
+} // namespace phls

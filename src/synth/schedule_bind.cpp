@@ -1,0 +1,53 @@
+#include "synth/schedule_bind.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace phls {
+
+datapath bind_schedule(const std::string& name, const graph& g, const module_library& lib,
+                       const schedule& s, const cost_model& costs)
+{
+    check(s.complete(), "bind_schedule needs a complete schedule");
+    validate_schedule(g, lib, s);
+
+    datapath dp(name, g.node_count());
+
+    // Bind in start-time order (ties by id) so packing is deterministic.
+    std::vector<node_id> order = g.nodes();
+    std::sort(order.begin(), order.end(), [&](node_id a, node_id b) {
+        if (s.start(a) != s.start(b)) return s.start(a) < s.start(b);
+        return a < b;
+    });
+
+    // busy[i] = intervals already committed on instance i.
+    std::vector<std::vector<std::pair<int, int>>> busy;
+    for (node_id v : order) {
+        const module_id m = s.module_of(v);
+        const int t = s.start(v);
+        const int e = s.finish(v, lib);
+        int chosen = -1;
+        for (const fu_instance& inst : dp.instances) {
+            if (!(inst.module == m)) continue;
+            const auto& iv = busy[static_cast<std::size_t>(inst.index)];
+            const bool clash = std::any_of(iv.begin(), iv.end(), [&](const auto& b) {
+                return t < b.second && b.first < e;
+            });
+            if (!clash) {
+                chosen = inst.index;
+                break;
+            }
+        }
+        if (chosen < 0) {
+            chosen = dp.add_instance(m);
+            busy.emplace_back();
+        }
+        dp.bind(v, chosen, t);
+        busy[static_cast<std::size_t>(chosen)].emplace_back(t, e);
+    }
+    dp.compute_area(g, lib, costs);
+    return dp;
+}
+
+} // namespace phls

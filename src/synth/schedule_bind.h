@@ -1,0 +1,20 @@
+// Binding for an externally produced schedule.
+//
+// Given a complete schedule (e.g. from force-directed scheduling or a
+// locked pasap run), greedily packs operations onto FU instances of their
+// assigned module types: an operation joins the first instance whose
+// committed executions do not overlap, otherwise a new instance is
+// allocated.  This is the classic schedule-then-bind flow the paper's
+// integrated algorithm is compared against (E7).
+#pragma once
+
+#include "synth/datapath.h"
+
+namespace phls {
+
+/// Builds a datapath from `s` (must be complete); area is computed with
+/// `costs`.  Throws phls::error on an invalid schedule.
+datapath bind_schedule(const std::string& name, const graph& g, const module_library& lib,
+                       const schedule& s, const cost_model& costs);
+
+} // namespace phls

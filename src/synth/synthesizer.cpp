@@ -1,0 +1,56 @@
+#include "synth/synthesizer.h"
+
+#include "synth/clique.h"
+#include "synth/verify.h"
+
+namespace phls {
+
+namespace {
+
+synthesis_result synthesize_one(const graph& g, const module_library& lib,
+                                const synthesis_constraints& constraints,
+                                const synthesis_options& options)
+{
+    synthesis_result result = run_clique_partitioning(g, lib, constraints, options);
+    if (!result.feasible) return result;
+
+    result.dp.compute_area(g, lib, options.costs);
+    if (options.verify_result)
+        check_datapath(g, lib, result.dp, constraints, options.costs);
+    return result;
+}
+
+} // namespace
+
+synthesis_result synthesize(const graph& g, const module_library& lib,
+                            const synthesis_constraints& constraints,
+                            const synthesis_options& options)
+{
+    g.validate();
+    lib.check_covers(g);
+
+    if (!options.try_both_prospects) return synthesize_one(g, lib, constraints, options);
+
+    synthesis_options fast = options;
+    fast.try_both_prospects = false;
+    fast.policy = prospect_policy::fastest_fit;
+    synthesis_options cheap = fast;
+    cheap.policy = prospect_policy::cheapest_fit;
+
+    synthesis_result a = synthesize_one(g, lib, constraints, fast);
+    synthesis_result b = synthesize_one(g, lib, constraints, cheap);
+    if (!a.feasible && !b.feasible) {
+        a.reason = "fastest_fit: " + a.reason + "; cheapest_fit: " + b.reason;
+        return a;
+    }
+    if (!a.feasible) return b;
+    if (!b.feasible) return a;
+    const double area_a = a.dp.area.total();
+    const double area_b = b.dp.area.total();
+    if (area_b < area_a ||
+        (area_b == area_a && b.dp.peak_power(lib) < a.dp.peak_power(lib)))
+        return b;
+    return a;
+}
+
+} // namespace phls

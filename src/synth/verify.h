@@ -1,0 +1,26 @@
+// Independent result checker.
+//
+// Re-derives every constraint from scratch (no shared code with the
+// heuristics beyond the data structures) and reports all violations.
+// Tests, benches and synthesize() itself run it on every produced design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/synthesizer.h"
+
+namespace phls {
+
+/// Returns human-readable violations; empty means the datapath is a valid
+/// solution of (g, lib, constraints).
+std::vector<std::string> verify_datapath(const graph& g, const module_library& lib,
+                                         const datapath& dp,
+                                         const synthesis_constraints& constraints,
+                                         const cost_model& costs);
+
+/// Convenience: throws phls::error listing all violations if any.
+void check_datapath(const graph& g, const module_library& lib, const datapath& dp,
+                    const synthesis_constraints& constraints, const cost_model& costs);
+
+} // namespace phls

@@ -1,0 +1,101 @@
+// Tests for the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include "support/argparse.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+arg_parser make_parser()
+{
+    arg_parser p("tool");
+    p.add_option("--latency", "-T", "latency bound");
+    p.add_option("--points", "", "grid size", "20");
+    p.add_flag("--verify", "-v", "run checks");
+    return p;
+}
+
+TEST(argparse, parses_long_and_short_options)
+{
+    arg_parser p = make_parser();
+    ASSERT_TRUE(p.parse({"synth", "hal", "-T", "17", "--verify"}));
+    EXPECT_TRUE(p.has("--latency"));
+    EXPECT_EQ(p.get_int("--latency"), 17);
+    EXPECT_TRUE(p.has("--verify"));
+    ASSERT_EQ(p.positionals().size(), 2u);
+    EXPECT_EQ(p.positionals()[0], "synth");
+    EXPECT_EQ(p.positionals()[1], "hal");
+}
+
+TEST(argparse, equals_syntax)
+{
+    arg_parser p = make_parser();
+    ASSERT_TRUE(p.parse({"--latency=22"}));
+    EXPECT_EQ(p.get_int("--latency"), 22);
+}
+
+TEST(argparse, short_alias_resolves_to_the_same_option)
+{
+    arg_parser p = make_parser();
+    ASSERT_TRUE(p.parse({"-v"}));
+    EXPECT_TRUE(p.has("--verify"));
+    EXPECT_TRUE(p.has("-v"));
+}
+
+TEST(argparse, defaults_apply_when_absent)
+{
+    arg_parser p = make_parser();
+    ASSERT_TRUE(p.parse({}));
+    EXPECT_FALSE(p.has("--points"));
+    EXPECT_EQ(p.get_int("--points"), 20);
+    EXPECT_FALSE(p.has("--verify"));
+}
+
+TEST(argparse, unknown_option_is_an_error)
+{
+    arg_parser p = make_parser();
+    EXPECT_FALSE(p.parse({"--bogus"}));
+    EXPECT_NE(p.error().find("--bogus"), std::string::npos);
+}
+
+TEST(argparse, missing_value_is_an_error)
+{
+    arg_parser p = make_parser();
+    EXPECT_FALSE(p.parse({"--latency"}));
+    EXPECT_NE(p.error().find("needs a value"), std::string::npos);
+}
+
+TEST(argparse, flag_with_value_is_an_error)
+{
+    arg_parser p = make_parser();
+    EXPECT_FALSE(p.parse({"--verify=yes"}));
+}
+
+TEST(argparse, get_on_flag_or_unregistered_name_throws)
+{
+    arg_parser p = make_parser();
+    ASSERT_TRUE(p.parse({"-v"}));
+    EXPECT_THROW(p.get("--verify"), error);
+    EXPECT_THROW(p.get("--nope"), error);
+    EXPECT_THROW(p.has("--nope"), error);
+}
+
+TEST(argparse, non_numeric_value_throws_on_typed_get)
+{
+    arg_parser p = make_parser();
+    ASSERT_TRUE(p.parse({"--latency", "abc"}));
+    EXPECT_THROW(p.get_int("--latency"), error);
+}
+
+TEST(argparse, usage_lists_options_and_defaults)
+{
+    const arg_parser p = make_parser();
+    const std::string u = p.usage();
+    EXPECT_NE(u.find("--latency"), std::string::npos);
+    EXPECT_NE(u.find("-T"), std::string::npos);
+    EXPECT_NE(u.find("default: 20"), std::string::npos);
+}
+
+} // namespace
+} // namespace phls

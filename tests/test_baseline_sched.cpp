@@ -1,0 +1,146 @@
+// Tests for the baseline schedulers: resource-constrained list
+// scheduling and force-directed scheduling.
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.h"
+#include "cdfg/benchmarks.h"
+#include "cdfg/random_dag.h"
+#include "power/tracker.h"
+#include "sched/asap_alap.h"
+#include "sched/force_directed.h"
+#include "sched/list_sched.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+TEST(list_sched, minimal_allocation_has_one_instance_per_used_module)
+{
+    const graph g = make_hal();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    const allocation alloc = minimal_allocation(lib(), a);
+    ASSERT_EQ(alloc.size(), static_cast<std::size_t>(lib().size()));
+    EXPECT_EQ(alloc[lib().find("mult_par")->index()], 1);
+    EXPECT_EQ(alloc[lib().find("mult_ser")->index()], 0);
+    EXPECT_EQ(alloc[lib().find("input")->index()], 1);
+}
+
+TEST(list_sched, produces_valid_schedules_and_bindings)
+{
+    const graph g = make_hal();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    allocation alloc = minimal_allocation(lib(), a);
+    const list_sched_result r = list_schedule(g, lib(), a, alloc);
+    ASSERT_TRUE(r.feasible) << r.reason;
+    EXPECT_NO_THROW(validate_schedule(g, lib(), r.sched));
+    // Exclusive instances: no two ops on the same instance overlap.
+    for (node_id v : g.nodes())
+        for (node_id u : g.nodes()) {
+            if (v >= u || r.instance_of[v.index()] != r.instance_of[u.index()]) continue;
+            const bool overlap = r.sched.start(v) < r.sched.finish(u, lib()) &&
+                                 r.sched.start(u) < r.sched.finish(v, lib());
+            EXPECT_FALSE(overlap) << g.label(v) << " vs " << g.label(u);
+        }
+}
+
+TEST(list_sched, more_instances_never_hurt_latency)
+{
+    const graph g = make_cosine();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    allocation one = minimal_allocation(lib(), a);
+    allocation many = one;
+    for (int& c : many) c = c > 0 ? 4 : 0;
+    const list_sched_result r1 = list_schedule(g, lib(), a, one);
+    const list_sched_result r4 = list_schedule(g, lib(), a, many);
+    ASSERT_TRUE(r1.feasible && r4.feasible);
+    EXPECT_LE(r4.sched.latency(lib()), r1.sched.latency(lib()));
+}
+
+TEST(list_sched, missing_instances_are_reported)
+{
+    const graph g = make_hal();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    allocation alloc(static_cast<std::size_t>(lib().size()), 0);
+    const list_sched_result r = list_schedule(g, lib(), a, alloc);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(list_sched, serial_multiplier_latency_reflects_contention)
+{
+    // 6 mults on one serial multiplier: at least 24 cycles of mult time.
+    const graph g = make_hal();
+    const module_assignment a = cheapest_assignment(g, lib(), unbounded_power);
+    const list_sched_result r = list_schedule(g, lib(), a, minimal_allocation(lib(), a));
+    ASSERT_TRUE(r.feasible);
+    EXPECT_GE(r.sched.latency(lib()), 24);
+}
+
+TEST(fds, schedules_within_the_bound_and_validates)
+{
+    const graph g = make_hal();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    for (int T : {8, 10, 17}) {
+        const fds_result r = force_directed_schedule(g, lib(), a, T);
+        ASSERT_TRUE(r.feasible) << "T=" << T << ": " << r.reason;
+        EXPECT_NO_THROW(validate_schedule(g, lib(), r.sched, T));
+    }
+}
+
+TEST(fds, infeasible_below_the_critical_path)
+{
+    const graph g = make_hal();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    const fds_result r = force_directed_schedule(g, lib(), a, 7);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(fds, slack_reduces_peak_concurrency_vs_asap)
+{
+    // With slack, FDS spreads ops; its peak multiplier concurrency should
+    // not exceed ASAP's (that is its objective).
+    const graph g = make_cosine();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    const fds_result r = force_directed_schedule(g, lib(), a, 18);
+    ASSERT_TRUE(r.feasible);
+
+    const auto peak_mults = [&](const schedule& s) {
+        int peak = 0;
+        for (int c = 0; c < s.latency(lib()); ++c) {
+            int busy = 0;
+            for (node_id v : g.nodes())
+                if (g.kind(v) == op_kind::mult && s.start(v) <= c &&
+                    c < s.finish(v, lib()))
+                    ++busy;
+            peak = std::max(peak, busy);
+        }
+        return peak;
+    };
+    const schedule asap = asap_schedule(g, lib(), a);
+    EXPECT_LE(peak_mults(r.sched), peak_mults(asap));
+}
+
+TEST(fds, works_on_random_dags)
+{
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+        random_dag_params params;
+        params.operations = 16;
+        const graph g = random_dag(params, seed);
+        const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+        const int cp = critical_path_length(
+            g, [&](node_id v) { return lib().module(a[v.index()]).latency; });
+        const fds_result r = force_directed_schedule(g, lib(), a, cp + 4);
+        ASSERT_TRUE(r.feasible) << seed;
+        EXPECT_NO_THROW(validate_schedule(g, lib(), r.sched, cp + 4));
+    }
+}
+
+} // namespace
+} // namespace phls

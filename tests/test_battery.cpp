@@ -1,0 +1,180 @@
+// Tests for the battery substrate: ideal, Peukert and
+// Rakhmatov-Vrudhula models, load conversion, lifetime comparisons.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/lifetime.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+load_profile constant_load(double current, double dt = 1.0)
+{
+    return load_profile{{current}, dt, true};
+}
+
+TEST(load, validation_rejects_bad_profiles)
+{
+    EXPECT_THROW(check_load(load_profile{{}, 1.0, true}), error);
+    EXPECT_THROW(check_load(load_profile{{1.0}, 0.0, true}), error);
+    EXPECT_THROW(check_load(load_profile{{-0.1}, 1.0, true}), error);
+    EXPECT_NO_THROW(check_load(constant_load(1.0)));
+}
+
+TEST(ideal, constant_current_lifetime_is_capacity_over_current)
+{
+    const auto b = make_ideal_battery(100.0);
+    EXPECT_NEAR(b->lifetime(constant_load(2.0)).seconds, 50.0, 1e-9);
+    EXPECT_NEAR(b->lifetime(constant_load(4.0)).seconds, 25.0, 1e-9);
+}
+
+TEST(ideal, interpolates_inside_a_step)
+{
+    const auto b = make_ideal_battery(1.5);
+    // 1 A steps of 1 s: dies halfway through the second step.
+    EXPECT_NEAR(b->lifetime(constant_load(1.0)).seconds, 1.5, 1e-9);
+}
+
+TEST(ideal, non_periodic_load_ends_at_horizon)
+{
+    const auto b = make_ideal_battery(100.0);
+    load_profile load{{1.0, 1.0}, 1.0, false};
+    const lifetime_result r = b->lifetime(load);
+    EXPECT_FALSE(r.exhausted);
+    EXPECT_NEAR(r.seconds, 2.0, 1e-9);
+    EXPECT_NEAR(r.charge_delivered, 2.0, 1e-9);
+}
+
+TEST(ideal, profile_shape_is_irrelevant_at_equal_energy)
+{
+    const auto b = make_ideal_battery(100.0);
+    load_profile flat{{2.0, 2.0}, 1.0, true};
+    load_profile spiky{{4.0, 0.0}, 1.0, true};
+    EXPECT_NEAR(b->lifetime(flat).seconds, b->lifetime(spiky).seconds, 1.0);
+}
+
+TEST(ideal, invalid_capacity_throws)
+{
+    EXPECT_THROW(make_ideal_battery(0.0), error);
+    EXPECT_THROW(make_ideal_battery(-1.0), error);
+}
+
+TEST(peukert, constant_current_matches_the_classic_law)
+{
+    // t = C / I^k for constant current.
+    const double C = 100.0, k = 1.3;
+    const auto b = make_peukert_battery(C, k);
+    for (double i : {1.0, 2.0, 3.0})
+        EXPECT_NEAR(b->lifetime(constant_load(i)).seconds, C / std::pow(i, k), 1e-6);
+}
+
+TEST(peukert, exponent_one_reduces_to_ideal)
+{
+    const auto p = make_peukert_battery(50.0, 1.0);
+    const auto i = make_ideal_battery(50.0);
+    load_profile load{{1.0, 3.0, 0.5}, 1.0, true};
+    EXPECT_NEAR(p->lifetime(load).seconds, i->lifetime(load).seconds, 1e-9);
+}
+
+TEST(peukert, spiky_profile_dies_earlier_at_equal_energy)
+{
+    const auto b = make_peukert_battery(100.0, 1.25);
+    load_profile flat{{2.0, 2.0}, 1.0, true};
+    load_profile spiky{{4.0, 0.0}, 1.0, true};
+    EXPECT_GT(b->lifetime(flat).seconds, b->lifetime(spiky).seconds);
+}
+
+TEST(peukert, invalid_exponent_throws)
+{
+    EXPECT_THROW(make_peukert_battery(10.0, 0.9), error);
+}
+
+TEST(rakhmatov, large_beta_approaches_the_ideal_bucket)
+{
+    const auto r = make_rakhmatov_battery(60.0, 50.0);
+    const auto i = make_ideal_battery(60.0);
+    const load_profile load = constant_load(2.0, 0.1);
+    EXPECT_NEAR(r->lifetime(load).seconds, i->lifetime(load).seconds, 0.5);
+}
+
+TEST(rakhmatov, smaller_beta_means_shorter_life)
+{
+    const load_profile load = constant_load(2.0, 0.1);
+    double last = 1e18;
+    for (double beta : {2.0, 0.5, 0.2, 0.1}) {
+        const auto r = make_rakhmatov_battery(60.0, beta);
+        const double life = r->lifetime(load).seconds;
+        EXPECT_LT(life, last) << "beta " << beta;
+        last = life;
+    }
+}
+
+TEST(rakhmatov, recovery_rewards_idle_slack)
+{
+    // Same charge per period: 2 A continuous vs 4 A half the time.  The
+    // pulsed load lets the cell recover during idle steps, but pays a
+    // higher unavailable-charge penalty while drawing -- with period
+    // comparable to the diffusion time constant the spiky load dies
+    // first.
+    const auto r = make_rakhmatov_battery(100.0, 0.15);
+    load_profile flat{{2.0}, 1.0, true};
+    load_profile pulsed{{4.0, 0.0}, 1.0, true};
+    EXPECT_GT(r->lifetime(flat).seconds, r->lifetime(pulsed).seconds);
+}
+
+TEST(rakhmatov, charge_delivered_is_below_the_nominal_alpha)
+{
+    // The diffusion penalty strands charge: delivered < alpha.
+    const auto r = make_rakhmatov_battery(50.0, 0.2);
+    const lifetime_result res = r->lifetime(constant_load(2.0, 0.1));
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_LT(res.charge_delivered, 50.0);
+    EXPECT_GT(res.charge_delivered, 0.0);
+}
+
+TEST(rakhmatov, invalid_parameters_throw)
+{
+    EXPECT_THROW(make_rakhmatov_battery(0.0, 1.0), error);
+    EXPECT_THROW(make_rakhmatov_battery(1.0, 0.0), error);
+    EXPECT_THROW(make_rakhmatov_battery(1.0, 1.0, 0), error);
+}
+
+TEST(to_load, converts_power_to_current_and_appends_idle)
+{
+    power_profile p;
+    p.deposit(0, 1, 6.0);
+    p.deposit(1, 1, 3.0);
+    const load_profile load = to_load(p, 2.0, 0.5, 2);
+    ASSERT_EQ(load.current.size(), 4u);
+    EXPECT_DOUBLE_EQ(load.current[0], 3.0);
+    EXPECT_DOUBLE_EQ(load.current[1], 1.5);
+    EXPECT_DOUBLE_EQ(load.current[2], 0.0);
+    EXPECT_DOUBLE_EQ(load.current[3], 0.0);
+    EXPECT_DOUBLE_EQ(load.dt, 0.5);
+    EXPECT_TRUE(load.periodic);
+}
+
+TEST(to_load, rejects_bad_arguments)
+{
+    power_profile p;
+    p.deposit(0, 1, 1.0);
+    EXPECT_THROW(to_load(p, 0.0, 1.0), error);
+    EXPECT_THROW(to_load(p, 1.0, 0.0), error);
+    EXPECT_THROW(to_load(p, 1.0, 1.0, -1), error);
+    EXPECT_THROW(to_load(power_profile{}, 1.0, 1.0), error);
+}
+
+TEST(lifetime_gain, positive_when_candidate_outlives_baseline)
+{
+    const auto b = make_peukert_battery(100.0, 1.3);
+    load_profile flat{{2.0, 2.0}, 1.0, true};
+    load_profile spiky{{4.0, 0.0}, 1.0, true};
+    EXPECT_GT(lifetime_gain(*b, spiky, flat), 0.0);
+    EXPECT_LT(lifetime_gain(*b, flat, spiky), 0.0);
+    EXPECT_NEAR(lifetime_gain(*b, flat, flat), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace phls

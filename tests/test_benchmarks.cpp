@@ -1,0 +1,208 @@
+// Tests pinning down the reconstructed benchmark CDFGs: operation
+// counts, interface widths, and the critical-path table from DESIGN.md
+// that makes the paper's latency constraints meaningful.
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.h"
+#include "cdfg/benchmarks.h"
+#include "cdfg/random_dag.h"
+#include "cdfg/textio.h"
+#include "library/library.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+int histogram_value(const graph& g, op_kind k)
+{
+    const auto h = op_histogram(g);
+    const auto it = h.find(k);
+    return it == h.end() ? 0 : it->second;
+}
+
+// Critical path under Table 1 delays with the given multiplier choice.
+int cp_with_mult(const graph& g, int mult_delay)
+{
+    return critical_path_length(g, [&](node_id v) {
+        switch (g.kind(v)) {
+        case op_kind::mult: return mult_delay;
+        default: return 1;
+        }
+    });
+}
+
+TEST(benchmarks, all_registered_benchmarks_validate)
+{
+    for (const std::string& name : benchmark_names()) {
+        const graph g = benchmark_by_name(name);
+        EXPECT_NO_THROW(g.validate()) << name;
+        EXPECT_EQ(g.name(), name);
+    }
+    EXPECT_THROW(benchmark_by_name("nonesuch"), error);
+}
+
+TEST(benchmarks, paper_benchmarks_subset)
+{
+    const auto names = paper_benchmark_names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "hal");
+    EXPECT_EQ(names[1], "cosine");
+    EXPECT_EQ(names[2], "elliptic");
+}
+
+TEST(benchmarks, hal_matches_the_classic_diffeq_structure)
+{
+    const graph g = make_hal();
+    EXPECT_EQ(histogram_value(g, op_kind::mult), 6);
+    EXPECT_EQ(histogram_value(g, op_kind::add), 2);
+    EXPECT_EQ(histogram_value(g, op_kind::sub), 2);
+    EXPECT_EQ(histogram_value(g, op_kind::comp), 1);
+    EXPECT_EQ(histogram_value(g, op_kind::input), 5);
+    EXPECT_EQ(histogram_value(g, op_kind::output), 4);
+    EXPECT_EQ(g.node_count(), 20);
+}
+
+TEST(benchmarks, cosine_is_a_loeffler_style_dct)
+{
+    const graph g = make_cosine();
+    EXPECT_EQ(histogram_value(g, op_kind::mult), 13);
+    EXPECT_EQ(histogram_value(g, op_kind::add) + histogram_value(g, op_kind::sub), 31);
+    EXPECT_EQ(histogram_value(g, op_kind::input), 8);
+    EXPECT_EQ(histogram_value(g, op_kind::output), 8);
+}
+
+TEST(benchmarks, elliptic_has_the_classic_26_adds_8_mults)
+{
+    const graph g = make_elliptic();
+    EXPECT_EQ(histogram_value(g, op_kind::add), 26);
+    EXPECT_EQ(histogram_value(g, op_kind::mult), 8);
+    EXPECT_EQ(histogram_value(g, op_kind::sub), 0);
+    EXPECT_EQ(histogram_value(g, op_kind::input), 8);
+    EXPECT_EQ(histogram_value(g, op_kind::output), 8);
+    EXPECT_EQ(g.node_count(), 50);
+}
+
+// The DESIGN.md critical-path table: the paper's T values are exactly
+// achievable, and the tightest one per benchmark forces parallel
+// multipliers on the critical path.
+TEST(benchmarks, hal_critical_paths_bracket_the_paper_constraints)
+{
+    const graph g = make_hal();
+    EXPECT_EQ(cp_with_mult(g, 2), 8);  // all-parallel  <= T=10
+    EXPECT_EQ(cp_with_mult(g, 4), 12); // all-serial    <= T=17, > T=10
+}
+
+TEST(benchmarks, cosine_critical_paths_bracket_the_paper_constraints)
+{
+    const graph g = make_cosine();
+    EXPECT_EQ(cp_with_mult(g, 2), 11); // <= T=12 (parallel fits with 1 slack)
+    EXPECT_EQ(cp_with_mult(g, 4), 15); // == T=15 exactly, > T=12
+}
+
+TEST(benchmarks, elliptic_critical_paths_bracket_the_paper_constraints)
+{
+    const graph g = make_elliptic();
+    EXPECT_EQ(cp_with_mult(g, 2), 16);
+    EXPECT_EQ(cp_with_mult(g, 4), 22); // == T=22 exactly
+}
+
+TEST(benchmarks, fir16_structure)
+{
+    const graph g = make_fir16();
+    EXPECT_EQ(histogram_value(g, op_kind::mult), 16);
+    EXPECT_EQ(histogram_value(g, op_kind::add), 15);
+    EXPECT_EQ(histogram_value(g, op_kind::input), 16);
+    EXPECT_EQ(histogram_value(g, op_kind::output), 1);
+    // Balanced tree: depth log2(16)=4 adds + mult + io.
+    EXPECT_EQ(cp_with_mult(g, 2), 1 + 2 + 4 + 1);
+}
+
+TEST(benchmarks, ar_lattice_structure)
+{
+    const graph g = make_ar_lattice();
+    EXPECT_EQ(histogram_value(g, op_kind::mult), 16);
+    EXPECT_EQ(histogram_value(g, op_kind::add), 12);
+}
+
+TEST(benchmarks, iir_biquad_structure)
+{
+    const graph g = make_iir_biquad();
+    EXPECT_EQ(histogram_value(g, op_kind::mult), 10);
+    EXPECT_EQ(histogram_value(g, op_kind::add), 8);
+    EXPECT_EQ(histogram_value(g, op_kind::input), 5);
+    EXPECT_EQ(histogram_value(g, op_kind::output), 5);
+}
+
+TEST(benchmarks, fft8_structure)
+{
+    const graph g = make_fft8();
+    EXPECT_EQ(histogram_value(g, op_kind::mult), 12); // one twiddle per butterfly
+    EXPECT_EQ(histogram_value(g, op_kind::add), 12);
+    EXPECT_EQ(histogram_value(g, op_kind::sub), 12);
+    EXPECT_EQ(histogram_value(g, op_kind::input), 8);
+    EXPECT_EQ(histogram_value(g, op_kind::output), 8);
+    // 3 butterfly stages of (mult then add/sub) plus io.
+    EXPECT_EQ(cp_with_mult(g, 2), 1 + 3 * 3 + 1);
+    EXPECT_EQ(cp_with_mult(g, 4), 1 + 3 * 5 + 1);
+}
+
+TEST(benchmarks, table1_covers_every_benchmark)
+{
+    const module_library lib = table1_library();
+    for (const std::string& name : benchmark_names())
+        EXPECT_NO_THROW(lib.check_covers(benchmark_by_name(name))) << name;
+}
+
+class random_dag_suite : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(random_dag_suite, generated_graphs_are_valid_and_deterministic)
+{
+    random_dag_params params;
+    params.operations = 30;
+    params.inputs = 5;
+    const graph g = random_dag(params, GetParam());
+    EXPECT_NO_THROW(g.validate());
+    const graph g2 = random_dag(params, GetParam());
+    EXPECT_EQ(write_cdfg_string(g), write_cdfg_string(g2));
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, random_dag_suite,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(random_dag_params, operation_count_is_respected)
+{
+    for (int ops : {1, 5, 17, 64}) {
+        random_dag_params params;
+        params.operations = ops;
+        const graph g = random_dag(params, 3);
+        int arith = 0;
+        for (node_id v : g.nodes())
+            if (!is_io(g.kind(v))) ++arith;
+        EXPECT_GE(arith, ops); // padding ops may be added for unused inputs
+    }
+}
+
+TEST(random_dag_params, invalid_parameters_throw)
+{
+    random_dag_params params;
+    params.operations = 0;
+    EXPECT_THROW(random_dag(params, 1), error);
+    params.operations = 5;
+    params.inputs = 0;
+    EXPECT_THROW(random_dag(params, 1), error);
+}
+
+TEST(random_dag_params, mult_fraction_shifts_the_mix)
+{
+    random_dag_params heavy;
+    heavy.operations = 200;
+    heavy.mult_fraction = 0.9;
+    random_dag_params light = heavy;
+    light.mult_fraction = 0.05;
+    const graph gh = random_dag(heavy, 9);
+    const graph gl = random_dag(light, 9);
+    EXPECT_GT(gh.count_of_kind(op_kind::mult), gl.count_of_kind(op_kind::mult));
+}
+
+} // namespace
+} // namespace phls

@@ -1,0 +1,224 @@
+// Tests for the power-aware time-extended compatibility graph (V1):
+// candidate enumeration, saving estimates, dependency ordering, power
+// filtering and the best-candidate selection rule.
+#include <gtest/gtest.h>
+
+#include "cdfg/benchmarks.h"
+#include "cdfg/builder.h"
+#include "sched/mobility.h"
+#include "synth/compat.h"
+#include "synth/prospect.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+// Owns all the state compat_inputs points to.
+struct harness {
+    graph g;
+    module_assignment assignment;
+    cost_model costs;
+    reachability reach;
+    time_windows windows;
+    std::vector<int> fixed;
+    std::vector<char> committed;
+    std::vector<fu_instance> instances;
+    power_tracker committed_power;
+    double cap;
+
+    harness(graph graph_in, double cap_in, int latency)
+        : g(std::move(graph_in)), reach(g), committed_power(cap_in), cap(cap_in)
+    {
+        const prospect_result p =
+            make_prospect(g, lib(), prospect_policy::fastest_fit, cap);
+        assignment = p.assignment;
+        windows = power_windows(g, lib(), assignment, cap, latency);
+        fixed.assign(static_cast<std::size_t>(g.node_count()), -1);
+        committed.assign(static_cast<std::size_t>(g.node_count()), 0);
+    }
+
+    compat_inputs inputs()
+    {
+        compat_inputs in;
+        in.g = &g;
+        in.lib = &lib();
+        in.costs = &costs;
+        in.reach = &reach;
+        in.max_power = cap;
+        in.windows = &windows;
+        in.fixed = &fixed;
+        in.committed = &committed;
+        in.instances = &instances;
+        in.committed_power = &committed_power;
+        in.assignment = &assignment;
+        return in;
+    }
+};
+
+TEST(compat, mux_penalty_by_port_count)
+{
+    cost_model cm;
+    EXPECT_DOUBLE_EQ(mux_penalty(lib().module(*lib().find("ALU")), cm),
+                     2 * cm.mux_area_per_extra_input);
+    EXPECT_DOUBLE_EQ(mux_penalty(lib().module(*lib().find("output")), cm),
+                     cm.mux_area_per_extra_input);
+    EXPECT_DOUBLE_EQ(mux_penalty(lib().module(*lib().find("input")), cm), 0.0);
+    cm.include_interconnect = false;
+    EXPECT_DOUBLE_EQ(mux_penalty(lib().module(*lib().find("ALU")), cm), 0.0);
+}
+
+TEST(compat, standalone_area_accounts_for_time_feasibility)
+{
+    // hal at T=8 (the exact all-parallel critical path): critical
+    // multiplies have zero mobility, so the 4-cycle serial multiplier
+    // cannot stand in and the realistic standalone cost is the parallel
+    // multiplier's area.
+    harness h(make_hal(), unbounded_power, 8);
+    ASSERT_TRUE(h.windows.feasible);
+    const compat_inputs in = h.inputs();
+    const node_id m2 = *h.g.find("m2"); // on the critical chain
+    EXPECT_DOUBLE_EQ(standalone_area(in, m2), 339.0);
+
+    // At T=17 every multiply has enough slack: serial qualifies.
+    harness loose(make_hal(), unbounded_power, 17);
+    const compat_inputs in2 = loose.inputs();
+    EXPECT_DOUBLE_EQ(standalone_area(in2, *loose.g.find("m2")), 103.0);
+}
+
+TEST(compat, enumerates_pairs_with_common_modules_only)
+{
+    harness h(make_hal(), unbounded_power, 17);
+    ASSERT_TRUE(h.windows.feasible);
+    const std::vector<merge_candidate> cands = enumerate_candidates(h.inputs());
+    EXPECT_FALSE(cands.empty());
+    for (const merge_candidate& c : cands) {
+        ASSERT_EQ(c.type, merge_candidate::merge_type::pair); // no instances yet
+        const fu_module& m = lib().module(c.module);
+        EXPECT_TRUE(m.supports(h.g.kind(c.a)));
+        EXPECT_TRUE(m.supports(h.g.kind(c.b)));
+        EXPECT_LE(m.power, unbounded_power);
+        // Committed times are sequential on the shared unit.
+        EXPECT_GE(c.t_b, c.t_a + m.latency);
+    }
+}
+
+TEST(compat, respects_dependency_order_in_pair_times)
+{
+    harness h(make_hal(), unbounded_power, 17);
+    const std::vector<merge_candidate> cands = enumerate_candidates(h.inputs());
+    const reachability& reach = h.reach;
+    for (const merge_candidate& c : cands) {
+        if (reach.reaches(c.b, c.a))
+            FAIL() << "pair ordered against a dependency: " << c.key();
+    }
+}
+
+TEST(compat, power_cap_excludes_parallel_multiplier_pairs)
+{
+    harness h(make_hal(), 6.0, 20); // cap below 8.1
+    ASSERT_TRUE(h.windows.feasible) << h.windows.reason;
+    for (const merge_candidate& c : enumerate_candidates(h.inputs()))
+        EXPECT_NE(lib().module(c.module).name, "mult_par") << c.key();
+}
+
+TEST(compat, add_pairs_prefer_the_adder_over_the_alu)
+{
+    // Two independent adds: sharing one adder saves 87 - mux; sharing an
+    // ALU saves 87+87-97-mux.  Both appear; adder saving is higher.
+    graph_builder b("adds");
+    const node_id x = b.input("x");
+    const node_id y = b.input("y");
+    b.output("o1", b.add("a1", x, y));
+    b.output("o2", b.add("a2", x, y));
+    harness h(b.build(), unbounded_power, 8);
+    double adder_saving = -1, alu_saving = -1;
+    for (const merge_candidate& c : enumerate_candidates(h.inputs())) {
+        if (h.g.kind(c.a) != op_kind::add || h.g.kind(c.b) != op_kind::add) continue;
+        if (lib().module(c.module).name == "add") adder_saving = c.saving;
+        if (lib().module(c.module).name == "ALU") alu_saving = c.saving;
+    }
+    ASSERT_GT(adder_saving, 0.0);
+    ASSERT_GT(alu_saving, 0.0);
+    EXPECT_GT(adder_saving, alu_saving);
+    EXPECT_DOUBLE_EQ(adder_saving, 87.0 - 2 * cost_model{}.mux_area_per_extra_input);
+}
+
+TEST(compat, join_candidates_target_existing_instances)
+{
+    harness h(make_hal(), unbounded_power, 17);
+    // Commit m1 and m3 on a shared serial multiplier by hand.
+    fu_instance inst;
+    inst.index = 0;
+    inst.module = *lib().find("mult_ser");
+    const node_id m1 = *h.g.find("m1");
+    const node_id m3 = *h.g.find("m3");
+    inst.ops = {m1, m3};
+    h.instances.push_back(inst);
+    h.fixed[m1.index()] = 1;
+    h.fixed[m3.index()] = 5;
+    h.committed[m1.index()] = 1;
+    h.committed[m3.index()] = 1;
+    h.committed_power.reserve(1, 4, 2.7);
+    h.committed_power.reserve(5, 4, 2.7);
+    h.assignment[m1.index()] = inst.module;
+    h.assignment[m3.index()] = inst.module;
+    // Refresh windows around the commitments.
+    pasap_options opts;
+    opts.fixed_starts = h.fixed;
+    h.windows = power_windows(h.g, lib(), h.assignment, h.cap, 17, opts);
+    ASSERT_TRUE(h.windows.feasible) << h.windows.reason;
+
+    bool saw_join = false;
+    for (const merge_candidate& c : enumerate_candidates(h.inputs())) {
+        if (c.type != merge_candidate::merge_type::join) continue;
+        saw_join = true;
+        EXPECT_EQ(c.instance, 0);
+        EXPECT_EQ(h.g.kind(c.a), op_kind::mult);
+        // The slot avoids the committed executions [1,5) and [5,9).
+        EXPECT_TRUE(c.t_a + 4 <= 1 || c.t_a >= 9) << c.t_a;
+    }
+    EXPECT_TRUE(saw_join);
+}
+
+TEST(compat, best_candidate_prefers_saving_then_joins)
+{
+    std::vector<merge_candidate> cands(3);
+    cands[0].type = merge_candidate::merge_type::pair;
+    cands[0].a = node_id(1);
+    cands[0].saving = 50;
+    cands[1].type = merge_candidate::merge_type::join;
+    cands[1].a = node_id(2);
+    cands[1].saving = 80;
+    cands[2].type = merge_candidate::merge_type::pair;
+    cands[2].a = node_id(0);
+    cands[2].saving = 80;
+    EXPECT_EQ(best_candidate(cands), 1); // highest saving, join wins ties
+    EXPECT_EQ(best_candidate({}), -1);
+}
+
+TEST(compat, candidate_keys_are_stable_identities)
+{
+    merge_candidate a;
+    a.type = merge_candidate::merge_type::pair;
+    a.a = node_id(1);
+    a.b = node_id(2);
+    a.module = module_id(4);
+    merge_candidate b = a;
+    EXPECT_EQ(a.key(), b.key());
+    b.module = module_id(5);
+    EXPECT_NE(a.key(), b.key());
+    merge_candidate j;
+    j.type = merge_candidate::merge_type::join;
+    j.a = node_id(1);
+    j.instance = 0;
+    j.module = module_id(4);
+    EXPECT_NE(j.key(), a.key());
+}
+
+} // namespace
+} // namespace phls

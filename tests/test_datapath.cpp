@@ -1,0 +1,109 @@
+// Unit tests for the datapath container and the prospect policy.
+#include <gtest/gtest.h>
+
+#include "cdfg/benchmarks.h"
+#include "power/tracker.h"
+#include "support/errors.h"
+#include "synth/datapath.h"
+#include "synth/prospect.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+TEST(datapath, bind_records_instance_schedule_and_module)
+{
+    datapath dp("d", 3);
+    const int u0 = dp.add_instance(*lib().find("ALU"));
+    const int u1 = dp.add_instance(*lib().find("mult_ser"));
+    EXPECT_EQ(u0, 0);
+    EXPECT_EQ(u1, 1);
+    dp.bind(node_id(0), u0, 2);
+    dp.bind(node_id(1), u1, 0);
+    EXPECT_EQ(dp.instance_of[0], u0);
+    EXPECT_EQ(dp.sched.start(node_id(0)), 2);
+    EXPECT_EQ(lib().module(dp.sched.module_of(node_id(1))).name, "mult_ser");
+    ASSERT_EQ(dp.instances[0].ops.size(), 1u);
+    EXPECT_EQ(dp.instances[0].ops[0], node_id(0));
+}
+
+TEST(datapath, double_bind_and_bad_instance_throw)
+{
+    datapath dp("d", 2);
+    const int u0 = dp.add_instance(*lib().find("add"));
+    dp.bind(node_id(0), u0, 0);
+    EXPECT_THROW(dp.bind(node_id(0), u0, 1), error);
+    EXPECT_THROW(dp.bind(node_id(1), 7, 0), error);
+}
+
+TEST(datapath, instance_modules_align_with_indices)
+{
+    datapath dp("d", 1);
+    dp.add_instance(*lib().find("add"));
+    dp.add_instance(*lib().find("output"));
+    const std::vector<module_id> mods = dp.instance_modules();
+    ASSERT_EQ(mods.size(), 2u);
+    EXPECT_EQ(lib().module(mods[0]).name, "add");
+    EXPECT_EQ(lib().module(mods[1]).name, "output");
+}
+
+TEST(datapath, peak_power_and_latency_derive_from_the_schedule)
+{
+    datapath dp("d", 2);
+    const int u0 = dp.add_instance(*lib().find("mult_par"));
+    const int u1 = dp.add_instance(*lib().find("mult_par"));
+    dp.bind(node_id(0), u0, 0);
+    dp.bind(node_id(1), u1, 1); // overlap in cycle 1
+    EXPECT_DOUBLE_EQ(dp.peak_power(lib()), 16.2);
+    EXPECT_EQ(dp.latency(lib()), 3);
+}
+
+TEST(prospect, fastest_fit_tracks_the_cap)
+{
+    const graph g = make_hal();
+    const prospect_result hi =
+        make_prospect(g, lib(), prospect_policy::fastest_fit, unbounded_power);
+    ASSERT_TRUE(hi.ok);
+    const prospect_result lo = make_prospect(g, lib(), prospect_policy::fastest_fit, 5.0);
+    ASSERT_TRUE(lo.ok);
+    for (node_id v : g.nodes()) {
+        if (g.kind(v) != op_kind::mult) continue;
+        EXPECT_EQ(lib().module(hi.assignment[v.index()]).name, "mult_par");
+        EXPECT_EQ(lib().module(lo.assignment[v.index()]).name, "mult_ser");
+    }
+}
+
+TEST(prospect, cheapest_fit_minimises_area_per_kind)
+{
+    const graph g = make_hal();
+    const prospect_result r =
+        make_prospect(g, lib(), prospect_policy::cheapest_fit, unbounded_power);
+    ASSERT_TRUE(r.ok);
+    for (node_id v : g.nodes()) {
+        if (g.kind(v) == op_kind::comp) {
+            EXPECT_EQ(lib().module(r.assignment[v.index()]).name, "comp");
+        }
+    }
+}
+
+TEST(prospect, reports_kinds_that_cannot_fit)
+{
+    const graph g = make_hal();
+    const prospect_result r = make_prospect(g, lib(), prospect_policy::fastest_fit, 1.0);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("mult"), std::string::npos);
+}
+
+TEST(prospect, policy_names)
+{
+    EXPECT_EQ(to_string(prospect_policy::fastest_fit), "fastest_fit");
+    EXPECT_EQ(to_string(prospect_policy::cheapest_fit), "cheapest_fit");
+}
+
+} // namespace
+} // namespace phls

@@ -1,0 +1,130 @@
+// Tests for design-space exploration: sweeps, grids, the monotone
+// envelope, and Pareto-front extraction.
+#include <gtest/gtest.h>
+
+#include "cdfg/benchmarks.h"
+#include "support/errors.h"
+#include "synth/explore.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+TEST(explore, sweep_reports_one_point_per_cap)
+{
+    const graph g = make_hal();
+    const std::vector<double> caps = {2.0, 6.0, 9.0, 15.0};
+    const std::vector<sweep_point> pts = sweep_power(g, lib(), 17, caps);
+    ASSERT_EQ(pts.size(), caps.size());
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+        EXPECT_DOUBLE_EQ(pts[i].cap, caps[i]);
+        EXPECT_EQ(pts[i].latency_bound, 17);
+        if (pts[i].feasible) {
+            EXPECT_LE(pts[i].peak, caps[i] + 1e-9);
+            EXPECT_GT(pts[i].area, 0.0);
+        }
+    }
+    EXPECT_FALSE(pts[0].feasible); // 2.0 is below the mult minimum
+}
+
+TEST(explore, default_grid_spans_the_cliff_and_the_plateau)
+{
+    const graph g = make_hal();
+    const std::vector<double> caps = default_power_grid(g, lib(), 17, 12);
+    ASSERT_EQ(caps.size(), 12u);
+    for (std::size_t i = 1; i < caps.size(); ++i) EXPECT_GT(caps[i], caps[i - 1]);
+    const std::vector<sweep_point> pts = sweep_power(g, lib(), 17, caps);
+    EXPECT_FALSE(pts.front().feasible); // starts below feasibility
+    EXPECT_TRUE(pts.back().feasible);   // ends above the unconstrained peak
+}
+
+TEST(explore, default_grid_requires_two_points)
+{
+    EXPECT_THROW(default_power_grid(make_hal(), lib(), 17, 1), error);
+}
+
+TEST(explore, envelope_is_monotone_and_dominates_raw)
+{
+    const graph g = make_cosine();
+    const std::vector<sweep_point> raw =
+        sweep_power(g, lib(), 12, default_power_grid(g, lib(), 12, 12));
+    const std::vector<sweep_point> env = monotone_envelope(raw);
+    ASSERT_EQ(env.size(), raw.size());
+    double last_area = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < env.size(); ++i) {
+        if (raw[i].feasible) {
+            ASSERT_TRUE(env[i].feasible);
+            EXPECT_LE(env[i].area, raw[i].area + 1e-9);
+            EXPECT_LE(env[i].peak, env[i].cap + 1e-9);
+        }
+        if (env[i].feasible) {
+            EXPECT_LE(env[i].area, last_area + 1e-9);
+            last_area = env[i].area;
+        }
+    }
+}
+
+TEST(explore, envelope_fills_gaps_with_tighter_designs)
+{
+    // A feasible design at cap 10 is also the answer for cap 12 if the
+    // raw greedy failed there.
+    std::vector<sweep_point> pts(2);
+    pts[0].cap = 10;
+    pts[0].feasible = true;
+    pts[0].area = 500;
+    pts[0].peak = 9.5;
+    pts[1].cap = 12;
+    pts[1].feasible = false;
+    const std::vector<sweep_point> env = monotone_envelope(pts);
+    EXPECT_TRUE(env[1].feasible);
+    EXPECT_DOUBLE_EQ(env[1].area, 500);
+    EXPECT_DOUBLE_EQ(env[1].peak, 9.5);
+}
+
+TEST(explore, envelope_ignores_designs_that_overshoot_the_cap)
+{
+    std::vector<sweep_point> pts(2);
+    pts[0].cap = 20;
+    pts[0].feasible = true;
+    pts[0].area = 400;
+    pts[0].peak = 18.0;
+    pts[1].cap = 10; // the 18-peak design does not qualify here
+    pts[1].feasible = false;
+    const std::vector<sweep_point> env = monotone_envelope(pts);
+    EXPECT_FALSE(env[1].feasible);
+}
+
+TEST(explore, pareto_front_is_strictly_improving)
+{
+    const graph g = make_hal();
+    const std::vector<sweep_point> pts =
+        sweep_power(g, lib(), 17, default_power_grid(g, lib(), 17, 16));
+    const std::vector<sweep_point> front = pareto_front(pts);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_GT(front[i].peak, front[i - 1].peak);
+        EXPECT_LT(front[i].area, front[i - 1].area);
+    }
+    // Every front point must be feasible and undominated by any other point.
+    for (const sweep_point& f : front) {
+        EXPECT_TRUE(f.feasible);
+        for (const sweep_point& p : pts) {
+            if (!p.feasible) continue;
+            EXPECT_FALSE(p.peak <= f.peak && p.area < f.area - 1e-9);
+        }
+    }
+}
+
+TEST(explore, pareto_front_of_infeasible_sweep_is_empty)
+{
+    std::vector<sweep_point> pts(3);
+    EXPECT_TRUE(pareto_front(pts).empty());
+}
+
+} // namespace
+} // namespace phls

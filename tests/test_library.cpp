@@ -1,0 +1,198 @@
+// Tests for the FU library substrate: module validation, Table 1
+// contents (pinned against the paper), selection queries, text format.
+#include <gtest/gtest.h>
+
+#include "cdfg/benchmarks.h"
+#include "library/cost_model.h"
+#include "library/library.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+TEST(fu_module, make_module_populates_and_validates)
+{
+    const fu_module m = make_module("alu", {op_kind::add, op_kind::sub}, 97, 1, 2.5);
+    EXPECT_TRUE(m.supports(op_kind::add));
+    EXPECT_TRUE(m.supports(op_kind::sub));
+    EXPECT_FALSE(m.supports(op_kind::mult));
+    EXPECT_DOUBLE_EQ(m.energy(), 2.5);
+    EXPECT_EQ(m.ops_string(), "{+,-}");
+}
+
+TEST(fu_module, validation_rejects_nonsense)
+{
+    EXPECT_THROW(make_module("", {op_kind::add}, 1, 1, 1), error);
+    EXPECT_THROW(make_module("m", {}, 1, 1, 1), error);
+    EXPECT_THROW(make_module("m", {op_kind::add}, -1, 1, 1), error);
+    EXPECT_THROW(make_module("m", {op_kind::add}, 1, 0, 1), error);
+    EXPECT_THROW(make_module("m", {op_kind::add}, 1, 1, -0.5), error);
+    // io kinds cannot mix with arithmetic or each other
+    EXPECT_THROW(make_module("m", {op_kind::input, op_kind::add}, 1, 1, 1), error);
+    EXPECT_THROW(make_module("m", {op_kind::input, op_kind::output}, 1, 1, 1), error);
+}
+
+TEST(fu_module, energy_is_latency_times_power)
+{
+    const fu_module ser = make_module("ms", {op_kind::mult}, 103, 4, 2.7);
+    const fu_module par = make_module("mp", {op_kind::mult}, 339, 2, 8.1);
+    EXPECT_DOUBLE_EQ(ser.energy(), 10.8);
+    EXPECT_DOUBLE_EQ(par.energy(), 16.2);
+    EXPECT_LT(ser.energy(), par.energy()); // the paper's trade
+}
+
+TEST(table1, matches_the_paper_exactly)
+{
+    const module_library lib = table1_library();
+    ASSERT_EQ(lib.size(), 8);
+    const auto row = [&](const char* name, double area, int cycles, double power) {
+        const auto id = lib.find(name);
+        ASSERT_TRUE(id.has_value()) << name;
+        const fu_module& m = lib.module(*id);
+        EXPECT_DOUBLE_EQ(m.area, area) << name;
+        EXPECT_EQ(m.latency, cycles) << name;
+        EXPECT_DOUBLE_EQ(m.power, power) << name;
+    };
+    row("add", 87, 1, 2.5);
+    row("sub", 87, 1, 2.5);
+    row("comp", 8, 1, 2.5);
+    row("ALU", 97, 1, 2.5);
+    row("mult_ser", 103, 4, 2.7);
+    row("mult_par", 339, 2, 8.1);
+    row("input", 16, 1, 0.2);
+    row("output", 16, 1, 1.7);
+}
+
+TEST(table1, alu_implements_the_three_kinds)
+{
+    const module_library lib = table1_library();
+    const fu_module& alu = lib.module(*lib.find("ALU"));
+    EXPECT_TRUE(alu.supports(op_kind::add));
+    EXPECT_TRUE(alu.supports(op_kind::sub));
+    EXPECT_TRUE(alu.supports(op_kind::comp));
+    EXPECT_FALSE(alu.supports(op_kind::mult));
+}
+
+TEST(library, duplicate_names_rejected)
+{
+    module_library lib("l");
+    lib.add(make_module("a", {op_kind::add}, 1, 1, 1));
+    EXPECT_THROW(lib.add(make_module("a", {op_kind::sub}, 1, 1, 1)), error);
+}
+
+TEST(library, candidates_in_library_order)
+{
+    const module_library lib = table1_library();
+    const std::vector<module_id> mults = lib.candidates_for(op_kind::mult);
+    ASSERT_EQ(mults.size(), 2u);
+    EXPECT_EQ(lib.module(mults[0]).name, "mult_ser");
+    EXPECT_EQ(lib.module(mults[1]).name, "mult_par");
+    const std::vector<module_id> adds = lib.candidates_for(op_kind::add);
+    ASSERT_EQ(adds.size(), 2u); // add + ALU
+}
+
+TEST(library, fastest_for_respects_the_power_cap)
+{
+    const module_library lib = table1_library();
+    // Unconstrained: parallel multiplier wins on latency.
+    EXPECT_EQ(lib.module(*lib.fastest_for(op_kind::mult, 100.0)).name, "mult_par");
+    // Below 8.1 the serial multiplier is the only choice.
+    EXPECT_EQ(lib.module(*lib.fastest_for(op_kind::mult, 5.0)).name, "mult_ser");
+    // Below 2.7 nothing multiplies.
+    EXPECT_FALSE(lib.fastest_for(op_kind::mult, 2.0).has_value());
+}
+
+TEST(library, fastest_ties_break_on_power_then_area)
+{
+    const module_library lib = table1_library();
+    // add and ALU both take 1 cycle at 2.5 power; add wins on area.
+    EXPECT_EQ(lib.module(*lib.fastest_for(op_kind::add, 100.0)).name, "add");
+    // comp: comp (8) beats ALU (97).
+    EXPECT_EQ(lib.module(*lib.fastest_for(op_kind::comp, 100.0)).name, "comp");
+}
+
+TEST(library, cheapest_for_minimises_area)
+{
+    const module_library lib = table1_library();
+    EXPECT_EQ(lib.module(*lib.cheapest_for(op_kind::mult, 100.0)).name, "mult_ser");
+    EXPECT_EQ(lib.module(*lib.cheapest_for(op_kind::comp, 100.0)).name, "comp");
+    EXPECT_FALSE(lib.cheapest_for(op_kind::mult, 1.0).has_value());
+}
+
+TEST(library, min_power_for_kind)
+{
+    const module_library lib = table1_library();
+    EXPECT_DOUBLE_EQ(*lib.min_power_for(op_kind::mult), 2.7);
+    EXPECT_DOUBLE_EQ(*lib.min_power_for(op_kind::input), 0.2);
+    module_library empty("e");
+    EXPECT_FALSE(empty.min_power_for(op_kind::add).has_value());
+}
+
+TEST(library, check_covers_flags_missing_kinds)
+{
+    module_library lib("partial");
+    lib.add(make_module("add", {op_kind::add}, 87, 1, 2.5));
+    lib.add(make_module("in", {op_kind::input}, 16, 1, 0.2));
+    lib.add(make_module("out", {op_kind::output}, 16, 1, 1.7));
+    EXPECT_THROW(lib.check_covers(make_hal()), error); // no mult/sub/comp
+    EXPECT_NO_THROW(table1_library().check_covers(make_hal()));
+}
+
+TEST(library_text, roundtrip_preserves_modules)
+{
+    const module_library lib = table1_library();
+    const module_library lib2 = parse_library_string(write_library_string(lib));
+    ASSERT_EQ(lib2.size(), lib.size());
+    EXPECT_EQ(lib2.name(), lib.name());
+    for (const fu_module& m : lib.modules()) {
+        const auto id = lib2.find(m.name);
+        ASSERT_TRUE(id.has_value());
+        EXPECT_EQ(lib2.module(*id).ops, m.ops);
+        EXPECT_DOUBLE_EQ(lib2.module(*id).area, m.area);
+        EXPECT_EQ(lib2.module(*id).latency, m.latency);
+        EXPECT_DOUBLE_EQ(lib2.module(*id).power, m.power);
+    }
+}
+
+TEST(library_text, accepts_symbols_as_op_names)
+{
+    const module_library lib =
+        parse_library_string("library l\nmodule alu + - > area 97 cycles 1 power 2.5\n");
+    const fu_module& alu = lib.module(module_id(0));
+    EXPECT_TRUE(alu.supports(op_kind::add));
+    EXPECT_TRUE(alu.supports(op_kind::comp));
+}
+
+TEST(library_text, errors_carry_line_numbers)
+{
+    try {
+        parse_library_string("library l\nmodule bad add area x cycles 1 power 1\n");
+        FAIL();
+    } catch (const parse_error& e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+    EXPECT_THROW(parse_library_string("module a add area 1 cycles 1 power 1\n"), error);
+    EXPECT_THROW(parse_library_string("library l\nmodule a add area 1\n"), parse_error);
+}
+
+TEST(cost_model, mux_cost_charges_extra_inputs_only)
+{
+    const cost_model cm;
+    EXPECT_DOUBLE_EQ(cm.mux_cost(0), 0.0);
+    EXPECT_DOUBLE_EQ(cm.mux_cost(1), 0.0);
+    EXPECT_DOUBLE_EQ(cm.mux_cost(3), 2 * cm.mux_area_per_extra_input);
+    cost_model off;
+    off.include_interconnect = false;
+    EXPECT_DOUBLE_EQ(off.mux_cost(5), 0.0);
+}
+
+TEST(cost_model, describe_mentions_the_mode)
+{
+    cost_model cm;
+    EXPECT_NE(describe(cm).find("register"), std::string::npos);
+    cm.include_interconnect = false;
+    EXPECT_NE(describe(cm).find("FU area only"), std::string::npos);
+}
+
+} // namespace
+} // namespace phls

@@ -1,0 +1,130 @@
+// Tests for the power substrate: profiles and the availability tracker.
+#include <gtest/gtest.h>
+
+#include "power/profile.h"
+#include "power/tracker.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+TEST(profile, starts_empty)
+{
+    const power_profile p;
+    EXPECT_EQ(p.cycle_count(), 0);
+    EXPECT_DOUBLE_EQ(p.peak(), 0.0);
+    EXPECT_DOUBLE_EQ(p.energy(), 0.0);
+    EXPECT_DOUBLE_EQ(p.average(), 0.0);
+}
+
+TEST(profile, deposit_accumulates_and_grows)
+{
+    power_profile p;
+    p.deposit(0, 2, 2.5);
+    p.deposit(1, 2, 2.7);
+    EXPECT_EQ(p.cycle_count(), 3);
+    EXPECT_DOUBLE_EQ(p.at(0), 2.5);
+    EXPECT_DOUBLE_EQ(p.at(1), 5.2);
+    EXPECT_DOUBLE_EQ(p.at(2), 2.7);
+    EXPECT_DOUBLE_EQ(p.peak(), 5.2);
+    EXPECT_NEAR(p.energy(), 10.4, 1e-12);
+}
+
+TEST(profile, reading_past_the_horizon_is_zero)
+{
+    power_profile p(3);
+    EXPECT_DOUBLE_EQ(p.at(100), 0.0);
+    EXPECT_THROW(p.at(-1), error);
+}
+
+TEST(profile, withdraw_reverses_deposit)
+{
+    power_profile p;
+    p.deposit(2, 3, 4.0);
+    p.withdraw(2, 3, 4.0);
+    for (int c = 0; c < p.cycle_count(); ++c) EXPECT_DOUBLE_EQ(p.at(c), 0.0);
+}
+
+TEST(profile, withdraw_beyond_deposits_throws)
+{
+    power_profile p;
+    p.deposit(0, 1, 1.0);
+    EXPECT_THROW(p.withdraw(0, 1, 2.0), error);
+    EXPECT_THROW(p.withdraw(5, 1, 1.0), error);
+}
+
+TEST(profile, average_over_cycles)
+{
+    power_profile p;
+    p.deposit(0, 4, 3.0);
+    EXPECT_DOUBLE_EQ(p.average(), 3.0);
+    p.deposit(0, 2, 3.0);
+    EXPECT_DOUBLE_EQ(p.average(), 4.5);
+}
+
+TEST(profile, ascii_chart_marks_the_cap)
+{
+    power_profile p;
+    p.deposit(0, 1, 10.0);
+    p.deposit(1, 1, 2.0);
+    const std::string chart = p.ascii_chart(6.0, 20);
+    EXPECT_NE(chart.find('#'), std::string::npos);
+    EXPECT_NE(chart.find('!'), std::string::npos);
+    EXPECT_NE(chart.find("10.00"), std::string::npos);
+}
+
+TEST(tracker, fits_respects_cap_per_cycle)
+{
+    power_tracker t(10.0);
+    EXPECT_TRUE(t.fits(0, 3, 6.0));
+    t.reserve(0, 3, 6.0);
+    EXPECT_TRUE(t.fits(0, 3, 4.0));
+    EXPECT_FALSE(t.fits(0, 1, 4.1));
+    EXPECT_TRUE(t.fits(3, 5, 10.0)); // free cycles
+}
+
+TEST(tracker, single_op_above_cap_never_fits)
+{
+    power_tracker t(5.0);
+    EXPECT_FALSE(t.fits(0, 1, 5.5));
+}
+
+TEST(tracker, exact_decimal_sums_fit_at_the_cap)
+{
+    // 2.5 + 2.5 + 2.7 == 7.7 must fit a 7.7 cap despite floating point.
+    power_tracker t(7.7);
+    t.reserve(0, 1, 2.5);
+    t.reserve(0, 1, 2.5);
+    EXPECT_TRUE(t.fits(0, 1, 2.7));
+}
+
+TEST(tracker, reserve_checks_and_release_restores)
+{
+    power_tracker t(8.0);
+    t.reserve(0, 2, 8.0);
+    EXPECT_THROW(t.reserve(1, 1, 0.5), error);
+    t.release(0, 2, 8.0);
+    EXPECT_TRUE(t.fits(0, 2, 8.0));
+    EXPECT_DOUBLE_EQ(t.used(0), 0.0);
+}
+
+TEST(tracker, unbounded_cap_accepts_everything)
+{
+    power_tracker t(unbounded_power);
+    EXPECT_TRUE(t.fits(0, 1, 1e12));
+    t.reserve(0, 1, 1e12);
+    EXPECT_TRUE(t.fits(0, 1, 1e12));
+}
+
+TEST(tracker, overlapping_reservations_stack)
+{
+    power_tracker t(10.0);
+    t.reserve(0, 4, 3.0);
+    t.reserve(2, 4, 3.0);
+    EXPECT_DOUBLE_EQ(t.used(2), 6.0);
+    EXPECT_FALSE(t.fits(2, 1, 4.5));
+    EXPECT_TRUE(t.fits(4, 1, 7.0));
+}
+
+} // namespace
+} // namespace phls

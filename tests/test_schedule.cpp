@@ -1,0 +1,175 @@
+// Tests for the schedule container, module assignments, and the classic
+// ASAP/ALAP schedulers under Table 1 delays.
+#include <gtest/gtest.h>
+
+#include "cdfg/benchmarks.h"
+#include "power/tracker.h"
+#include "sched/asap_alap.h"
+#include "sched/schedule.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+TEST(assignment, fastest_picks_the_parallel_multiplier_unconstrained)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const module_assignment a = fastest_assignment(g, lib, unbounded_power);
+    ASSERT_EQ(a.size(), static_cast<std::size_t>(g.node_count()));
+    for (node_id v : g.nodes()) {
+        if (g.kind(v) == op_kind::mult) {
+            EXPECT_EQ(lib.module(a[v.index()]).name, "mult_par");
+        }
+    }
+}
+
+TEST(assignment, fastest_falls_back_to_serial_under_a_tight_cap)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const module_assignment a = fastest_assignment(g, lib, 5.0);
+    for (node_id v : g.nodes()) {
+        if (g.kind(v) == op_kind::mult) {
+            EXPECT_EQ(lib.module(a[v.index()]).name, "mult_ser");
+        }
+    }
+}
+
+TEST(assignment, returns_empty_when_cap_excludes_a_kind)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    EXPECT_TRUE(fastest_assignment(g, lib, 1.0).empty()); // no mult under 2.7
+    EXPECT_TRUE(cheapest_assignment(g, lib, 1.0).empty());
+}
+
+TEST(assignment, cheapest_prefers_small_modules)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const module_assignment a = cheapest_assignment(g, lib, unbounded_power);
+    for (node_id v : g.nodes()) {
+        if (g.kind(v) == op_kind::mult) {
+            EXPECT_EQ(lib.module(a[v.index()]).name, "mult_ser");
+        }
+        if (g.kind(v) == op_kind::comp) {
+            EXPECT_EQ(lib.module(a[v.index()]).name, "comp");
+        }
+    }
+}
+
+TEST(schedule, accessors_and_completeness)
+{
+    schedule s(3);
+    EXPECT_FALSE(s.complete());
+    EXPECT_FALSE(s.scheduled(node_id(0)));
+    s.set_start(node_id(0), 2);
+    s.set_module(node_id(0), module_id(1));
+    EXPECT_TRUE(s.scheduled(node_id(0)));
+    EXPECT_EQ(s.start(node_id(0)), 2);
+    EXPECT_EQ(s.module_of(node_id(0)), module_id(1));
+    s.clear_start(node_id(0));
+    EXPECT_FALSE(s.scheduled(node_id(0)));
+}
+
+TEST(schedule, latency_and_profile_from_modules)
+{
+    const module_library lib = table1_library();
+    schedule s(2);
+    s.set_module(node_id(0), *lib.find("mult_ser")); // 4 cycles @ 2.7
+    s.set_module(node_id(1), *lib.find("add"));      // 1 cycle  @ 2.5
+    s.set_start(node_id(0), 0);
+    s.set_start(node_id(1), 1);
+    EXPECT_EQ(s.latency(lib), 4);
+    const power_profile p = s.profile(lib);
+    EXPECT_DOUBLE_EQ(p.at(0), 2.7);
+    EXPECT_DOUBLE_EQ(p.at(1), 5.2);
+    EXPECT_DOUBLE_EQ(p.at(2), 2.7);
+    EXPECT_DOUBLE_EQ(p.peak(), 5.2);
+}
+
+TEST(asap, hal_reaches_the_known_critical_path)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const module_assignment fast = fastest_assignment(g, lib, unbounded_power);
+    const schedule s = asap_schedule(g, lib, fast);
+    EXPECT_TRUE(s.complete());
+    EXPECT_EQ(s.latency(lib), 8); // DESIGN.md table: all-parallel hal
+    EXPECT_NO_THROW(validate_schedule(g, lib, s));
+
+    const module_assignment slow = cheapest_assignment(g, lib, unbounded_power);
+    EXPECT_EQ(asap_schedule(g, lib, slow).latency(lib), 12); // all-serial
+}
+
+TEST(asap, inputs_start_at_zero)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const schedule s = asap_schedule(g, lib, fastest_assignment(g, lib, unbounded_power));
+    for (node_id v : g.nodes()) {
+        if (g.kind(v) == op_kind::input) {
+            EXPECT_EQ(s.start(v), 0);
+        }
+    }
+}
+
+TEST(alap, anchors_sinks_at_the_deadline)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const module_assignment a = fastest_assignment(g, lib, unbounded_power);
+    const schedule s = alap_schedule(g, lib, a, 10);
+    ASSERT_TRUE(s.complete());
+    EXPECT_EQ(s.latency(lib), 10);
+    EXPECT_NO_THROW(validate_schedule(g, lib, s, 10));
+}
+
+TEST(alap, incomplete_below_critical_path)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const module_assignment a = fastest_assignment(g, lib, unbounded_power);
+    EXPECT_FALSE(alap_schedule(g, lib, a, 7).complete());
+}
+
+TEST(alap, never_earlier_than_asap)
+{
+    const graph g = make_elliptic();
+    const module_library lib = table1_library();
+    const module_assignment a = fastest_assignment(g, lib, unbounded_power);
+    const schedule lo = asap_schedule(g, lib, a);
+    const schedule hi = alap_schedule(g, lib, a, 25);
+    ASSERT_TRUE(hi.complete());
+    for (node_id v : g.nodes()) EXPECT_LE(lo.start(v), hi.start(v)) << g.label(v);
+}
+
+TEST(validate_schedule, rejects_violations)
+{
+    const graph g = make_hal();
+    const module_library lib = table1_library();
+    const module_assignment a = fastest_assignment(g, lib, unbounded_power);
+    schedule s = asap_schedule(g, lib, a);
+
+    // Latency bound violation.
+    EXPECT_THROW(validate_schedule(g, lib, s, 5), error);
+    // Power bound violation.
+    EXPECT_THROW(validate_schedule(g, lib, s, -1, 1.0), error);
+    // Dependency violation.
+    schedule broken = s;
+    const node_id m4 = *g.find("m4");
+    broken.set_start(m4, 0);
+    EXPECT_THROW(validate_schedule(g, lib, broken), error);
+    // Unscheduled operation.
+    schedule missing = s;
+    missing.clear_start(m4);
+    EXPECT_THROW(validate_schedule(g, lib, missing), error);
+    // Module that cannot execute the kind.
+    schedule wrong = s;
+    wrong.set_module(m4, *lib.find("add"));
+    EXPECT_THROW(validate_schedule(g, lib, wrong), error);
+}
+
+} // namespace
+} // namespace phls

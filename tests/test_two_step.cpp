@@ -1,0 +1,104 @@
+// Tests for the two-step baseline and the peak-reduction retimer, plus
+// schedule binding.
+#include <gtest/gtest.h>
+
+#include "cdfg/benchmarks.h"
+#include "support/errors.h"
+#include "sched/asap_alap.h"
+#include "synth/schedule_bind.h"
+#include "synth/synthesizer.h"
+#include "synth/two_step.h"
+#include "synth/verify.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+TEST(two_step, never_increases_the_peak)
+{
+    for (const auto& [name, T] : {std::pair<const char*, int>{"hal", 17},
+                                  {"cosine", 15},
+                                  {"elliptic", 22}}) {
+        const graph g = benchmark_by_name(name);
+        const two_step_result r = two_step_synthesize(g, lib(), {T, 5.0});
+        ASSERT_TRUE(r.feasible) << r.reason;
+        EXPECT_LE(r.peak_after, r.peak_before + 1e-9) << name;
+    }
+}
+
+TEST(two_step, keeps_the_design_valid_after_retiming)
+{
+    const graph g = make_cosine();
+    const two_step_result r = two_step_synthesize(g, lib(), {19, 12.0});
+    ASSERT_TRUE(r.feasible);
+    // Constraints minus the power cap must still hold exactly.
+    const auto violations =
+        verify_datapath(g, lib(), r.dp, {19, unbounded_power}, synthesis_options{}.costs);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+    EXPECT_EQ(r.meets_power, r.peak_after <= 12.0 + power_tracker::tolerance);
+}
+
+TEST(two_step, reports_step_one_failures)
+{
+    const two_step_result r = two_step_synthesize(make_hal(), lib(), {5, 10.0});
+    EXPECT_FALSE(r.feasible);
+    EXPECT_NE(r.reason.find("step one"), std::string::npos);
+}
+
+TEST(reduce_peak, flattens_an_asap_schedule_with_slack)
+{
+    const graph g = make_hal();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    const schedule s = asap_schedule(g, lib(), a);
+    datapath dp = bind_schedule("hal_asap", g, lib(), s, cost_model{});
+    const double before = dp.peak_power(lib());
+    const int moves = reduce_peak_power(g, lib(), dp, 17, cost_model{});
+    EXPECT_GT(moves, 0);
+    EXPECT_LT(dp.peak_power(lib()), before);
+    EXPECT_TRUE(verify_datapath(g, lib(), dp, {17, unbounded_power}, cost_model{}).empty());
+}
+
+TEST(reduce_peak, no_moves_without_slack)
+{
+    const graph g = make_hal();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    const schedule s = asap_schedule(g, lib(), a);
+    datapath dp = bind_schedule("hal_tight", g, lib(), s, cost_model{});
+    const int T = dp.latency(lib()); // zero global slack
+    const double before = dp.peak_power(lib());
+    reduce_peak_power(g, lib(), dp, T, cost_model{});
+    // Peak can only improve via same-length reshuffles; never worsen.
+    EXPECT_LE(dp.peak_power(lib()), before + 1e-9);
+    EXPECT_LE(dp.latency(lib()), T);
+}
+
+TEST(bind_schedule, packs_non_overlapping_ops_onto_shared_instances)
+{
+    const graph g = make_hal();
+    const module_assignment a = cheapest_assignment(g, lib(), unbounded_power);
+    const schedule s = asap_schedule(g, lib(), a);
+    const datapath dp = bind_schedule("hal_bound", g, lib(), s, cost_model{});
+    // All constraints but sharing must hold.
+    EXPECT_TRUE(verify_datapath(g, lib(), dp,
+                                {dp.latency(lib()), unbounded_power}, cost_model{})
+                    .empty());
+    // The serial ASAP schedule spreads multiplies: fewer instances than ops.
+    EXPECT_LT(dp.instances.size(), static_cast<std::size_t>(g.node_count()));
+}
+
+TEST(bind_schedule, rejects_incomplete_schedules)
+{
+    const graph g = make_hal();
+    const module_assignment a = fastest_assignment(g, lib(), unbounded_power);
+    schedule s = asap_schedule(g, lib(), a);
+    s.clear_start(node_id(0));
+    EXPECT_THROW(bind_schedule("bad", g, lib(), s, cost_model{}), error);
+}
+
+} // namespace
+} // namespace phls

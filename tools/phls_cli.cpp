@@ -1,0 +1,296 @@
+// phls — command-line front-end to the library.
+//
+//   phls list                                    built-in benchmarks
+//   phls show <bench|file.cdfg> [--dot out.dot]  graph structure
+//   phls synth <bench|file.cdfg> -T 17 [-P 7] [--library lib.txt]
+//         [--netlist] [--verilog out.v] [--dot out.dot] [--exact]
+//   phls sweep <bench|file.cdfg> -T 17 [--points 20] [--csv out.csv]
+//   phls schedule <bench|file.cdfg> -T 17 -P 7 [--alg asap|pasap|fds]
+//   phls lifetime <bench|file.cdfg> -T 17 [--beta 0.1]
+//
+// A positional that names a file ending in .cdfg is parsed from disk;
+// anything else must be a built-in benchmark name.
+#include <fstream>
+#include <iostream>
+
+#include "battery/lifetime.h"
+#include "cdfg/analysis.h"
+#include "cdfg/benchmarks.h"
+#include "cdfg/dot.h"
+#include "cdfg/textio.h"
+#include "rtl/netlist.h"
+#include "sched/asap_alap.h"
+#include "sched/force_directed.h"
+#include "sched/pasap.h"
+#include "support/argparse.h"
+#include "support/errors.h"
+#include "support/csv.h"
+#include "support/strings.h"
+#include "support/table.h"
+#include "synth/exact.h"
+#include "synth/explore.h"
+#include "synth/synthesizer.h"
+
+namespace phls {
+namespace {
+
+graph load_graph(const std::string& spec)
+{
+    if (spec.size() > 5 && spec.substr(spec.size() - 5) == ".cdfg") {
+        std::ifstream is(spec);
+        check(static_cast<bool>(is), "cannot open '" + spec + "'");
+        return parse_cdfg(is);
+    }
+    return benchmark_by_name(spec);
+}
+
+module_library load_library(const arg_parser& args)
+{
+    if (args.has("--library")) {
+        std::ifstream is(args.get("--library"));
+        check(static_cast<bool>(is), "cannot open '" + args.get("--library") + "'");
+        return parse_library(is);
+    }
+    return table1_library();
+}
+
+int cmd_list()
+{
+    ascii_table t({"benchmark", "nodes", "ops", "inputs", "outputs", "mults",
+                   "CP (par mult)", "CP (ser mult)"});
+    t.set_align(0, align::left);
+    for (const std::string& name : benchmark_names()) {
+        const graph g = benchmark_by_name(name);
+        const auto cp = [&](int mult_delay) {
+            return critical_path_length(g, [&](node_id v) {
+                return g.kind(v) == op_kind::mult ? mult_delay : 1;
+            });
+        };
+        t.add_row({name, std::to_string(g.node_count()),
+                   std::to_string(g.node_count() - g.count_of_kind(op_kind::input) -
+                                  g.count_of_kind(op_kind::output)),
+                   std::to_string(g.count_of_kind(op_kind::input)),
+                   std::to_string(g.count_of_kind(op_kind::output)),
+                   std::to_string(g.count_of_kind(op_kind::mult)),
+                   std::to_string(cp(2)), std::to_string(cp(4))});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int cmd_show(const arg_parser& args)
+{
+    const graph g = load_graph(args.positionals().at(1));
+    std::cout << "cdfg " << g.name() << ": " << g.node_count() << " nodes, "
+              << g.edge_count() << " edges\n";
+    for (const auto& [kind, count] : op_histogram(g))
+        std::cout << "  " << op_kind_name(kind) << ": " << count << '\n';
+    if (args.has("--dot")) {
+        std::ofstream os(args.get("--dot"));
+        os << to_dot(g);
+        std::cout << "wrote " << args.get("--dot") << '\n';
+    } else {
+        write_cdfg(g, std::cout);
+    }
+    return 0;
+}
+
+int cmd_synth(const arg_parser& args)
+{
+    const graph g = load_graph(args.positionals().at(1));
+    const module_library lib = load_library(args);
+    const synthesis_constraints constraints{
+        args.get_int("--latency"),
+        args.has("--power") ? args.get_double("--power") : unbounded_power};
+
+    datapath dp;
+    if (args.has("--exact")) {
+        const exact_result r = exact_synthesize(g, lib, constraints);
+        if (!r.feasible) {
+            std::cerr << "infeasible: " << r.reason << '\n';
+            return 1;
+        }
+        if (!r.solved) std::cerr << "warning: " << r.reason << '\n';
+        dp = r.dp;
+    } else {
+        const synthesis_result r = synthesize(g, lib, constraints);
+        if (!r.feasible) {
+            std::cerr << "infeasible: " << r.reason << '\n';
+            return 1;
+        }
+        dp = r.dp;
+    }
+    std::cout << dp.report(g, lib);
+    std::cout << "\nper-cycle power:\n"
+              << dp.sched.profile(lib).ascii_chart(constraints.max_power);
+
+    if (args.has("--netlist") || args.has("--verilog")) {
+        const netlist nl =
+            build_netlist(dp.name, g, lib, dp.sched, dp.instance_of, dp.instance_modules());
+        if (args.has("--netlist")) std::cout << '\n' << netlist_to_text(nl, g, lib);
+        if (args.has("--verilog")) {
+            std::ofstream os(args.get("--verilog"));
+            os << netlist_to_verilog(nl, g, lib);
+            std::cout << "wrote " << args.get("--verilog") << '\n';
+        }
+    }
+    if (args.has("--dot")) {
+        dot_options opts;
+        opts.start_times = dp.sched.starts();
+        for (node_id v : g.nodes())
+            opts.clusters.push_back(strf("u%d", dp.instance_of[v.index()]));
+        std::ofstream os(args.get("--dot"));
+        os << to_dot(g, opts);
+        std::cout << "wrote " << args.get("--dot") << '\n';
+    }
+    return 0;
+}
+
+int cmd_sweep(const arg_parser& args)
+{
+    const graph g = load_graph(args.positionals().at(1));
+    const module_library lib = load_library(args);
+    const int T = args.get_int("--latency");
+    const int points = args.get_int("--points");
+    const std::vector<sweep_point> raw =
+        sweep_power(g, lib, T, default_power_grid(g, lib, T, points));
+    const std::vector<sweep_point> env = monotone_envelope(raw);
+
+    ascii_table t({"Pmax", "feasible", "peak", "area"});
+    csv_writer csv({"cap", "feasible", "peak", "area"});
+    for (const sweep_point& p : env) {
+        t.add_row({strf("%.2f", p.cap), p.feasible ? "yes" : "no",
+                   p.feasible ? strf("%.2f", p.peak) : "-",
+                   p.feasible ? strf("%.0f", p.area) : "-"});
+        csv.add_row({strf("%.4f", p.cap), p.feasible ? "1" : "0",
+                     p.feasible ? strf("%.4f", p.peak) : "",
+                     p.feasible ? strf("%.2f", p.area) : ""});
+    }
+    t.print(std::cout);
+    if (args.has("--csv")) {
+        csv.save(args.get("--csv"));
+        std::cout << "wrote " << args.get("--csv") << '\n';
+    }
+    return 0;
+}
+
+int cmd_schedule(const arg_parser& args)
+{
+    const graph g = load_graph(args.positionals().at(1));
+    const module_library lib = load_library(args);
+    const double cap =
+        args.has("--power") ? args.get_double("--power") : unbounded_power;
+    const std::string alg = args.get("--alg");
+    const module_assignment a = fastest_assignment(g, lib, cap);
+    check(!a.empty(), "no module fits under the power cap");
+
+    schedule s;
+    if (alg == "asap") {
+        s = asap_schedule(g, lib, a);
+    } else if (alg == "pasap") {
+        const pasap_result r = pasap(g, lib, a, cap);
+        check(r.feasible, "pasap: " + r.reason);
+        s = r.sched;
+    } else if (alg == "fds") {
+        const fds_result r = force_directed_schedule(g, lib, a, args.get_int("--latency"));
+        check(r.feasible, "fds: " + r.reason);
+        s = r.sched;
+    } else {
+        throw error("unknown --alg '" + alg + "' (asap|pasap|fds)");
+    }
+
+    ascii_table t({"op", "kind", "module", "start", "finish"});
+    t.set_align(0, align::left);
+    for (node_id v : g.nodes())
+        t.add_row({g.label(v), std::string(op_kind_name(g.kind(v))),
+                   lib.module(s.module_of(v)).name, std::to_string(s.start(v)),
+                   std::to_string(s.finish(v, lib))});
+    t.print(std::cout);
+    std::cout << strf("\nlatency %d, peak power %.2f\n", s.latency(lib),
+                      s.profile(lib).peak());
+    std::cout << s.profile(lib).ascii_chart(cap);
+    return 0;
+}
+
+int cmd_lifetime(const arg_parser& args)
+{
+    const graph g = load_graph(args.positionals().at(1));
+    const module_library lib = load_library(args);
+    const int T = args.get_int("--latency");
+
+    synthesis_options speed_first;
+    speed_first.try_both_prospects = false;
+    speed_first.policy = prospect_policy::fastest_fit;
+    const synthesis_result fast = synthesize(g, lib, {T, unbounded_power}, speed_first);
+    check(fast.feasible, "unconstrained synthesis failed: " + fast.reason);
+    const double cap = args.has("--power") ? args.get_double("--power")
+                                           : 0.5 * fast.dp.peak_power(lib);
+    const synthesis_result capped = synthesize(g, lib, {T, cap});
+    check(capped.feasible, "capped synthesis failed: " + capped.reason);
+
+    const double beta = args.get_double("--beta");
+    const double dt = 0.5;
+    const load_profile spiky = to_load(fast.dp.sched.profile(lib), 1.0, dt);
+    const load_profile flat = to_load(capped.dp.sched.profile(lib), 1.0, dt);
+    const double alpha = fast.dp.sched.profile(lib).energy() * dt * 100.0;
+    const auto cell = make_rakhmatov_battery(alpha, beta);
+    const double lu = cell->lifetime(spiky).seconds;
+    const double lc = cell->lifetime(flat).seconds;
+
+    std::cout << strf("speed-first: peak %.2f area %.0f -> lifetime %.0f s\n",
+                      fast.dp.peak_power(lib), fast.dp.area.total(), lu);
+    std::cout << strf("capped (P=%.2f): peak %.2f area %.0f -> lifetime %.0f s\n", cap,
+                      capped.dp.peak_power(lib), capped.dp.area.total(), lc);
+    std::cout << strf("lifetime gain: %+.1f%% (Rakhmatov beta=%.2f)\n",
+                      100.0 * (lc - lu) / lu, beta);
+    return 0;
+}
+
+int run(const std::vector<std::string>& argv)
+{
+    arg_parser args("phls <list|show|synth|sweep|schedule|lifetime> [graph]");
+    args.add_option("--latency", "-T", "latency constraint in cycles");
+    args.add_option("--power", "-P", "max power per clock cycle");
+    args.add_option("--library", "-L", "module library file (default: Table 1)");
+    args.add_option("--points", "", "sweep grid size", "20");
+    args.add_option("--alg", "", "scheduler for 'schedule'", "pasap");
+    args.add_option("--beta", "", "Rakhmatov diffusion parameter", "0.1");
+    args.add_option("--csv", "", "write sweep results to a CSV file");
+    args.add_option("--dot", "", "write a Graphviz file");
+    args.add_option("--verilog", "", "write a structural Verilog skeleton");
+    args.add_flag("--netlist", "", "print the datapath netlist");
+    args.add_flag("--exact", "", "use the exact (branch-and-bound) synthesiser");
+    args.add_flag("--help", "-h", "show usage");
+
+    if (!args.parse(argv)) {
+        std::cerr << args.error() << '\n' << args.usage();
+        return 2;
+    }
+    if (args.has("--help") || args.positionals().empty()) {
+        std::cout << args.usage();
+        return args.positionals().empty() && !args.has("--help") ? 2 : 0;
+    }
+
+    const std::string& command = args.positionals().front();
+    if (command == "list") return cmd_list();
+    check(args.positionals().size() >= 2, "command '" + command + "' needs a graph");
+    if (command == "show") return cmd_show(args);
+    if (command == "synth") return cmd_synth(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "lifetime") return cmd_lifetime(args);
+    throw error("unknown command '" + command + "'");
+}
+
+} // namespace
+} // namespace phls
+
+int main(int argc, char** argv)
+{
+    try {
+        return phls::run(std::vector<std::string>(argv + 1, argv + argc));
+    } catch (const phls::error& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}
