@@ -14,10 +14,9 @@
 #include <vector>
 
 #include "cdfg/benchmarks.h"
+#include "flow/flow.h"
 #include "support/strings.h"
 #include "support/table.h"
-#include "synth/explore.h"
-#include "synth/synthesizer.h"
 
 namespace {
 
@@ -61,13 +60,15 @@ int main()
     for (const auto& [bench, T] :
          {std::pair<const char*, int>{"hal", 17}, {"cosine", 15}, {"elliptic", 22}}) {
         const graph g = benchmark_by_name(bench);
+        const flow f = flow::on(g).with_library(lib).latency(T);
         // A challenging but feasible cap: 25 % above the feasibility
-        // cliff found on the default power grid.
+        // cliff found on the default power grid (batch-evaluated).
+        std::vector<synthesis_constraints> grid;
+        for (double cap : f.power_grid(16)) grid.push_back({T, cap});
         double cliff = -1.0;
-        for (const sweep_point& p :
-             sweep_power(g, lib, T, default_power_grid(g, lib, T, 16))) {
-            if (p.feasible) {
-                cliff = p.cap;
+        for (const flow_report& r : f.run_batch(grid)) {
+            if (r.st.ok()) {
+                cliff = r.constraints.max_power;
                 break;
             }
         }
@@ -83,14 +84,15 @@ int main()
         for (const variant& v : variants) {
             synthesis_options opts;
             v.tweak(opts);
-            const synthesis_result r = synthesize(g, lib, {T, cap}, opts);
-            if (!r.feasible) {
+            const flow_report r =
+                flow::on(g).with_library(lib).latency(T).power_cap(cap).options(opts).run();
+            if (!r.st.ok()) {
                 t.add_row({v.name, "no", "-", "-", "-", "-", "-"});
                 continue;
             }
-            t.add_row({v.name, "yes", strf("%.0f", r.dp.area.total()),
-                       strf("%.2f", r.dp.peak_power(lib)), std::to_string(r.stats.merges),
-                       std::to_string(r.stats.rejected), r.stats.locked ? "yes" : "no"});
+            t.add_row({v.name, "yes", strf("%.0f", r.area), strf("%.2f", r.peak),
+                       std::to_string(r.stats.merges), std::to_string(r.stats.rejected),
+                       r.stats.locked ? "yes" : "no"});
         }
         t.print(std::cout);
     }

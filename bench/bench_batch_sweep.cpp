@@ -1,0 +1,82 @@
+// Batch sweep scaling: flow::run_batch over a Figure-2-style power grid
+// at several worker-pool sizes.
+//
+// Checks two properties of the batch executor:
+//   * determinism -- reports are byte-identical for every thread count
+//     (each point is claimed by exactly one worker and written to its
+//     own slot, and synthesis itself is deterministic);
+//   * scaling -- wall-clock time drops as workers are added, up to the
+//     machine's core count (points are independent, so the sweep is
+//     embarrassingly parallel; on a single-core host the speedup is ~1x
+//     by construction and only determinism is asserted).
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "cdfg/benchmarks.h"
+#include "flow/flow.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace {
+
+double run_ms(const std::function<void()>& fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int main()
+{
+    using namespace phls;
+    const module_library lib = table1_library();
+
+    std::cout << "=== flow::run_batch scaling on a 24-point power grid ===\n";
+    std::cout << "hardware threads: " << std::thread::hardware_concurrency() << "\n\n";
+
+    bool all_identical = true;
+    double speedup_at_4 = 0.0;
+    for (const auto& [bench, T] : {std::pair<const char*, int>{"hal", 17},
+                                   {"cosine", 15}, {"elliptic", 22}}) {
+        const graph g = benchmark_by_name(bench);
+        const flow f = flow::on(g).with_library(lib).latency(T);
+        std::vector<synthesis_constraints> grid;
+        for (double cap : f.power_grid(24)) grid.push_back({T, cap});
+
+        // Reference run, sequential.
+        std::vector<flow_report> reference;
+        const double ms1 = run_ms([&] { reference = f.run_batch(grid, 1); });
+
+        ascii_table t({"threads", "wall (ms)", "speedup", "identical"});
+        t.add_row({"1", strf("%.1f", ms1), "1.00x", "ref"});
+        for (int threads : {2, 4, 8}) {
+            std::vector<flow_report> reports;
+            const double ms = run_ms([&] { reports = f.run_batch(grid, threads); });
+            bool identical = reports.size() == reference.size();
+            for (std::size_t i = 0; identical && i < reports.size(); ++i)
+                identical = reports[i].to_string() == reference[i].to_string();
+            all_identical = all_identical && identical;
+            if (threads == 4 && bench == std::string("elliptic"))
+                speedup_at_4 = ms1 / ms;
+            t.add_row({std::to_string(threads), strf("%.1f", ms),
+                       strf("%.2fx", ms1 / ms), identical ? "yes" : "NO"});
+        }
+        std::cout << "--- " << bench << " (T=" << T << ", "
+                  << grid.size() << " points) ---\n";
+        t.print(std::cout);
+        int feasible = 0;
+        for (const flow_report& r : reference) feasible += r.st.ok() ? 1 : 0;
+        std::cout << feasible << "/" << reference.size() << " points feasible\n\n";
+    }
+
+    std::cout << "reports identical across all thread counts: "
+              << (all_identical ? "YES" : "NO") << '\n';
+    std::cout << strf("elliptic speedup at 4 threads: %.2fx\n", speedup_at_4);
+    return all_identical ? 0 : 1;
+}

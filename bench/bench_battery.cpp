@@ -21,9 +21,9 @@
 
 #include "battery/lifetime.h"
 #include "cdfg/benchmarks.h"
+#include "flow/flow.h"
 #include "support/strings.h"
 #include "support/table.h"
-#include "synth/synthesizer.h"
 
 namespace {
 
@@ -48,22 +48,27 @@ int main()
         synthesis_options speed_first;
         speed_first.try_both_prospects = false;
         speed_first.policy = prospect_policy::fastest_fit;
-        const synthesis_result base = synthesize(g, lib, {T, unbounded_power}, speed_first);
-        if (!base.feasible) {
-            std::cout << "unconstrained synthesis failed: " << base.reason << '\n';
+        const flow_report base =
+            flow::on(g).with_library(lib).latency(T).options(speed_first).run();
+        if (!base.st.ok()) {
+            std::cout << "unconstrained synthesis failed: " << base.st.to_string() << '\n';
             return 1;
         }
-        const double peak0 = base.dp.peak_power(lib);
+        const double peak0 = base.peak;
 
         // Battery-aware design: tightest feasible cap below the baseline.
-        synthesis_result capped;
-        for (double cap = 0.9 * peak0;; cap -= 0.05 * peak0) {
-            synthesis_result r = synthesize(g, lib, {T, cap});
-            if (!r.feasible) break;
-            capped = std::move(r);
-            if (cap < 0.15 * peak0) break;
+        // The descending cap ladder is evaluated as one batch; the result
+        // is the last feasible rung before the first infeasible one.
+        const flow f = flow::on(g).with_library(lib).latency(T);
+        std::vector<synthesis_constraints> ladder;
+        for (double cap = 0.9 * peak0; cap >= 0.10 * peak0; cap -= 0.05 * peak0)
+            ladder.push_back({T, cap});
+        flow_report capped;
+        for (const flow_report& r : f.run_batch(ladder)) {
+            if (!r.st.ok()) break;
+            capped = r;
         }
-        if (!capped.feasible) {
+        if (!capped.st.ok() || !capped.has_design) {
             std::cout << "no capped design found below the baseline peak\n";
             return 1;
         }

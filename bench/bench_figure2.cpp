@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cdfg/benchmarks.h"
+#include "flow/flow.h"
 #include "support/csv.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -57,8 +58,13 @@ int main()
         const std::string curve_name = strf("%s (T=%d)", spec.bench, spec.latency);
         std::cout << "\n--- " << curve_name << " ---\n";
 
-        const std::vector<double> caps = default_power_grid(g, lib, spec.latency, 24);
-        const std::vector<sweep_point> raw = sweep_power(g, lib, spec.latency, caps);
+        // The full cap grid for this curve runs through flow::run_batch
+        // (one worker per core; results are input-ordered).
+        const flow f = flow::on(g).with_library(lib).latency(spec.latency);
+        std::vector<synthesis_constraints> grid;
+        for (double cap : f.power_grid(24)) grid.push_back({spec.latency, cap});
+        std::vector<sweep_point> raw;
+        for (const flow_report& r : f.run_batch(grid)) raw.push_back(to_sweep_point(r));
         // Headline curve: best design found whose achieved peak satisfies
         // the cap (a tight-cap design is valid at looser caps too).
         const std::vector<sweep_point> points = monotone_envelope(raw);

@@ -7,9 +7,9 @@
 #include "cdfg/analysis.h"
 #include "cdfg/benchmarks.h"
 #include "cdfg/random_dag.h"
+#include "flow/flow.h"
 #include "sched/mobility.h"
 #include "sched/pasap.h"
-#include "synth/synthesizer.h"
 
 namespace {
 
@@ -86,6 +86,21 @@ void bm_synthesize_random(benchmark::State& state)
     state.SetComplexityN(ops);
 }
 BENCHMARK(bm_synthesize_random)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond)->Complexity();
+
+void bm_flow_batch(benchmark::State& state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    const graph g = make_elliptic();
+    const module_library lib = table1_library();
+    const flow f = flow::on(g).with_library(lib).latency(22);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(20)) grid.push_back({22, cap});
+    for (auto _ : state) {
+        const std::vector<flow_report> reports = f.run_batch(grid, threads);
+        benchmark::DoNotOptimize(reports.size());
+    }
+}
+BENCHMARK(bm_flow_batch)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

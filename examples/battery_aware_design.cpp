@@ -9,9 +9,9 @@
 
 #include "battery/lifetime.h"
 #include "cdfg/benchmarks.h"
+#include "flow/flow.h"
 #include "support/strings.h"
 #include "support/table.h"
-#include "synth/synthesizer.h"
 
 int main()
 {
@@ -24,25 +24,27 @@ int main()
     synthesis_options speed_first;
     speed_first.try_both_prospects = false;
     speed_first.policy = prospect_policy::fastest_fit;
-    const synthesis_result fast = synthesize(g, lib, {deadline, unbounded_power}, speed_first);
-    if (!fast.feasible) {
-        std::cerr << "speed-first synthesis failed: " << fast.reason << '\n';
+    const flow_report fast =
+        flow::on(g).with_library(lib).latency(deadline).options(speed_first).run();
+    if (!fast.st.ok()) {
+        std::cerr << "speed-first synthesis failed: " << fast.st.to_string() << '\n';
         return 1;
     }
 
     // Battery-aware flow: cap the per-cycle power at 40 % of the
     // conventional design's peak.
-    const double cap = 0.4 * fast.dp.peak_power(lib);
-    const synthesis_result aware = synthesize(g, lib, {deadline, cap});
-    if (!aware.feasible) {
-        std::cerr << "capped synthesis failed: " << aware.reason << '\n';
+    const double cap = 0.4 * fast.peak;
+    const flow_report aware =
+        flow::on(g).with_library(lib).latency(deadline).power_cap(cap).run();
+    if (!aware.st.ok()) {
+        std::cerr << "capped synthesis failed: " << aware.st.to_string() << '\n';
         return 1;
     }
 
-    std::cout << strf("conventional: area %.0f, peak %.2f, latency %d\n",
-                      fast.dp.area.total(), fast.dp.peak_power(lib), fast.dp.latency(lib));
+    std::cout << strf("conventional: area %.0f, peak %.2f, latency %d\n", fast.area,
+                      fast.peak, fast.latency);
     std::cout << strf("battery-aware (Pmax=%.2f): area %.0f, peak %.2f, latency %d\n\n", cap,
-                      aware.dp.area.total(), aware.dp.peak_power(lib), aware.dp.latency(lib));
+                      aware.area, aware.peak, aware.latency);
 
     // Run both kernels periodically at the task timescale (0.5 s steps)
     // against diffusion cells of decreasing quality.

@@ -7,10 +7,10 @@
 #include <map>
 
 #include "cdfg/benchmarks.h"
+#include "flow/flow.h"
 #include "library/library.h"
 #include "support/strings.h"
 #include "support/table.h"
-#include "synth/synthesizer.h"
 
 int main()
 {
@@ -43,9 +43,11 @@ module lp_alu   add sub comp     area 120 cycles 2 power 1.1
                                         "table1", &baseline},
                                     {"extended", &extended}}) {
         for (double cap : {8.0, 12.0, 18.0}) {
-            const synthesis_result r = synthesize(g, *lib, {34, cap});
-            if (!r.feasible) {
-                t.add_row({name, strf("%.1f", cap), "no", "-", "-", r.reason.substr(0, 40)});
+            const flow_report r =
+                flow::on(g).with_library(*lib).latency(34).power_cap(cap).run();
+            if (!r.st.ok()) {
+                t.add_row({name, strf("%.1f", cap), "no", "-", "-",
+                           r.st.message.substr(0, 40)});
                 continue;
             }
             std::map<std::string, int> mix;
@@ -54,10 +56,8 @@ module lp_alu   add sub comp     area 120 cycles 2 power 1.1
             std::string mix_text;
             for (const auto& [mod, count] : mix)
                 mix_text += strf("%s%s x%d", mix_text.empty() ? "" : ", ", mod.c_str(), count);
-            t.add_row({name, strf("%.1f", cap), "yes", strf("%.0f", r.dp.area.total()),
-                       strf("%.2f", r.dp.peak_power(lib->name() == "extended" ? extended
-                                                                              : baseline)),
-                       mix_text});
+            t.add_row({name, strf("%.1f", cap), "yes", strf("%.0f", r.area),
+                       strf("%.2f", r.peak), mix_text});
         }
     }
     t.print(std::cout);

@@ -1,5 +1,5 @@
-// Quickstart: build a CDFG, pick the paper's FU library, synthesise
-// under a latency and a power constraint, inspect the result.
+// Quickstart: build a CDFG, pick the paper's FU library, run the flow
+// engine under a latency and a power constraint, inspect the result.
 //
 //   $ ./examples/quickstart
 //
@@ -9,8 +9,8 @@
 #include <iostream>
 
 #include "cdfg/builder.h"
+#include "flow/flow.h"
 #include "library/library.h"
-#include "synth/synthesizer.h"
 #include "synth/verify.h"
 
 int main()
@@ -44,12 +44,13 @@ int main()
     // 2. Pick a module library: the paper's Table 1.
     const module_library lib = table1_library();
 
-    // 3. Synthesise: minimise area subject to 17 cycles and at most 7
-    //    power units in any clock cycle.
-    const synthesis_constraints constraints{17, 7.0};
-    const synthesis_result result = synthesize(g, lib, constraints);
-    if (!result.feasible) {
-        std::cerr << "infeasible: " << result.reason << '\n';
+    // 3. Synthesise through the flow engine: minimise area subject to 17
+    //    cycles and at most 7 power units in any clock cycle.  Every
+    //    outcome -- success, infeasible constraints, bad input -- comes
+    //    back as a phls::status inside the report; nothing throws.
+    const flow_report result = flow::on(g).with_library(lib).latency(17).power_cap(7.0).run();
+    if (!result.st.ok()) {
+        std::cerr << result.st.to_string() << '\n';
         return 1;
     }
 
@@ -58,7 +59,7 @@ int main()
 
     // 5. Results are verified internally; you can re-check any time.
     const auto violations =
-        verify_datapath(g, lib, result.dp, constraints, synthesis_options{}.costs);
+        verify_datapath(g, lib, result.dp, result.constraints, synthesis_options{}.costs);
     std::cout << "\nindependent verification: "
               << (violations.empty() ? "clean" : "VIOLATIONS") << '\n';
 

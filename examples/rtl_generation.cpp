@@ -10,9 +10,8 @@
 
 #include "cdfg/benchmarks.h"
 #include "cdfg/dot.h"
-#include "rtl/netlist.h"
+#include "flow/flow.h"
 #include "support/strings.h"
-#include "synth/synthesizer.h"
 
 int main()
 {
@@ -20,15 +19,17 @@ int main()
     const graph g = make_elliptic();
     const module_library lib = table1_library();
 
-    const synthesis_result r = synthesize(g, lib, {22, 12.0});
-    if (!r.feasible) {
-        std::cerr << "infeasible: " << r.reason << '\n';
+    // The netlist stage is part of the flow: emit_netlist() fills
+    // flow_report::nl from the synthesised schedule and binding.
+    const flow_report r =
+        flow::on(g).with_library(lib).latency(22).power_cap(12.0).emit_netlist().run();
+    if (!r.st.ok()) {
+        std::cerr << r.st.to_string() << '\n';
         return 1;
     }
     std::cout << r.dp.report(g, lib) << '\n';
 
-    const netlist nl =
-        build_netlist(r.dp.name, g, lib, r.dp.sched, r.dp.instance_of, r.dp.instance_modules());
+    const netlist& nl = r.nl;
 
     std::cout << "=== netlist ===\n" << netlist_to_text(nl, g, lib) << '\n';
 

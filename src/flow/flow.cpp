@@ -1,0 +1,279 @@
+#include "flow/flow.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "battery/lifetime.h"
+#include "support/errors.h"
+#include "support/strings.h"
+
+namespace phls {
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+} // namespace
+
+std::string flow_report::to_string() const
+{
+    // Canonical rendering of every *result* field; wall_ms is timing
+    // noise and deliberately excluded so identical outcomes serialise
+    // identically regardless of machine load or thread count.
+    std::string out;
+    out += "status: " + st.to_string() + '\n';
+    out += "strategy: " + strategy + '\n';
+    out += strf("point: T=%d Pmax=%.6f\n", constraints.latency, constraints.max_power);
+    if (!note.empty()) out += "note: " + note + '\n';
+    if (has_design) {
+        out += strf("design: area %.4f peak %.4f latency %d instances %zu optimal %d\n",
+                    area, peak, latency, dp.instances.size(), optimal ? 1 : 0);
+        out += strf("stats: merges=%d pair=%d join=%d rejected=%d recomputes=%d "
+                    "locked=%d lock_at=%d rebinds=%d fallbacks=%d\n",
+                    stats.merges, stats.pair_merges, stats.join_merges, stats.rejected,
+                    stats.window_recomputes, stats.locked ? 1 : 0,
+                    stats.merges_before_lock, stats.finalize_rebinds,
+                    stats.finalize_fallbacks);
+        out += "binding:";
+        for (int v = 0; v < dp.sched.node_count(); ++v) {
+            const node_id id(v);
+            out += strf(" %d@%d:m%d/u%d", v, dp.sched.start(id),
+                        dp.sched.module_of(id).value(), dp.instance_of[id.index()]);
+        }
+        out += '\n';
+    }
+    if (has_netlist)
+        out += strf("netlist: fus %zu registers %zu connections %zu\n", nl.fus.size(),
+                    nl.registers.size(), nl.connections.size());
+    if (has_lifetime)
+        out += strf("lifetime: %.6f s (alpha %.6f)\n", lifetime_seconds, battery_alpha);
+    return out;
+}
+
+flow::flow(const graph& g) : graph_(g), lib_(table1_library()) {}
+
+flow flow::on(const graph& g) { return flow(g); }
+
+flow& flow::with_library(const module_library& lib)
+{
+    lib_ = lib;
+    return *this;
+}
+
+flow& flow::latency(int cycles)
+{
+    constraints_.latency = cycles;
+    return *this;
+}
+
+flow& flow::power_cap(double max_power)
+{
+    constraints_.max_power = max_power;
+    return *this;
+}
+
+flow& flow::constraints(const synthesis_constraints& c)
+{
+    constraints_ = c;
+    return *this;
+}
+
+flow& flow::synthesizer(std::string name)
+{
+    synth_name_ = std::move(name);
+    return *this;
+}
+
+flow& flow::scheduler(std::string name)
+{
+    sched_name_ = std::move(name);
+    return *this;
+}
+
+flow& flow::options(const synthesis_options& o)
+{
+    options_ = o;
+    return *this;
+}
+
+flow& flow::exact_budget(const exact_options& o)
+{
+    exact_ = o;
+    return *this;
+}
+
+flow& flow::emit_netlist(bool enabled)
+{
+    want_netlist_ = enabled;
+    return *this;
+}
+
+flow& flow::estimate_lifetime(const lifetime_spec& spec)
+{
+    want_lifetime_ = true;
+    lifetime_ = spec;
+    return *this;
+}
+
+flow_report flow::run_point(const synthesis_constraints& c) const
+{
+    const auto started = std::chrono::steady_clock::now();
+    flow_report report;
+    report.strategy = synth_name_;
+    report.constraints = c;
+    try {
+        const synth_strategy* strategy =
+            strategy_registry::instance().synthesizer(synth_name_);
+        if (strategy == nullptr) {
+            report.st = status::unsupported("unknown synthesizer strategy '" +
+                                            synth_name_ + "'");
+            report.wall_ms = elapsed_ms(started);
+            return report;
+        }
+
+        synth_request request;
+        request.g = &graph_;
+        request.lib = &lib_;
+        request.constraints = c;
+        request.options = options_;
+        request.exact = exact_;
+        synth_outcome outcome = strategy->run(request);
+
+        report.st = outcome.st;
+        report.has_design = outcome.has_design;
+        report.stats = outcome.stats;
+        report.optimal = outcome.optimal;
+        report.note = std::move(outcome.note);
+        if (outcome.has_design) {
+            report.dp = std::move(outcome.dp);
+            report.area = report.dp.area.total();
+            report.peak = report.dp.peak_power(lib_);
+            report.latency = report.dp.latency(lib_);
+        }
+
+        if (report.st.ok() && want_netlist_) {
+            report.nl = build_netlist(report.dp.name, graph_, lib_, report.dp.sched,
+                                      report.dp.instance_of,
+                                      report.dp.instance_modules());
+            report.has_netlist = true;
+        }
+
+        if (report.st.ok() && want_lifetime_) {
+            const power_profile profile = report.dp.sched.profile(lib_);
+            const load_profile load = to_load(profile, lifetime_.voltage,
+                                              lifetime_.cycle_seconds,
+                                              lifetime_.idle_cycles);
+            report.battery_alpha =
+                lifetime_.alpha > 0.0
+                    ? lifetime_.alpha
+                    : profile.energy() * lifetime_.cycle_seconds * 100.0;
+            const auto cell =
+                make_rakhmatov_battery(report.battery_alpha, lifetime_.beta);
+            report.lifetime_seconds =
+                cell->lifetime(load, lifetime_.max_seconds).seconds;
+            report.has_lifetime = true;
+        }
+    } catch (const error& e) {
+        report.st = status::invalid(e.what());
+    } catch (const std::exception& e) {
+        report.st = status::internal(e.what());
+    }
+    report.wall_ms = elapsed_ms(started);
+    return report;
+}
+
+flow_report flow::run() const { return run_point(constraints_); }
+
+std::vector<flow_report>
+flow::run_batch(const std::vector<synthesis_constraints>& points, int threads) const
+{
+    std::vector<flow_report> reports(points.size());
+    if (points.empty()) return reports;
+
+    std::size_t workers = threads > 0
+                              ? static_cast<std::size_t>(threads)
+                              : std::max(1u, std::thread::hardware_concurrency());
+    workers = std::min(workers, points.size());
+
+    // Each point is claimed by exactly one worker and written to its own
+    // slot, so results are in input order and independent of the worker
+    // count; run_point never throws, but the extra catch keeps even an
+    // allocation failure isolated to one point's report.
+    std::atomic<std::size_t> next{0};
+    const auto drain = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < points.size();
+             i = next.fetch_add(1)) {
+            try {
+                reports[i] = run_point(points[i]);
+            } catch (const std::exception& e) {
+                reports[i] = flow_report{};
+                reports[i].strategy = synth_name_;
+                reports[i].constraints = points[i];
+                reports[i].st = status::internal(e.what());
+            }
+        }
+    };
+
+    if (workers == 1) {
+        drain();
+        return reports;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+    return reports;
+}
+
+sched_outcome flow::run_schedule() const
+{
+    const scheduler_strategy* strategy =
+        strategy_registry::instance().scheduler(sched_name_);
+    if (strategy == nullptr)
+        return {status::unsupported("unknown scheduler strategy '" + sched_name_ + "'"),
+                {}};
+    sched_request request;
+    request.g = &graph_;
+    request.lib = &lib_;
+    request.power_cap = constraints_.max_power;
+    request.latency = constraints_.latency;
+    request.order = options_.order;
+    return strategy->run(request);
+}
+
+std::vector<double> flow::power_grid(int points) const
+{
+    check(points >= 2, "power grid needs at least two points");
+
+    // Lower edge: no operation can run below the min per-cycle power of
+    // its kind, so the sweep starts just under that necessary bound.
+    double low = 0.0;
+    for (node_id v : graph_.nodes()) {
+        const std::optional<double> p = lib_.min_power_for(graph_.kind(v));
+        check(p.has_value(), "library does not cover the graph");
+        low = std::max(low, *p);
+    }
+
+    // Upper edge: the unconstrained design's peak; everything above it is
+    // a plateau.
+    const flow_report unconstrained =
+        run_point({constraints_.latency, unbounded_power});
+    double high = unconstrained.st.ok() ? unconstrained.peak : low * 4.0;
+    high = std::max(high, low + 1.0);
+
+    std::vector<double> caps;
+    caps.reserve(static_cast<std::size_t>(points));
+    const double start = std::max(0.5, low - 1.0);
+    const double stop = high * 1.15;
+    for (int i = 0; i < points; ++i)
+        caps.push_back(start + (stop - start) * i / (points - 1));
+    return caps;
+}
+
+} // namespace phls

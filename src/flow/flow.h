@@ -1,0 +1,156 @@
+// The flow engine: single entry point to the whole pipeline.
+//
+// A phls::flow owns one design problem -- a CDFG, a module library and
+// the (T, Pmax) constraints -- and runs the paper's pipeline as
+// composable stages: scheduling -> synthesis (allocation + binding) ->
+// RTL netlist -> battery lifetime.  Stages are selected fluently and
+// every outcome is reported through phls::status (no bools, no
+// exceptions for expected infeasibility):
+//
+//   const flow_report r = flow::on(g)
+//                             .with_library(lib)
+//                             .latency(17)
+//                             .power_cap(7.0)
+//                             .emit_netlist()
+//                             .run();
+//   if (r.st.ok()) use(r.dp, r.nl);
+//
+// Backends are pluggable by name through the strategy registry
+// (`.synthesizer("exact")`, `.scheduler("fds")` -- see strategy.h), and
+// `run_batch` evaluates many (T, Pmax) points across a worker pool with
+// per-point isolation and deterministic, input-ordered results.  The
+// legacy free functions (synthesize, sweep_power, ...) remain as thin
+// deprecated shims over this engine for one release.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/strategy.h"
+#include "rtl/netlist.h"
+
+namespace phls {
+
+/// Battery-lifetime stage parameters (see battery/battery.h for the
+/// underlying Rakhmatov-Vrudhula model).
+struct lifetime_spec {
+    double voltage = 1.0;       ///< converts power to current
+    double cycle_seconds = 0.5; ///< wall-clock length of one cycle
+    int idle_cycles = 0;        ///< sleep cycles appended per period
+    double beta = 0.1;          ///< diffusion parameter (smaller = worse cell)
+    /// Battery capacity alpha; <= 0 derives it from the design itself as
+    /// `energy * cycle_seconds * 100` (roughly 100 iterations of margin),
+    /// which keeps lifetimes comparable across designs of one graph.
+    double alpha = 0.0;
+    double max_seconds = 1e9; ///< simulation horizon
+};
+
+/// Structured outcome of one flow run.
+struct flow_report {
+    status st;            ///< ok, infeasible, invalid_argument, ...
+    std::string strategy; ///< synthesis strategy used
+    synthesis_constraints constraints; ///< the (T, Pmax) point evaluated
+
+    /// A design was produced.  True for every ok() report; also true for
+    /// baseline strategies that produced a design violating the cap (the
+    /// status is infeasible but the datapath is still inspectable).
+    bool has_design = false;
+    datapath dp;           ///< schedule + allocation + binding (see has_design)
+    synthesis_stats stats; ///< heuristic counters (greedy strategy)
+    bool optimal = false;  ///< design proven minimal-area ("exact" strategy)
+    std::string note;      ///< strategy remark ("optimal", peak trace, ...)
+
+    double area = 0.0;  ///< dp.area.total()
+    double peak = 0.0;  ///< achieved peak per-cycle power
+    int latency = 0;    ///< achieved latency, cycles
+
+    bool has_netlist = false; ///< emit_netlist() stage ran
+    netlist nl;
+
+    bool has_lifetime = false;       ///< estimate_lifetime() stage ran
+    double lifetime_seconds = 0.0;   ///< battery lifetime of this design
+    double battery_alpha = 0.0;      ///< capacity used by the model
+
+    double wall_ms = 0.0; ///< wall-clock time of this run
+
+    bool feasible() const { return st.ok(); }
+
+    /// Canonical multi-line rendering of every result field (used by the
+    /// determinism tests: identical reports must serialise identically).
+    std::string to_string() const;
+};
+
+/// Fluent builder + executor for one design problem.  The graph and
+/// library are copied in, so a flow outlives its inputs; a configured
+/// flow is immutable under run()/run_batch() and safe to share across
+/// threads.
+class flow {
+public:
+    /// Starts a flow on a copy of `g` with the paper's Table 1 library.
+    static flow on(const graph& g);
+
+    flow& with_library(const module_library& lib);
+    flow& latency(int cycles);
+    flow& power_cap(double max_power);
+    flow& constraints(const synthesis_constraints& c);
+
+    /// Selects the synthesis backend by registry name (default "greedy").
+    flow& synthesizer(std::string name);
+    /// Selects the scheduler backend used by run_schedule (default "pasap").
+    flow& scheduler(std::string name);
+    /// Heuristic knobs forwarded to the synthesis strategy.
+    flow& options(const synthesis_options& o);
+    /// Search budget for the "exact" strategy.
+    flow& exact_budget(const exact_options& o);
+
+    /// Enables the RTL stage: flow_report::nl is filled on success.
+    flow& emit_netlist(bool enabled = true);
+    /// Enables the battery stage: lifetime of the synthesised design.
+    flow& estimate_lifetime(const lifetime_spec& spec = {});
+
+    /// Runs scheduling -> synthesis -> netlist -> lifetime for the
+    /// configured constraint point.  Never throws: malformed inputs come
+    /// back as status invalid_argument, impossible constraints as
+    /// status infeasible.
+    flow_report run() const;
+
+    /// Runs the configured pipeline once per (T, Pmax) point on a pool
+    /// of `threads` workers (0 = hardware concurrency).  Results are in
+    /// input order and bit-identical to `threads == 1`; a failure in one
+    /// point (including an escaped exception) is isolated to that
+    /// point's report.
+    std::vector<flow_report> run_batch(const std::vector<synthesis_constraints>& points,
+                                       int threads = 0) const;
+
+    /// Runs only the scheduling stage with the selected scheduler
+    /// strategy (assignment: fastest modules under the cap).
+    sched_outcome run_schedule() const;
+
+    /// A Figure-2-style power grid for this problem: `points` caps from
+    /// just below the feasibility threshold to just above the
+    /// unconstrained design's peak.
+    std::vector<double> power_grid(int points) const;
+
+    // Accessors (used by shims and reporting).
+    const graph& design() const { return graph_; }
+    const module_library& library() const { return lib_; }
+    const synthesis_constraints& point() const { return constraints_; }
+
+private:
+    explicit flow(const graph& g);
+
+    flow_report run_point(const synthesis_constraints& c) const;
+
+    graph graph_;
+    module_library lib_;
+    synthesis_constraints constraints_{0, unbounded_power};
+    std::string synth_name_ = "greedy";
+    std::string sched_name_ = "pasap";
+    synthesis_options options_;
+    exact_options exact_;
+    bool want_netlist_ = false;
+    bool want_lifetime_ = false;
+    lifetime_spec lifetime_;
+};
+
+} // namespace phls

@@ -1,0 +1,28 @@
+#include "flow/status.h"
+
+namespace phls {
+
+const char* status_code_name(status_code code)
+{
+    switch (code) {
+    case status_code::ok: return "ok";
+    case status_code::infeasible: return "infeasible";
+    case status_code::invalid_argument: return "invalid_argument";
+    case status_code::unsupported: return "unsupported";
+    case status_code::internal: return "internal";
+    }
+    return "?";
+}
+
+std::string status::to_string() const
+{
+    if (ok()) return "ok";
+    std::string out = status_code_name(code);
+    if (!message.empty()) {
+        out += ": ";
+        out += message;
+    }
+    return out;
+}
+
+} // namespace phls

@@ -1,0 +1,64 @@
+// Uniform outcome type for the flow engine.
+//
+// The legacy free functions report failure three different ways: bools
+// (`synthesis_result::feasible`), empty results (`fastest_assignment`)
+// and exceptions (`check`).  Every flow stage instead returns a
+// phls::status: `ok` on success, `infeasible` for constraint
+// combinations with no solution (an *expected* outcome, per DESIGN.md),
+// `invalid_argument` for malformed requests, `unsupported` for unknown
+// strategy names, and `internal` for escaped exceptions inside a batch
+// worker.
+#pragma once
+
+#include <string>
+
+namespace phls {
+
+/// Machine-readable outcome class of a flow stage.
+enum class status_code {
+    ok,
+    infeasible,       ///< no design exists under the constraints
+    invalid_argument, ///< malformed request (bad latency, empty library, ...)
+    unsupported,      ///< unknown strategy / feature not available
+    internal,         ///< unexpected failure (exception inside a worker)
+};
+
+/// Short stable name of a code ("ok", "infeasible", ...).
+const char* status_code_name(status_code code);
+
+/// Outcome + human-readable detail.  Default-constructed status is ok.
+struct status {
+    status_code code = status_code::ok;
+    std::string message;
+
+    bool ok() const { return code == status_code::ok; }
+    explicit operator bool() const { return ok(); }
+
+    /// "ok" or "<code>: <message>".
+    std::string to_string() const;
+
+    static status success() { return {}; }
+    static status infeasible(std::string why)
+    {
+        return {status_code::infeasible, std::move(why)};
+    }
+    static status invalid(std::string why)
+    {
+        return {status_code::invalid_argument, std::move(why)};
+    }
+    static status unsupported(std::string why)
+    {
+        return {status_code::unsupported, std::move(why)};
+    }
+    static status internal(std::string why)
+    {
+        return {status_code::internal, std::move(why)};
+    }
+};
+
+inline bool operator==(const status& a, const status& b)
+{
+    return a.code == b.code && a.message == b.message;
+}
+
+} // namespace phls

@@ -1,0 +1,119 @@
+// Pluggable strategy interfaces behind the flow engine.
+//
+// The repository ships several schedulers (asap/alap, pasap/palap,
+// force-directed) and synthesizers (the paper's integrated greedy clique
+// partitioner, the two-step baseline, schedule-then-bind, the exact
+// branch-and-bound).  Each is exposed here behind a small named
+// interface and a process-wide registry, so callers select backends by
+// name ("pasap", "greedy", "exact", ...) and new backends register
+// without touching any caller.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/status.h"
+#include "power/tracker.h"
+#include "sched/pasap.h"
+#include "synth/exact.h"
+#include "synth/synthesizer.h"
+
+namespace phls {
+
+// ------------------------------------------------------------ schedulers
+
+/// Inputs to a scheduler strategy.  `assignment` may be empty, in which
+/// case the strategy picks the fastest module per operation that fits
+/// under `power_cap`.  `latency == 0` means unbounded.
+struct sched_request {
+    const graph* g = nullptr;
+    const module_library* lib = nullptr;
+    module_assignment assignment;
+    double power_cap = unbounded_power;
+    int latency = 0;
+    pasap_order order = pasap_order::critical_path;
+};
+
+/// Scheduler outcome: `sched` is complete iff `st.ok()`.
+struct sched_outcome {
+    status st;
+    schedule sched;
+};
+
+/// A named scheduling backend.  Implementations must be stateless /
+/// thread-safe: `run` is called concurrently from batch workers.
+class scheduler_strategy {
+public:
+    virtual ~scheduler_strategy() = default;
+    virtual std::string name() const = 0;
+    virtual std::string description() const = 0;
+    virtual sched_outcome run(const sched_request& request) const = 0;
+};
+
+// ----------------------------------------------------------- synthesizers
+
+/// Inputs to a synthesis strategy.
+struct synth_request {
+    const graph* g = nullptr;
+    const module_library* lib = nullptr;
+    synthesis_constraints constraints;
+    synthesis_options options;
+    exact_options exact; ///< budget, used by the "exact" strategy only
+};
+
+/// Synthesis outcome.  `dp` holds a design whenever one was produced --
+/// for baseline strategies that can miss the power cap (two-step), `st`
+/// is infeasible but `has_design` is still true so callers can report
+/// the achieved peak.
+struct synth_outcome {
+    status st;
+    bool has_design = false;
+    datapath dp;
+    synthesis_stats stats;
+    bool optimal = false; ///< design proven minimal-area ("exact" strategy)
+    std::string note;     ///< e.g. "optimal" or "search budget exhausted"
+};
+
+/// A named synthesis backend (schedule + allocation + binding under
+/// (T, Pmax)).  Implementations must be stateless / thread-safe.
+class synth_strategy {
+public:
+    virtual ~synth_strategy() = default;
+    virtual std::string name() const = 0;
+    virtual std::string description() const = 0;
+    virtual synth_outcome run(const synth_request& request) const = 0;
+};
+
+// --------------------------------------------------------------- registry
+
+/// Process-wide name -> strategy table.  Built-in strategies are
+/// registered on first use; user backends may be added at any time.
+/// Lookup returns borrowed pointers that stay valid for the process
+/// lifetime (strategies are never unregistered).
+class strategy_registry {
+public:
+    /// The singleton, with built-ins registered.
+    static strategy_registry& instance();
+
+    /// Registers a backend; replaces any existing strategy of the same
+    /// name (latest wins).  Thread-safe.
+    void add(std::shared_ptr<scheduler_strategy> s);
+    void add(std::shared_ptr<synth_strategy> s);
+
+    /// nullptr when the name is unknown.
+    const scheduler_strategy* scheduler(const std::string& name) const;
+    const synth_strategy* synthesizer(const std::string& name) const;
+
+    /// Registered names, sorted.
+    std::vector<std::string> scheduler_names() const;
+    std::vector<std::string> synthesizer_names() const;
+
+private:
+    strategy_registry();
+
+    struct impl;
+    std::unique_ptr<impl> impl_;
+};
+
+} // namespace phls

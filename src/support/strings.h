@@ -26,6 +26,13 @@ bool is_blank_or_comment(std::string_view s);
 /// Lower-cases ASCII characters.
 std::string to_lower(std::string_view s);
 
+/// True if `s` ends with `suffix` (used for file-extension dispatch:
+/// ".cdfg", ".csv", ".dot", ".v").  Empty suffixes match.
+inline bool ends_with(std::string_view s, std::string_view suffix)
+{
+    return s.ends_with(suffix);
+}
+
 /// Parses an integer; throws phls::error naming `what` on failure.
 int parse_int(std::string_view s, const std::string& what);
 

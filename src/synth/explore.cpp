@@ -4,31 +4,41 @@
 #include <cmath>
 #include <limits>
 
+#include "flow/flow.h"
 #include "support/errors.h"
 
 namespace phls {
 
+sweep_point to_sweep_point(const flow_report& report)
+{
+    sweep_point pt;
+    pt.cap = report.constraints.max_power;
+    pt.latency_bound = report.constraints.latency;
+    pt.feasible = report.st.ok();
+    pt.stats = report.stats;
+    if (report.st.ok()) {
+        pt.area = report.area;
+        pt.peak = report.peak;
+        pt.latency = report.latency;
+    }
+    return pt;
+}
+
 std::vector<sweep_point> sweep_power(const graph& g, const module_library& lib,
                                      int latency, const std::vector<double>& caps,
-                                     const synthesis_options& options)
+                                     const synthesis_options& options, int threads)
 {
+    std::vector<synthesis_constraints> points;
+    points.reserve(caps.size());
+    for (double cap : caps) points.push_back({latency, cap});
+
+    const std::vector<flow_report> reports =
+        flow::on(g).with_library(lib).latency(latency).options(options).run_batch(
+            points, threads);
+
     std::vector<sweep_point> out;
-    out.reserve(caps.size());
-    for (double cap : caps) {
-        sweep_point pt;
-        pt.cap = cap;
-        pt.latency_bound = latency;
-        const synthesis_result r =
-            synthesize(g, lib, {latency, cap}, options);
-        pt.feasible = r.feasible;
-        pt.stats = r.stats;
-        if (r.feasible) {
-            pt.area = r.dp.area.total();
-            pt.peak = r.dp.peak_power(lib);
-            pt.latency = r.dp.latency(lib);
-        }
-        out.push_back(pt);
-    }
+    out.reserve(reports.size());
+    for (const flow_report& r : reports) out.push_back(to_sweep_point(r));
     return out;
 }
 
@@ -36,31 +46,8 @@ std::vector<double> default_power_grid(const graph& g, const module_library& lib
                                        int latency, int points,
                                        const synthesis_options& options)
 {
-    check(points >= 2, "power grid needs at least two points");
-
-    // Lower edge: no operation can run below the min per-cycle power of
-    // its kind, so the sweep starts just under that necessary bound.
-    double low = 0.0;
-    for (node_id v : g.nodes()) {
-        const std::optional<double> p = lib.min_power_for(g.kind(v));
-        check(p.has_value(), "library does not cover the graph");
-        low = std::max(low, *p);
-    }
-
-    // Upper edge: the unconstrained design's peak; everything above it is
-    // a plateau.
-    const synthesis_result unconstrained =
-        synthesize(g, lib, {latency, unbounded_power}, options);
-    double high = unconstrained.feasible ? unconstrained.dp.peak_power(lib) : low * 4.0;
-    high = std::max(high, low + 1.0);
-
-    std::vector<double> caps;
-    caps.reserve(static_cast<std::size_t>(points));
-    const double start = std::max(0.5, low - 1.0);
-    const double stop = high * 1.15;
-    for (int i = 0; i < points; ++i)
-        caps.push_back(start + (stop - start) * i / (points - 1));
-    return caps;
+    return flow::on(g).with_library(lib).latency(latency).options(options).power_grid(
+        points);
 }
 
 std::vector<sweep_point> monotone_envelope(const std::vector<sweep_point>& points)

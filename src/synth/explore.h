@@ -1,5 +1,12 @@
 // Design-space exploration: the (T, Pmax) sweeps behind Figure 2 and the
 // DSE example, plus Pareto-front extraction.
+//
+// DEPRECATED (kept as shims for one release): `sweep_power` and
+// `default_power_grid` are thin wrappers over the flow engine --
+// `flow::run_batch` and `flow::power_grid` (see flow/flow.h) -- and now
+// evaluate sweep points on a worker pool.  New code should use the flow
+// API directly; `monotone_envelope` and `pareto_front` remain the
+// canonical post-processing helpers.
 #pragma once
 
 #include <vector>
@@ -19,14 +26,18 @@ struct sweep_point {
     synthesis_stats stats;
 };
 
-/// Synthesises once per cap in `caps` at fixed latency bound.
+/// Synthesises once per cap in `caps` at fixed latency bound, on
+/// `threads` workers (0 = hardware concurrency; results are identical
+/// for every thread count).  Deprecated shim over flow::run_batch.
 std::vector<sweep_point> sweep_power(const graph& g, const module_library& lib,
                                      int latency, const std::vector<double>& caps,
-                                     const synthesis_options& options = {});
+                                     const synthesis_options& options = {},
+                                     int threads = 0);
 
 /// A power grid for Figure-2-style curves: `points` values spanning from
 /// just below the infeasibility threshold to just above the design's
 /// unconstrained peak (so the sweep shows both the cliff and the plateau).
+/// Deprecated shim over flow::power_grid.
 std::vector<double> default_power_grid(const graph& g, const module_library& lib,
                                        int latency, int points,
                                        const synthesis_options& options = {});
@@ -39,11 +50,16 @@ std::vector<double> default_power_grid(const graph& g, const module_library& lib
 /// greedy outcome stays available in the input (the greedy can genuinely
 /// produce *better* designs under a mild cap than under none, because
 /// power-feasible windows guide its decisions -- see EXPERIMENTS.md).
+/// Empty input yields an empty envelope.
 std::vector<sweep_point> monotone_envelope(const std::vector<sweep_point>& points);
 
 /// Pareto-minimal subset of feasible points in the (peak, area) plane:
 /// keeps points where no other feasible point has both a lower-or-equal
-/// peak and a lower area.  Sorted by peak ascending.
+/// peak and a lower area.  Sorted by peak ascending.  Empty or
+/// all-infeasible input yields an empty front.
 std::vector<sweep_point> pareto_front(const std::vector<sweep_point>& points);
+
+/// Maps one flow batch report to the legacy sweep_point shape.
+sweep_point to_sweep_point(const struct flow_report& report);
 
 } // namespace phls

@@ -126,5 +126,79 @@ TEST(explore, pareto_front_of_infeasible_sweep_is_empty)
     EXPECT_TRUE(pareto_front(pts).empty());
 }
 
+TEST(explore, envelope_and_front_of_empty_input_are_empty)
+{
+    EXPECT_TRUE(monotone_envelope({}).empty());
+    EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(explore, envelope_of_all_infeasible_sweep_stays_infeasible)
+{
+    std::vector<sweep_point> pts(4);
+    for (std::size_t i = 0; i < pts.size(); ++i) pts[i].cap = 2.0 + double(i);
+    const std::vector<sweep_point> env = monotone_envelope(pts);
+    ASSERT_EQ(env.size(), pts.size());
+    for (const sweep_point& p : env) EXPECT_FALSE(p.feasible);
+}
+
+TEST(explore, pareto_front_keeps_one_of_duplicate_peak_points)
+{
+    // Three feasible designs share one peak; only the cheapest survives,
+    // and a strictly dominated fourth point is dropped.
+    std::vector<sweep_point> pts(4);
+    for (sweep_point& p : pts) p.feasible = true;
+    pts[0].peak = 8.0;
+    pts[0].area = 500;
+    pts[1].peak = 8.0;
+    pts[1].area = 450;
+    pts[2].peak = 8.0;
+    pts[2].area = 480;
+    pts[3].peak = 9.0; // higher peak AND higher area than pts[1]
+    pts[3].area = 470;
+    const std::vector<sweep_point> front = pareto_front(pts);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_DOUBLE_EQ(front[0].peak, 8.0);
+    EXPECT_DOUBLE_EQ(front[0].area, 450);
+}
+
+TEST(explore, envelope_breaks_area_ties_by_lower_peak)
+{
+    // Two designs with equal area qualify under cap 12; the envelope
+    // must pick the lower-peak one (duplicate-area tie rule).
+    std::vector<sweep_point> pts(3);
+    pts[0].cap = 10;
+    pts[0].feasible = true;
+    pts[0].area = 400;
+    pts[0].peak = 9.0;
+    pts[1].cap = 11;
+    pts[1].feasible = true;
+    pts[1].area = 400;
+    pts[1].peak = 10.5;
+    pts[2].cap = 12;
+    pts[2].feasible = false;
+    const std::vector<sweep_point> env = monotone_envelope(pts);
+    ASSERT_TRUE(env[2].feasible);
+    EXPECT_DOUBLE_EQ(env[2].area, 400);
+    EXPECT_DOUBLE_EQ(env[2].peak, 9.0);
+}
+
+TEST(explore, sweep_is_identical_across_thread_counts)
+{
+    const graph g = make_hal();
+    const std::vector<double> caps = default_power_grid(g, lib(), 17, 10);
+    const std::vector<sweep_point> seq = sweep_power(g, lib(), 17, caps, {}, 1);
+    for (int threads : {2, 4}) {
+        const std::vector<sweep_point> par = sweep_power(g, lib(), 17, caps, {}, threads);
+        ASSERT_EQ(par.size(), seq.size());
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            EXPECT_EQ(par[i].feasible, seq[i].feasible);
+            EXPECT_DOUBLE_EQ(par[i].cap, seq[i].cap);
+            EXPECT_DOUBLE_EQ(par[i].area, seq[i].area);
+            EXPECT_DOUBLE_EQ(par[i].peak, seq[i].peak);
+            EXPECT_EQ(par[i].latency, seq[i].latency);
+        }
+    }
+}
+
 } // namespace
 } // namespace phls

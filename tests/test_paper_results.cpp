@@ -59,8 +59,11 @@ TEST_P(figure2, curve_has_cliff_plateau_and_cap_compliance)
     ASSERT_FALSE(env.front().feasible);
     ASSERT_TRUE(env.back().feasible);
     // (ii) every feasible point obeys its cap,
-    for (const sweep_point& p : env)
-        if (p.feasible) EXPECT_LE(p.peak, p.cap + power_tracker::tolerance);
+    for (const sweep_point& p : env) {
+        if (p.feasible) {
+            EXPECT_LE(p.peak, p.cap + power_tracker::tolerance);
+        }
+    }
     // (iii) area near the cliff >= area on the plateau (the paper's
     // "trade a small amount of area to fit the power requirement").
     double cliff_area = -1, plateau_area = -1;

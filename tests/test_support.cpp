@@ -82,6 +82,18 @@ TEST(strings, to_lower_only_touches_ascii_letters)
     EXPECT_EQ(to_lower("AbC-12"), "abc-12");
 }
 
+TEST(strings, ends_with_matches_suffixes_only)
+{
+    EXPECT_TRUE(ends_with("design.cdfg", ".cdfg"));
+    EXPECT_TRUE(ends_with("out.csv", ".csv"));
+    EXPECT_TRUE(ends_with("a.v", ".v"));
+    EXPECT_TRUE(ends_with("anything", ""));
+    EXPECT_FALSE(ends_with("design.cdfg.bak", ".cdfg"));
+    EXPECT_FALSE(ends_with(".cdf", ".cdfg")); // shorter than the suffix
+    EXPECT_FALSE(ends_with("", ".v"));
+    EXPECT_FALSE(ends_with("graph.dot.png", ".dot"));
+}
+
 TEST(ids, typed_ids_are_distinct_and_comparable)
 {
     const node_id a(1), b(2);

@@ -1,42 +1,39 @@
-// phls — command-line front-end to the library.
+// phls — command-line front-end to the library, built on the flow engine.
 //
 //   phls list                                    built-in benchmarks
+//   phls strategies                              registered flow backends
 //   phls show <bench|file.cdfg> [--dot out.dot]  graph structure
 //   phls synth <bench|file.cdfg> -T 17 [-P 7] [--library lib.txt]
-//         [--netlist] [--verilog out.v] [--dot out.dot] [--exact]
-//   phls sweep <bench|file.cdfg> -T 17 [--points 20] [--csv out.csv]
-//   phls schedule <bench|file.cdfg> -T 17 -P 7 [--alg asap|pasap|fds]
+//         [--netlist] [--verilog out.v] [--dot out.dot] [--synth greedy|exact|...]
+//   phls sweep <bench|file.cdfg> -T 17 [--points 20] [--threads N] [--csv out.csv]
+//   phls schedule <bench|file.cdfg> -T 17 -P 7 [--alg asap|alap|pasap|palap|fds]
 //   phls lifetime <bench|file.cdfg> -T 17 [--beta 0.1]
 //
 // A positional that names a file ending in .cdfg is parsed from disk;
-// anything else must be a built-in benchmark name.
+// anything else must be a built-in benchmark name.  Output options
+// dispatch on extension: --csv wants .csv, --dot wants .dot, --verilog
+// wants .v.
 #include <fstream>
 #include <iostream>
 
-#include "battery/lifetime.h"
 #include "cdfg/analysis.h"
 #include "cdfg/benchmarks.h"
 #include "cdfg/dot.h"
 #include "cdfg/textio.h"
-#include "rtl/netlist.h"
-#include "sched/asap_alap.h"
-#include "sched/force_directed.h"
-#include "sched/pasap.h"
+#include "flow/flow.h"
 #include "support/argparse.h"
 #include "support/errors.h"
 #include "support/csv.h"
 #include "support/strings.h"
 #include "support/table.h"
-#include "synth/exact.h"
 #include "synth/explore.h"
-#include "synth/synthesizer.h"
 
 namespace phls {
 namespace {
 
 graph load_graph(const std::string& spec)
 {
-    if (spec.size() > 5 && spec.substr(spec.size() - 5) == ".cdfg") {
+    if (ends_with(spec, ".cdfg")) {
         std::ifstream is(spec);
         check(static_cast<bool>(is), "cannot open '" + spec + "'");
         return parse_cdfg(is);
@@ -52,6 +49,17 @@ module_library load_library(const arg_parser& args)
         return parse_library(is);
     }
     return table1_library();
+}
+
+/// Checks an output path carries the extension its writer expects.
+std::string output_path(const arg_parser& args, const std::string& option,
+                        std::string_view extension)
+{
+    const std::string path = args.get(option);
+    check(ends_with(path, extension),
+          option + " expects a file ending in '" + std::string(extension) + "', got '" +
+              path + "'");
+    return path;
 }
 
 int cmd_list()
@@ -78,6 +86,21 @@ int cmd_list()
     return 0;
 }
 
+int cmd_strategies()
+{
+    const strategy_registry& registry = strategy_registry::instance();
+    ascii_table t({"kind", "name", "description"});
+    t.set_align(0, align::left);
+    t.set_align(1, align::left);
+    t.set_align(2, align::left);
+    for (const std::string& name : registry.scheduler_names())
+        t.add_row({"scheduler", name, registry.scheduler(name)->description()});
+    for (const std::string& name : registry.synthesizer_names())
+        t.add_row({"synthesizer", name, registry.synthesizer(name)->description()});
+    t.print(std::cout);
+    return 0;
+}
+
 int cmd_show(const arg_parser& args)
 {
     const graph g = load_graph(args.positionals().at(1));
@@ -86,9 +109,10 @@ int cmd_show(const arg_parser& args)
     for (const auto& [kind, count] : op_histogram(g))
         std::cout << "  " << op_kind_name(kind) << ": " << count << '\n';
     if (args.has("--dot")) {
-        std::ofstream os(args.get("--dot"));
+        const std::string path = output_path(args, "--dot", ".dot");
+        std::ofstream os(path);
         os << to_dot(g);
-        std::cout << "wrote " << args.get("--dot") << '\n';
+        std::cout << "wrote " << path << '\n';
     } else {
         write_cdfg(g, std::cout);
     }
@@ -99,49 +123,43 @@ int cmd_synth(const arg_parser& args)
 {
     const graph g = load_graph(args.positionals().at(1));
     const module_library lib = load_library(args);
-    const synthesis_constraints constraints{
-        args.get_int("--latency"),
-        args.has("--power") ? args.get_double("--power") : unbounded_power};
 
-    datapath dp;
-    if (args.has("--exact")) {
-        const exact_result r = exact_synthesize(g, lib, constraints);
-        if (!r.feasible) {
-            std::cerr << "infeasible: " << r.reason << '\n';
-            return 1;
-        }
-        if (!r.solved) std::cerr << "warning: " << r.reason << '\n';
-        dp = r.dp;
-    } else {
-        const synthesis_result r = synthesize(g, lib, constraints);
-        if (!r.feasible) {
-            std::cerr << "infeasible: " << r.reason << '\n';
-            return 1;
-        }
-        dp = r.dp;
+    const std::string synth_name = args.has("--exact") ? "exact" : args.get("--synth");
+    flow f = flow::on(g)
+                 .with_library(lib)
+                 .latency(args.get_int("--latency"))
+                 .synthesizer(synth_name)
+                 .emit_netlist(args.has("--netlist") || args.has("--verilog"));
+    if (args.has("--power")) f.power_cap(args.get_double("--power"));
+
+    const flow_report r = f.run();
+    if (!r.st.ok()) {
+        std::cerr << r.st.to_string() << '\n';
+        return 1;
     }
-    std::cout << dp.report(g, lib);
+    // Only an unproven exact search warrants a warning; other strategies
+    // use the note for routine information.
+    if (synth_name == "exact" && !r.optimal) std::cerr << "warning: " << r.note << '\n';
+    std::cout << r.dp.report(g, lib);
     std::cout << "\nper-cycle power:\n"
-              << dp.sched.profile(lib).ascii_chart(constraints.max_power);
+              << r.dp.sched.profile(lib).ascii_chart(f.point().max_power);
 
-    if (args.has("--netlist") || args.has("--verilog")) {
-        const netlist nl =
-            build_netlist(dp.name, g, lib, dp.sched, dp.instance_of, dp.instance_modules());
-        if (args.has("--netlist")) std::cout << '\n' << netlist_to_text(nl, g, lib);
-        if (args.has("--verilog")) {
-            std::ofstream os(args.get("--verilog"));
-            os << netlist_to_verilog(nl, g, lib);
-            std::cout << "wrote " << args.get("--verilog") << '\n';
-        }
+    if (args.has("--netlist")) std::cout << '\n' << netlist_to_text(r.nl, g, lib);
+    if (args.has("--verilog")) {
+        const std::string path = output_path(args, "--verilog", ".v");
+        std::ofstream os(path);
+        os << netlist_to_verilog(r.nl, g, lib);
+        std::cout << "wrote " << path << '\n';
     }
     if (args.has("--dot")) {
         dot_options opts;
-        opts.start_times = dp.sched.starts();
+        opts.start_times = r.dp.sched.starts();
         for (node_id v : g.nodes())
-            opts.clusters.push_back(strf("u%d", dp.instance_of[v.index()]));
-        std::ofstream os(args.get("--dot"));
+            opts.clusters.push_back(strf("u%d", r.dp.instance_of[v.index()]));
+        const std::string path = output_path(args, "--dot", ".dot");
+        std::ofstream os(path);
         os << to_dot(g, opts);
-        std::cout << "wrote " << args.get("--dot") << '\n';
+        std::cout << "wrote " << path << '\n';
     }
     return 0;
 }
@@ -152,8 +170,19 @@ int cmd_sweep(const arg_parser& args)
     const module_library lib = load_library(args);
     const int T = args.get_int("--latency");
     const int points = args.get_int("--points");
-    const std::vector<sweep_point> raw =
-        sweep_power(g, lib, T, default_power_grid(g, lib, T, points));
+    const int threads = args.get_int("--threads");
+    // Validate the output path before spending minutes on the sweep.
+    const std::string csv_path =
+        args.has("--csv") ? output_path(args, "--csv", ".csv") : "";
+
+    const flow f = flow::on(g).with_library(lib).latency(T);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(points)) grid.push_back({T, cap});
+
+    const std::vector<flow_report> reports = f.run_batch(grid, threads);
+    std::vector<sweep_point> raw;
+    raw.reserve(reports.size());
+    for (const flow_report& r : reports) raw.push_back(to_sweep_point(r));
     const std::vector<sweep_point> env = monotone_envelope(raw);
 
     ascii_table t({"Pmax", "feasible", "peak", "area"});
@@ -167,9 +196,9 @@ int cmd_sweep(const arg_parser& args)
                      p.feasible ? strf("%.2f", p.area) : ""});
     }
     t.print(std::cout);
-    if (args.has("--csv")) {
-        csv.save(args.get("--csv"));
-        std::cout << "wrote " << args.get("--csv") << '\n';
+    if (!csv_path.empty()) {
+        csv.save(csv_path);
+        std::cout << "wrote " << csv_path << '\n';
     }
     return 0;
 }
@@ -178,26 +207,26 @@ int cmd_schedule(const arg_parser& args)
 {
     const graph g = load_graph(args.positionals().at(1));
     const module_library lib = load_library(args);
+    const std::string alg = args.get("--alg");
+
+    flow f = flow::on(g).with_library(lib).scheduler(alg);
+    if (args.has("--latency")) f.latency(args.get_int("--latency"));
     const double cap =
         args.has("--power") ? args.get_double("--power") : unbounded_power;
-    const std::string alg = args.get("--alg");
-    const module_assignment a = fastest_assignment(g, lib, cap);
-    check(!a.empty(), "no module fits under the power cap");
+    f.power_cap(cap);
 
-    schedule s;
-    if (alg == "asap") {
-        s = asap_schedule(g, lib, a);
-    } else if (alg == "pasap") {
-        const pasap_result r = pasap(g, lib, a, cap);
-        check(r.feasible, "pasap: " + r.reason);
-        s = r.sched;
-    } else if (alg == "fds") {
-        const fds_result r = force_directed_schedule(g, lib, a, args.get_int("--latency"));
-        check(r.feasible, "fds: " + r.reason);
-        s = r.sched;
-    } else {
-        throw error("unknown --alg '" + alg + "' (asap|pasap|fds)");
+    const sched_outcome out = f.run_schedule();
+    if (!out.st.ok()) {
+        if (out.st.code == status_code::unsupported) {
+            std::string known;
+            for (const std::string& n : strategy_registry::instance().scheduler_names())
+                known += (known.empty() ? "" : "|") + n;
+            throw error("unknown --alg '" + alg + "' (" + known + ")");
+        }
+        std::cerr << out.st.to_string() << '\n';
+        return 1;
     }
+    const schedule& s = out.sched;
 
     ascii_table t({"op", "kind", "module", "start", "finish"});
     t.set_align(0, align::left);
@@ -217,49 +246,61 @@ int cmd_lifetime(const arg_parser& args)
     const graph g = load_graph(args.positionals().at(1));
     const module_library lib = load_library(args);
     const int T = args.get_int("--latency");
+    const double beta = args.get_double("--beta");
 
+    // Speed-first baseline: fastest modules, no power awareness.
     synthesis_options speed_first;
     speed_first.try_both_prospects = false;
     speed_first.policy = prospect_policy::fastest_fit;
-    const synthesis_result fast = synthesize(g, lib, {T, unbounded_power}, speed_first);
-    check(fast.feasible, "unconstrained synthesis failed: " + fast.reason);
-    const double cap = args.has("--power") ? args.get_double("--power")
-                                           : 0.5 * fast.dp.peak_power(lib);
-    const synthesis_result capped = synthesize(g, lib, {T, cap});
-    check(capped.feasible, "capped synthesis failed: " + capped.reason);
+    lifetime_spec cell;
+    cell.beta = beta;
+    const flow_report fast = flow::on(g)
+                                 .with_library(lib)
+                                 .latency(T)
+                                 .options(speed_first)
+                                 .estimate_lifetime(cell)
+                                 .run();
+    check(fast.st.ok(), "unconstrained synthesis failed: " + fast.st.to_string());
 
-    const double beta = args.get_double("--beta");
-    const double dt = 0.5;
-    const load_profile spiky = to_load(fast.dp.sched.profile(lib), 1.0, dt);
-    const load_profile flat = to_load(capped.dp.sched.profile(lib), 1.0, dt);
-    const double alpha = fast.dp.sched.profile(lib).energy() * dt * 100.0;
-    const auto cell = make_rakhmatov_battery(alpha, beta);
-    const double lu = cell->lifetime(spiky).seconds;
-    const double lc = cell->lifetime(flat).seconds;
+    // Power-capped design, judged on the same battery (same alpha).
+    const double cap = args.has("--power") ? args.get_double("--power") : 0.5 * fast.peak;
+    cell.alpha = fast.battery_alpha;
+    const flow_report capped = flow::on(g)
+                                   .with_library(lib)
+                                   .latency(T)
+                                   .power_cap(cap)
+                                   .estimate_lifetime(cell)
+                                   .run();
+    check(capped.st.ok(), "capped synthesis failed: " + capped.st.to_string());
 
-    std::cout << strf("speed-first: peak %.2f area %.0f -> lifetime %.0f s\n",
-                      fast.dp.peak_power(lib), fast.dp.area.total(), lu);
+    std::cout << strf("speed-first: peak %.2f area %.0f -> lifetime %.0f s\n", fast.peak,
+                      fast.area, fast.lifetime_seconds);
     std::cout << strf("capped (P=%.2f): peak %.2f area %.0f -> lifetime %.0f s\n", cap,
-                      capped.dp.peak_power(lib), capped.dp.area.total(), lc);
+                      capped.peak, capped.area, capped.lifetime_seconds);
     std::cout << strf("lifetime gain: %+.1f%% (Rakhmatov beta=%.2f)\n",
-                      100.0 * (lc - lu) / lu, beta);
+                      100.0 * (capped.lifetime_seconds - fast.lifetime_seconds) /
+                          fast.lifetime_seconds,
+                      beta);
     return 0;
 }
 
 int run(const std::vector<std::string>& argv)
 {
-    arg_parser args("phls <list|show|synth|sweep|schedule|lifetime> [graph]");
+    arg_parser args(
+        "phls <list|strategies|show|synth|sweep|schedule|lifetime> [graph]");
     args.add_option("--latency", "-T", "latency constraint in cycles");
     args.add_option("--power", "-P", "max power per clock cycle");
     args.add_option("--library", "-L", "module library file (default: Table 1)");
     args.add_option("--points", "", "sweep grid size", "20");
+    args.add_option("--threads", "", "sweep worker threads (0 = all cores)", "0");
     args.add_option("--alg", "", "scheduler for 'schedule'", "pasap");
+    args.add_option("--synth", "", "synthesizer strategy for 'synth'", "greedy");
     args.add_option("--beta", "", "Rakhmatov diffusion parameter", "0.1");
     args.add_option("--csv", "", "write sweep results to a CSV file");
     args.add_option("--dot", "", "write a Graphviz file");
     args.add_option("--verilog", "", "write a structural Verilog skeleton");
     args.add_flag("--netlist", "", "print the datapath netlist");
-    args.add_flag("--exact", "", "use the exact (branch-and-bound) synthesiser");
+    args.add_flag("--exact", "", "use the exact synthesiser (same as --synth exact)");
     args.add_flag("--help", "-h", "show usage");
 
     if (!args.parse(argv)) {
@@ -273,6 +314,7 @@ int run(const std::vector<std::string>& argv)
 
     const std::string& command = args.positionals().front();
     if (command == "list") return cmd_list();
+    if (command == "strategies") return cmd_strategies();
     check(args.positionals().size() >= 2, "command '" + command + "' needs a graph");
     if (command == "show") return cmd_show(args);
     if (command == "synth") return cmd_synth(args);
