@@ -1,10 +1,17 @@
-// Batch sweep scaling: flow::run_batch over a Figure-2-style power grid
-// at several worker-pool sizes.
+// Batch sweep scaling and cache reuse: flow::run_batch over a
+// Figure-2-style power grid at several worker-pool sizes, cached vs
+// uncached.
 //
-// Checks two properties of the batch executor:
+// Checks three properties of the batch executor:
 //   * determinism -- reports are byte-identical for every thread count
-//     (each point is claimed by exactly one worker and written to its
-//     own slot, and synthesis itself is deterministic);
+//     AND with the explore_cache disabled (each point is claimed by
+//     exactly one worker and written to its own slot, synthesis is
+//     deterministic, and every cached value is a pure function of the
+//     problem);
+//   * cache reuse -- a >= 24-point sweep over one (graph, lib) serves
+//     reachability, prospect tables and initial windows from the shared
+//     explore_cache (hit counter printed per benchmark, and required to
+//     be positive);
 //   * scaling -- wall-clock time drops as workers are added, up to the
 //     machine's core count (points are independent, so the sweep is
 //     embarrassingly parallel; on a single-core host the speedup is ~1x
@@ -12,10 +19,12 @@
 #include <chrono>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "cdfg/benchmarks.h"
+#include "flow/explore_cache.h"
 #include "flow/flow.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -41,6 +50,7 @@ int main()
     std::cout << "hardware threads: " << std::thread::hardware_concurrency() << "\n\n";
 
     bool all_identical = true;
+    bool all_hit = true;
     double speedup_at_4 = 0.0;
     for (const auto& [bench, T] : {std::pair<const char*, int>{"hal", 17},
                                    {"cosine", 15}, {"elliptic", 22}}) {
@@ -49,12 +59,32 @@ int main()
         std::vector<synthesis_constraints> grid;
         for (double cap : f.power_grid(24)) grid.push_back({T, cap});
 
-        // Reference run, sequential.
+        // Uncached sequential reference (the pre-cache engine behaviour).
         std::vector<flow_report> reference;
-        const double ms1 = run_ms([&] { reference = f.run_batch(grid, 1); });
+        const flow uncached = flow::on(g).with_library(lib).latency(T).caching(false);
+        const double ms_uncached = run_ms([&] { reference = uncached.run_batch(grid, 1); });
 
-        ascii_table t({"threads", "wall (ms)", "speedup", "identical"});
-        t.add_row({"1", strf("%.1f", ms1), "1.00x", "ref"});
+        // Cached sequential run on an explicit shared cache: must be
+        // byte-identical, with every point past the first hitting it.
+        const std::shared_ptr<explore_cache> cache = f.build_cache();
+        const flow cached = flow::on(g).with_library(lib).latency(T).reuse(cache);
+        std::vector<flow_report> with_cache;
+        const double ms_cached = run_ms([&] { with_cache = cached.run_batch(grid, 1); });
+        bool cache_identical = with_cache.size() == reference.size();
+        for (std::size_t i = 0; cache_identical && i < with_cache.size(); ++i)
+            cache_identical = with_cache[i].to_string() == reference[i].to_string();
+        all_identical = all_identical && cache_identical;
+        const explore_cache::counters cc = cache->stats();
+        all_hit = all_hit && cc.hits > 0;
+
+        ascii_table t({"threads", "cache", "wall (ms)", "per point (ms)", "speedup",
+                       "identical"});
+        t.add_row({"1", "off", strf("%.1f", ms_uncached),
+                   strf("%.2f", ms_uncached / grid.size()), "1.00x", "ref"});
+        t.add_row({"1", "on", strf("%.1f", ms_cached),
+                   strf("%.2f", ms_cached / grid.size()),
+                   strf("%.2fx", ms_uncached / ms_cached),
+                   cache_identical ? "yes" : "NO"});
         for (int threads : {2, 4, 8}) {
             std::vector<flow_report> reports;
             const double ms = run_ms([&] { reports = f.run_batch(grid, threads); });
@@ -63,20 +93,24 @@ int main()
                 identical = reports[i].to_string() == reference[i].to_string();
             all_identical = all_identical && identical;
             if (threads == 4 && bench == std::string("elliptic"))
-                speedup_at_4 = ms1 / ms;
-            t.add_row({std::to_string(threads), strf("%.1f", ms),
-                       strf("%.2fx", ms1 / ms), identical ? "yes" : "NO"});
+                speedup_at_4 = ms_uncached / ms;
+            t.add_row({std::to_string(threads), "on", strf("%.1f", ms),
+                       strf("%.2f", ms / grid.size()),
+                       strf("%.2fx", ms_uncached / ms), identical ? "yes" : "NO"});
         }
         std::cout << "--- " << bench << " (T=" << T << ", "
                   << grid.size() << " points) ---\n";
         t.print(std::cout);
         int feasible = 0;
         for (const flow_report& r : reference) feasible += r.st.ok() ? 1 : 0;
-        std::cout << feasible << "/" << reference.size() << " points feasible\n\n";
+        std::cout << feasible << "/" << reference.size() << " points feasible; "
+                  << strf("explore_cache: %ld hits, %ld misses\n\n", cc.hits, cc.misses);
     }
 
-    std::cout << "reports identical across all thread counts: "
+    std::cout << "reports identical across thread counts and caching modes: "
               << (all_identical ? "YES" : "NO") << '\n';
+    std::cout << "cache hits taken on every benchmark: " << (all_hit ? "YES" : "NO")
+              << '\n';
     std::cout << strf("elliptic speedup at 4 threads: %.2fx\n", speedup_at_4);
-    return all_identical ? 0 : 1;
+    return all_identical && all_hit ? 0 : 1;
 }

@@ -20,9 +20,9 @@ namespace phls {
 /// `dt` seconds.  When `periodic`, the pattern repeats until the battery
 /// is exhausted.
 struct load_profile {
-    std::vector<double> current;
-    double dt = 1.0;
-    bool periodic = true;
+    std::vector<double> current; ///< amps drawn during step i
+    double dt = 1.0;             ///< seconds per step
+    bool periodic = true;        ///< repeat the pattern until exhaustion
 };
 
 /// Result of a lifetime simulation.
@@ -37,6 +37,7 @@ class battery_model {
 public:
     virtual ~battery_model() = default;
 
+    /// Short stable model name ("ideal", "peukert", "rakhmatov").
     virtual std::string name() const = 0;
 
     /// Simulates `load` until the battery is exhausted or `max_seconds`

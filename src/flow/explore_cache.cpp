@@ -1,0 +1,127 @@
+#include "flow/explore_cache.h"
+
+#include <algorithm>
+
+#include "cdfg/textio.h"
+#include "sched/schedule.h"
+
+namespace phls {
+
+namespace {
+
+/// Validates the problem before any derived structure is built, so a
+/// malformed graph fails with the validate() diagnostic.
+const graph& checked(const graph& g, const module_library& lib)
+{
+    g.validate();
+    lib.check_covers(g);
+    return g;
+}
+
+} // namespace
+
+explore_cache::explore_cache(const graph& g, const module_library& lib)
+    : g_(g), lib_(lib), reach_(checked(g_, lib_)),
+      graph_text_(write_cdfg_string(g_)), lib_text_(write_library_string(lib_))
+{
+    misses_.store(1, std::memory_order_relaxed); // the eager reachability build
+
+    for (const fu_module& m : lib_.modules()) power_levels_.push_back(m.power);
+    std::sort(power_levels_.begin(), power_levels_.end());
+    power_levels_.erase(std::unique(power_levels_.begin(), power_levels_.end()),
+                        power_levels_.end());
+}
+
+bool explore_cache::compatible(const graph& g, const module_library& lib) const
+{
+    return write_cdfg_string(g) == graph_text_ && write_library_string(lib) == lib_text_;
+}
+
+int explore_cache::bucket(double cap) const
+{
+    // Selection queries exclude a module iff m.power > cap, so the result
+    // depends on cap only through the count of power levels <= cap.
+    return static_cast<int>(
+        std::upper_bound(power_levels_.begin(), power_levels_.end(), cap) -
+        power_levels_.begin());
+}
+
+prospect_result explore_cache::prospect(prospect_policy policy, double cap) const
+{
+    const std::pair<int, int> key{static_cast<int>(policy), bucket(cap)};
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = prospects_.find(key);
+        if (it != prospects_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Computed outside the lock; concurrent misses compute the same value.
+    prospect_result result = make_prospect(g_, lib_, policy, cap);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (result.ok) {
+        // Failures are not memoised: their reason text embeds the exact
+        // cap, which varies within one admissible-module bucket.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        prospects_.emplace(key, result);
+    }
+    return result;
+}
+
+module_assignment explore_cache::fastest(double cap) const
+{
+    const int key = bucket(cap);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = fastest_.find(key);
+        if (it != fastest_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    module_assignment result = fastest_assignment(g_, lib_, cap);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        fastest_.emplace(key, result);
+    }
+    return result;
+}
+
+time_windows explore_cache::initial_windows(prospect_policy policy, double cap,
+                                            int latency, pasap_order order) const
+{
+    const std::tuple<int, double, int, int> key{static_cast<int>(policy), cap, latency,
+                                                static_cast<int>(order)};
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = windows_.find(key);
+        if (it != windows_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    const prospect_result p = prospect(policy, cap);
+    time_windows result;
+    if (!p.ok) {
+        result.reason = p.reason;
+    } else {
+        pasap_options opts;
+        opts.order = order;
+        result = power_windows(g_, lib_, p.assignment, cap, latency, opts);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (p.ok) {
+        // Same rule as prospect(): infeasibility text embeds the exact
+        // point, but here the exact point IS the key, so a feasible-input
+        // failure (e.g. latency below the pasap length) is memoisable;
+        // only the prospect-failure path (cap-text via a shared bucket)
+        // must stay uncached.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        windows_.emplace(key, result);
+    }
+    return result;
+}
+
+} // namespace phls

@@ -1,0 +1,115 @@
+// Shared sub-results for batch design-space exploration.
+//
+// A (T, Pmax) sweep evaluates many constraint points over ONE graph and
+// ONE module library, yet large parts of every evaluation depend only on
+// that (graph, library) pair: the transitive reachability relation behind
+// the compatibility graph, the per-cap prospect module tables, the
+// fastest-assignment tables used by the schedulers, and the initial
+// (unpinned) pasap/palap start-time windows.  explore_cache computes each
+// of those once and serves it to every batch point and worker thread;
+// flow::run_batch builds one automatically, and callers can share a cache
+// across several flows/batches with flow::reuse().
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "sched/mobility.h"
+#include "synth/prospect.h"
+
+namespace phls {
+
+/// Memoised per-(graph, library) invariants of design-space exploration.
+///
+/// The cache owns copies of the graph and library it was built for, so it
+/// outlives the flows that share it.  All lookups are thread-safe and all
+/// returned values are deterministic pure functions of the constructor
+/// inputs and the lookup key — a batch run with a cache is byte-identical
+/// to one without.  Failed prospect selections are recomputed rather than
+/// memoised because their diagnostic text embeds the exact power cap.
+///
+/// @see flow::reuse(), flow::build_cache(), flow::run_batch()
+class explore_cache {
+public:
+    /// Builds the cache for one design problem: validates `g`, checks
+    /// `lib` covers it, and computes the reachability relation eagerly.
+    /// @throws phls::error when the graph is malformed or uncovered.
+    explore_cache(const graph& g, const module_library& lib);
+
+    /// The graph this cache was built for (a private copy).
+    const graph& design() const { return g_; }
+    /// The library this cache was built for (a private copy).
+    const module_library& library() const { return lib_; }
+
+    /// True iff (g, lib) serialise identically to the constructor inputs,
+    /// i.e. every cached value is valid for this problem.  flow checks
+    /// this once per run()/run_batch() before trusting a shared cache.
+    bool compatible(const graph& g, const module_library& lib) const;
+
+    /// The transitive reachability relation of the graph (computed once
+    /// at construction; every call counts as a cache hit).
+    const reachability& reach() const
+    {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return reach_;
+    }
+
+    /// Prospect module table under `policy` and power cap `cap` —
+    /// identical to make_prospect() on the cached problem.  Successful
+    /// tables are memoised per (policy, admissible-module set); the set
+    /// only changes when `cap` crosses a module's per-cycle power, so a
+    /// dense Figure-2 grid resolves to a handful of distinct tables.
+    prospect_result prospect(prospect_policy policy, double cap) const;
+
+    /// fastest_assignment() on the cached problem, memoised the same way.
+    module_assignment fastest(double cap) const;
+
+    /// The initial (no operator committed) pasap/palap windows for one
+    /// constraint point — identical to power_windows() over the `policy`
+    /// prospect table with no fixed starts.  Memoised per exact
+    /// (policy, cap, latency, order) key.
+    time_windows initial_windows(prospect_policy policy, double cap, int latency,
+                                 pasap_order order) const;
+
+    /// Hit/miss counters across all lookups (reach/prospect/fastest/
+    /// windows).  `misses` starts at 1 for the eager reachability build.
+    struct counters {
+        long hits = 0;
+        long misses = 0;
+    };
+
+    /// Snapshot of the counters; safe to call concurrently with lookups.
+    counters stats() const
+    {
+        return {hits_.load(std::memory_order_relaxed),
+                misses_.load(std::memory_order_relaxed)};
+    }
+
+private:
+    /// Index of the admissible-module set for `cap`: the number of
+    /// distinct per-cycle power levels <= cap.  Module selection depends
+    /// on `cap` only through this value.
+    int bucket(double cap) const;
+
+    graph g_;
+    module_library lib_;
+    reachability reach_;
+    std::string graph_text_;
+    std::string lib_text_;
+    std::vector<double> power_levels_; ///< sorted distinct module powers
+
+    mutable std::mutex mutex_;
+    mutable std::map<std::pair<int, int>, prospect_result> prospects_;
+    mutable std::map<int, module_assignment> fastest_;
+    mutable std::map<std::tuple<int, double, int, int>, time_windows> windows_;
+    mutable std::atomic<long> hits_{0};
+    mutable std::atomic<long> misses_{0};
+};
+
+} // namespace phls

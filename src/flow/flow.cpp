@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "battery/lifetime.h"
+#include "flow/explore_cache.h"
 #include "support/errors.h"
 #include "support/strings.h"
 
@@ -25,7 +27,7 @@ std::string flow_report::to_string() const
 {
     // Canonical rendering of every *result* field; wall_ms is timing
     // noise and deliberately excluded so identical outcomes serialise
-    // identically regardless of machine load or thread count.
+    // identically regardless of machine load, thread count or caching.
     std::string out;
     out += "status: " + st.to_string() + '\n';
     out += "strategy: " + strategy + '\n';
@@ -121,7 +123,36 @@ flow& flow::estimate_lifetime(const lifetime_spec& spec)
     return *this;
 }
 
-flow_report flow::run_point(const synthesis_constraints& c) const
+flow& flow::reuse(std::shared_ptr<const explore_cache> cache)
+{
+    cache_ = std::move(cache);
+    return *this;
+}
+
+flow& flow::caching(bool enabled)
+{
+    caching_ = enabled;
+    return *this;
+}
+
+std::shared_ptr<explore_cache> flow::build_cache() const
+{
+    return std::make_shared<explore_cache>(graph_, lib_);
+}
+
+status flow::shared_cache(const explore_cache** out) const
+{
+    *out = nullptr;
+    if (!cache_) return status::success();
+    if (!cache_->compatible(graph_, lib_))
+        return status::invalid(
+            "explore_cache was built for a different graph or library");
+    *out = cache_.get();
+    return status::success();
+}
+
+flow_report flow::run_point(const synthesis_constraints& c,
+                            const explore_cache* cache) const
 {
     const auto started = std::chrono::steady_clock::now();
     flow_report report;
@@ -143,6 +174,7 @@ flow_report flow::run_point(const synthesis_constraints& c) const
         request.constraints = c;
         request.options = options_;
         request.exact = exact_;
+        request.cache = cache;
         synth_outcome outcome = strategy->run(request);
 
         report.st = outcome.st;
@@ -188,13 +220,68 @@ flow_report flow::run_point(const synthesis_constraints& c) const
     return report;
 }
 
-flow_report flow::run() const { return run_point(constraints_); }
+flow_report flow::run() const
+{
+    const explore_cache* cache = nullptr;
+    if (const status st = shared_cache(&cache); !st.ok()) {
+        flow_report report;
+        report.strategy = synth_name_;
+        report.constraints = constraints_;
+        report.st = st;
+        return report;
+    }
+    return run_point(constraints_, cache);
+}
 
 std::vector<flow_report>
 flow::run_batch(const std::vector<synthesis_constraints>& points, int threads) const
 {
+    return run_batch_stream(points, {}, threads);
+}
+
+std::vector<flow_report>
+flow::run_batch_stream(const std::vector<synthesis_constraints>& points,
+                       const stream_callback& on_result, int threads) const
+{
     std::vector<flow_report> reports(points.size());
     if (points.empty()) return reports;
+
+    // One compatibility check per batch, not per point; a stale shared
+    // cache fails the whole batch loudly instead of computing on the
+    // wrong problem.  Callback semantics match the worker-pool path: a
+    // throwing consumer cancels further deliveries, every report is
+    // still filled in, and the exception is rethrown at the end.
+    const explore_cache* cache = nullptr;
+    if (const status st = shared_cache(&cache); !st.ok()) {
+        std::exception_ptr consumer_error;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            reports[i].strategy = synth_name_;
+            reports[i].constraints = points[i];
+            reports[i].st = st;
+            if (!on_result || consumer_error) continue;
+            try {
+                on_result(i, reports[i]);
+            } catch (...) {
+                consumer_error = std::current_exception();
+            }
+        }
+        if (consumer_error) std::rethrow_exception(consumer_error);
+        return reports;
+    }
+
+    // Without a shared cache, build one for this batch so every point
+    // reuses the (graph, lib) invariants.  A malformed problem cannot be
+    // cached; each point then reports invalid_argument through the
+    // normal uncached path.
+    std::shared_ptr<const explore_cache> batch_cache;
+    if (cache == nullptr && caching_) {
+        try {
+            batch_cache = build_cache();
+            cache = batch_cache.get();
+        } catch (const std::exception&) {
+            cache = nullptr;
+        }
+    }
 
     std::size_t workers = threads > 0
                               ? static_cast<std::size_t>(threads)
@@ -204,35 +291,54 @@ flow::run_batch(const std::vector<synthesis_constraints>& points, int threads) c
     // Each point is claimed by exactly one worker and written to its own
     // slot, so results are in input order and independent of the worker
     // count; run_point never throws, but the extra catch keeps even an
-    // allocation failure isolated to one point's report.
+    // allocation failure isolated to one point's report.  Streaming
+    // callbacks are serialised under `stream_mutex` and delivered in
+    // completion order; the first callback exception cancels the rest
+    // and is rethrown once every worker has drained.
     std::atomic<std::size_t> next{0};
+    std::mutex stream_mutex;
+    std::exception_ptr stream_error;
+    const auto deliver = [&](std::size_t i) {
+        if (!on_result) return;
+        const std::lock_guard<std::mutex> lock(stream_mutex);
+        if (stream_error) return;
+        try {
+            on_result(i, reports[i]);
+        } catch (...) {
+            stream_error = std::current_exception();
+        }
+    };
     const auto drain = [&]() {
         for (std::size_t i = next.fetch_add(1); i < points.size();
              i = next.fetch_add(1)) {
             try {
-                reports[i] = run_point(points[i]);
+                reports[i] = run_point(points[i], cache);
             } catch (const std::exception& e) {
                 reports[i] = flow_report{};
                 reports[i].strategy = synth_name_;
                 reports[i].constraints = points[i];
                 reports[i].st = status::internal(e.what());
             }
+            deliver(i);
         }
     };
 
     if (workers == 1) {
         drain();
-        return reports;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+        for (std::thread& t : pool) t.join();
     }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
-    for (std::thread& t : pool) t.join();
+    if (stream_error) std::rethrow_exception(stream_error);
     return reports;
 }
 
 sched_outcome flow::run_schedule() const
 {
+    const explore_cache* cache = nullptr;
+    if (const status st = shared_cache(&cache); !st.ok()) return {st, {}};
     const scheduler_strategy* strategy =
         strategy_registry::instance().scheduler(sched_name_);
     if (strategy == nullptr)
@@ -244,12 +350,15 @@ sched_outcome flow::run_schedule() const
     request.power_cap = constraints_.max_power;
     request.latency = constraints_.latency;
     request.order = options_.order;
+    request.cache = cache;
     return strategy->run(request);
 }
 
 std::vector<double> flow::power_grid(int points) const
 {
     check(points >= 2, "power grid needs at least two points");
+    const explore_cache* cache = nullptr;
+    if (const status st = shared_cache(&cache); !st.ok()) throw error(st.message);
 
     // Lower edge: no operation can run below the min per-cycle power of
     // its kind, so the sweep starts just under that necessary bound.
@@ -263,7 +372,7 @@ std::vector<double> flow::power_grid(int points) const
     // Upper edge: the unconstrained design's peak; everything above it is
     // a plateau.
     const flow_report unconstrained =
-        run_point({constraints_.latency, unbounded_power});
+        run_point({constraints_.latency, unbounded_power}, cache);
     double high = unconstrained.st.ok() ? unconstrained.peak : low * 4.0;
     high = std::max(high, low + 1.0);
 

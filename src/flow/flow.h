@@ -16,13 +16,16 @@
 //   if (r.st.ok()) use(r.dp, r.nl);
 //
 // Backends are pluggable by name through the strategy registry
-// (`.synthesizer("exact")`, `.scheduler("fds")` -- see strategy.h), and
-// `run_batch` evaluates many (T, Pmax) points across a worker pool with
-// per-point isolation and deterministic, input-ordered results.  The
-// legacy free functions (synthesize, sweep_power, ...) remain as thin
-// deprecated shims over this engine for one release.
+// (`.synthesizer("exact")`, `.scheduler("fds")` -- see strategy.h).
+// Batch exploration runs through `run_batch` / `run_batch_stream`: many
+// (T, Pmax) points on a worker pool with per-point isolation,
+// deterministic input-ordered results, per-(graph, lib) sub-results
+// shared through an explore_cache, and (for the streaming variant) a
+// callback that delivers each report as its point completes.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,8 @@
 #include "rtl/netlist.h"
 
 namespace phls {
+
+class explore_cache;
 
 /// Battery-lifetime stage parameters (see battery/battery.h for the
 /// underlying Rakhmatov-Vrudhula model).
@@ -65,7 +70,7 @@ struct flow_report {
     int latency = 0;    ///< achieved latency, cycles
 
     bool has_netlist = false; ///< emit_netlist() stage ran
-    netlist nl;
+    netlist nl;               ///< structural netlist (see has_netlist)
 
     bool has_lifetime = false;       ///< estimate_lifetime() stage ran
     double lifetime_seconds = 0.0;   ///< battery lifetime of this design
@@ -73,12 +78,22 @@ struct flow_report {
 
     double wall_ms = 0.0; ///< wall-clock time of this run
 
+    /// Shorthand for st.ok().
     bool feasible() const { return st.ok(); }
 
     /// Canonical multi-line rendering of every result field (used by the
     /// determinism tests: identical reports must serialise identically).
     std::string to_string() const;
 };
+
+/// Streaming report channel for run_batch_stream: invoked once per batch
+/// point, with the point's input index and its finished report, in
+/// completion order.  Calls are serialised (never concurrent), so the
+/// callback may touch shared state without locking; it must not block
+/// for long (it stalls the worker pool) and should not throw -- a thrown
+/// exception cancels further callbacks and rethrows to the caller after
+/// the batch finishes.
+using stream_callback = std::function<void(std::size_t index, const flow_report& report)>;
 
 /// Fluent builder + executor for one design problem.  The graph and
 /// library are copied in, so a flow outlives its inputs; a configured
@@ -89,9 +104,13 @@ public:
     /// Starts a flow on a copy of `g` with the paper's Table 1 library.
     static flow on(const graph& g);
 
+    /// Replaces the module library (default: the paper's Table 1).
     flow& with_library(const module_library& lib);
+    /// Sets the latency constraint T in cycles.
     flow& latency(int cycles);
+    /// Sets the per-cycle power cap Pmax (default: unbounded).
     flow& power_cap(double max_power);
+    /// Sets both constraints at once.
     flow& constraints(const synthesis_constraints& c);
 
     /// Selects the synthesis backend by registry name (default "greedy").
@@ -108,6 +127,26 @@ public:
     /// Enables the battery stage: lifetime of the synthesised design.
     flow& estimate_lifetime(const lifetime_spec& spec = {});
 
+    /// Shares a pre-built explore_cache with this flow: run(), batch runs
+    /// and run_schedule() serve reachability, prospect tables and initial
+    /// windows from it instead of recomputing per point.  The cache must
+    /// have been built for this flow's (graph, library) -- see
+    /// build_cache(); a mismatched cache makes every run report
+    /// invalid_argument rather than silently computing on the wrong
+    /// problem.
+    flow& reuse(std::shared_ptr<const explore_cache> cache);
+
+    /// Enables/disables the automatic per-batch cache (default enabled).
+    /// run_batch builds a fresh explore_cache per call when no shared one
+    /// was installed with reuse(); pass false to benchmark the uncached
+    /// path.  Results are byte-identical either way.
+    flow& caching(bool enabled);
+
+    /// Builds an explore_cache for this flow's (graph, library), ready to
+    /// pass to reuse() -- on this flow and on any other flow over the
+    /// same problem.  @throws phls::error on a malformed problem.
+    std::shared_ptr<explore_cache> build_cache() const;
+
     /// Runs scheduling -> synthesis -> netlist -> lifetime for the
     /// configured constraint point.  Never throws: malformed inputs come
     /// back as status invalid_argument, impossible constraints as
@@ -118,9 +157,19 @@ public:
     /// of `threads` workers (0 = hardware concurrency).  Results are in
     /// input order and bit-identical to `threads == 1`; a failure in one
     /// point (including an escaped exception) is isolated to that
-    /// point's report.
+    /// point's report.  Per-(graph, lib) sub-results are shared across
+    /// points through an explore_cache (see reuse()/caching()).
     std::vector<flow_report> run_batch(const std::vector<synthesis_constraints>& points,
                                        int threads = 0) const;
+
+    /// run_batch with a streaming report channel: `on_result` is invoked
+    /// once per point as it completes (completion order, serialised --
+    /// see stream_callback), and the full input-ordered vector is still
+    /// returned at the end, byte-identical to run_batch.  An empty
+    /// callback degrades to plain run_batch.
+    std::vector<flow_report>
+    run_batch_stream(const std::vector<synthesis_constraints>& points,
+                     const stream_callback& on_result, int threads = 0) const;
 
     /// Runs only the scheduling stage with the selected scheduler
     /// strategy (assignment: fastest modules under the cap).
@@ -128,18 +177,27 @@ public:
 
     /// A Figure-2-style power grid for this problem: `points` caps from
     /// just below the feasibility threshold to just above the
-    /// unconstrained design's peak.
+    /// unconstrained design's peak.  @throws phls::error when points < 2
+    /// or the library does not cover the graph.
     std::vector<double> power_grid(int points) const;
 
-    // Accessors (used by shims and reporting).
+    // Accessors (used by reporting and the CLI).
+    /// The graph this flow was built on.
     const graph& design() const { return graph_; }
+    /// The module library in use.
     const module_library& library() const { return lib_; }
+    /// The configured (T, Pmax) point.
     const synthesis_constraints& point() const { return constraints_; }
 
 private:
     explicit flow(const graph& g);
 
-    flow_report run_point(const synthesis_constraints& c) const;
+    flow_report run_point(const synthesis_constraints& c,
+                          const explore_cache* cache) const;
+
+    /// The shared cache when it is installed and matches this problem;
+    /// a non-ok status when it is installed but stale.
+    status shared_cache(const explore_cache** out) const;
 
     graph graph_;
     module_library lib_;
@@ -151,6 +209,8 @@ private:
     bool want_netlist_ = false;
     bool want_lifetime_ = false;
     lifetime_spec lifetime_;
+    std::shared_ptr<const explore_cache> cache_;
+    bool caching_ = true;
 };
 
 } // namespace phls

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "flow/explore_cache.h"
 #include "sched/asap_alap.h"
 #include "sched/force_directed.h"
 #include "support/errors.h"
@@ -32,14 +33,16 @@ status validate(const synth_request& r)
 }
 
 /// Fills `a` from the request (explicit assignment, or the fastest
-/// modules that fit under the power cap).
+/// modules that fit under the power cap, served by the explore_cache
+/// when one is attached).
 status resolve_assignment(const sched_request& r, module_assignment& a)
 {
     if (!r.assignment.empty()) {
         a = r.assignment;
         return status::success();
     }
-    a = fastest_assignment(*r.g, *r.lib, r.power_cap);
+    a = r.cache ? r.cache->fastest(r.power_cap)
+                : fastest_assignment(*r.g, *r.lib, r.power_cap);
     if (a.empty())
         return status::infeasible("no module fits under the power cap");
     return status::success();
@@ -221,7 +224,7 @@ public:
             synth_outcome out;
             if (out.st = validate(r); !out.st.ok()) return out;
             const synthesis_result sr =
-                synthesize(*r.g, *r.lib, r.constraints, r.options);
+                synthesize(*r.g, *r.lib, r.constraints, r.options, r.cache);
             out.stats = sr.stats;
             if (!sr.feasible) {
                 out.st = status::infeasible(sr.reason);
@@ -278,7 +281,8 @@ public:
             synth_outcome out;
             if (out.st = validate(r); !out.st.ok()) return out;
             const module_assignment a =
-                fastest_assignment(*r.g, *r.lib, r.constraints.max_power);
+                r.cache ? r.cache->fastest(r.constraints.max_power)
+                        : fastest_assignment(*r.g, *r.lib, r.constraints.max_power);
             if (a.empty()) {
                 out.st = status::infeasible("no module fits under the power cap");
                 return out;

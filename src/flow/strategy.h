@@ -21,24 +21,30 @@
 
 namespace phls {
 
+class explore_cache;
+
 // ------------------------------------------------------------ schedulers
 
 /// Inputs to a scheduler strategy.  `assignment` may be empty, in which
 /// case the strategy picks the fastest module per operation that fits
 /// under `power_cap`.  `latency == 0` means unbounded.
 struct sched_request {
-    const graph* g = nullptr;
-    const module_library* lib = nullptr;
-    module_assignment assignment;
-    double power_cap = unbounded_power;
-    int latency = 0;
-    pasap_order order = pasap_order::critical_path;
+    const graph* g = nullptr;              ///< the design to schedule
+    const module_library* lib = nullptr;   ///< functional-unit library
+    module_assignment assignment;          ///< per-node module (may be empty)
+    double power_cap = unbounded_power;    ///< per-cycle power cap
+    int latency = 0;                       ///< latency bound (0 = unbounded)
+    pasap_order order = pasap_order::critical_path; ///< pasap pick order
+    /// Shared (graph, lib) invariants for batch exploration; may be null.
+    /// When set, it must have been built for (*g, *lib) -- the flow
+    /// engine guarantees this; direct callers own the contract.
+    const explore_cache* cache = nullptr;
 };
 
 /// Scheduler outcome: `sched` is complete iff `st.ok()`.
 struct sched_outcome {
-    status st;
-    schedule sched;
+    status st;      ///< ok, infeasible, invalid_argument, ...
+    schedule sched; ///< complete schedule (see st)
 };
 
 /// A named scheduling backend.  Implementations must be stateless /
@@ -46,8 +52,11 @@ struct sched_outcome {
 class scheduler_strategy {
 public:
     virtual ~scheduler_strategy() = default;
+    /// Stable registry name ("asap", "pasap", ...).
     virtual std::string name() const = 0;
+    /// One-line human description (shown by `phls strategies`).
     virtual std::string description() const = 0;
+    /// Runs the scheduler; never throws for expected failures.
     virtual sched_outcome run(const sched_request& request) const = 0;
 };
 
@@ -55,11 +64,14 @@ public:
 
 /// Inputs to a synthesis strategy.
 struct synth_request {
-    const graph* g = nullptr;
-    const module_library* lib = nullptr;
-    synthesis_constraints constraints;
-    synthesis_options options;
+    const graph* g = nullptr;            ///< the design to synthesise
+    const module_library* lib = nullptr; ///< functional-unit library
+    synthesis_constraints constraints;   ///< the (T, Pmax) point
+    synthesis_options options;           ///< heuristic knobs
     exact_options exact; ///< budget, used by the "exact" strategy only
+    /// Shared (graph, lib) invariants for batch exploration; may be null.
+    /// Same contract as sched_request::cache.
+    const explore_cache* cache = nullptr;
 };
 
 /// Synthesis outcome.  `dp` holds a design whenever one was produced --
@@ -67,10 +79,10 @@ struct synth_request {
 /// is infeasible but `has_design` is still true so callers can report
 /// the achieved peak.
 struct synth_outcome {
-    status st;
-    bool has_design = false;
-    datapath dp;
-    synthesis_stats stats;
+    status st;               ///< ok, infeasible, invalid_argument, ...
+    bool has_design = false; ///< dp holds a design (may violate the cap)
+    datapath dp;             ///< schedule + allocation + binding
+    synthesis_stats stats;   ///< heuristic counters
     bool optimal = false; ///< design proven minimal-area ("exact" strategy)
     std::string note;     ///< e.g. "optimal" or "search budget exhausted"
 };
@@ -80,8 +92,11 @@ struct synth_outcome {
 class synth_strategy {
 public:
     virtual ~synth_strategy() = default;
+    /// Stable registry name ("greedy", "exact", ...).
     virtual std::string name() const = 0;
+    /// One-line human description (shown by `phls strategies`).
     virtual std::string description() const = 0;
+    /// Runs the synthesis; never throws for expected failures.
     virtual synth_outcome run(const synth_request& request) const = 0;
 };
 

@@ -1,9 +1,11 @@
 #include "synth/clique.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "cdfg/analysis.h"
+#include "flow/explore_cache.h"
 #include "sched/mobility.h"
 #include "support/errors.h"
 #include "support/log.h"
@@ -36,7 +38,8 @@ struct partition_state {
 
 synthesis_result run_clique_partitioning(const graph& g, const module_library& lib,
                                          const synthesis_constraints& constraints,
-                                         const synthesis_options& options)
+                                         const synthesis_options& options,
+                                         const explore_cache* cache)
 {
     const int n = g.node_count();
     const double cap = constraints.max_power;
@@ -44,8 +47,11 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
     result.dp = datapath(design_name(g, constraints), n);
     check(constraints.latency >= 1, "latency constraint must be positive");
 
-    // 1. Prospect modules under the power cap.
-    const prospect_result prospect = make_prospect(g, lib, options.policy, cap);
+    // 1. Prospect modules under the power cap (one table per
+    // admissible-module set when a batch cache is attached).
+    const prospect_result prospect =
+        cache ? cache->prospect(options.policy, cap)
+              : make_prospect(g, lib, options.policy, cap);
     if (!prospect.ok) {
         result.reason = prospect.reason;
         return result;
@@ -66,14 +72,27 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         return power_windows(g, lib, s.assignment, cap, constraints.latency, o);
     };
 
-    // 2. Initial pasap/palap windows.
-    st.windows = recompute_windows(st);
+    // 2. Initial pasap/palap windows.  With no operator committed yet
+    // they are a pure function of (graph, lib, policy, cap, T, order),
+    // so a batch cache serves them across points; the counter still
+    // advances to keep reports byte-identical with the uncached path.
+    if (cache != nullptr) {
+        ++result.stats.window_recomputes;
+        st.windows = cache->initial_windows(options.policy, cap, constraints.latency,
+                                            options.order);
+    } else {
+        st.windows = recompute_windows(st);
+    }
     if (!st.windows.feasible) {
         result.reason = st.windows.reason;
         return result;
     }
 
-    const reachability reach(g);
+    // 3. Reachability: a pure graph invariant, computed once per batch
+    // when cached instead of once per (point, policy).
+    std::optional<reachability> local_reach;
+    if (cache == nullptr) local_reach.emplace(g);
+    const reachability& reach = cache ? cache->reach() : *local_reach;
     bool locked = false;
 
     // Locks every free operator to its current pasap start time (the
@@ -103,7 +122,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         s.dp.bind(v, inst, t);
     };
 
-    // 3. Greedy merge loop.
+    // 4. Greedy merge loop.
     std::set<std::string> blacklist;
     while (true) {
         compat_inputs in;
@@ -162,7 +181,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
             blacklist.insert(chosen.key());
     }
 
-    // 4. Finalisation: leftover operators become singleton instances.
+    // 5. Finalisation: leftover operators become singleton instances.
     // First give each a chance to move to the cheapest power-feasible
     // module (validated by a full window recompute), then batch-commit
     // the rest at their pasap times, which are feasible by construction.

@@ -24,32 +24,6 @@ sweep_point to_sweep_point(const flow_report& report)
     return pt;
 }
 
-std::vector<sweep_point> sweep_power(const graph& g, const module_library& lib,
-                                     int latency, const std::vector<double>& caps,
-                                     const synthesis_options& options, int threads)
-{
-    std::vector<synthesis_constraints> points;
-    points.reserve(caps.size());
-    for (double cap : caps) points.push_back({latency, cap});
-
-    const std::vector<flow_report> reports =
-        flow::on(g).with_library(lib).latency(latency).options(options).run_batch(
-            points, threads);
-
-    std::vector<sweep_point> out;
-    out.reserve(reports.size());
-    for (const flow_report& r : reports) out.push_back(to_sweep_point(r));
-    return out;
-}
-
-std::vector<double> default_power_grid(const graph& g, const module_library& lib,
-                                       int latency, int points,
-                                       const synthesis_options& options)
-{
-    return flow::on(g).with_library(lib).latency(latency).options(options).power_grid(
-        points);
-}
-
 std::vector<sweep_point> monotone_envelope(const std::vector<sweep_point>& points)
 {
     std::vector<sweep_point> out = points;

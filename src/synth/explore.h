@@ -1,12 +1,12 @@
-// Design-space exploration: the (T, Pmax) sweeps behind Figure 2 and the
-// DSE example, plus Pareto-front extraction.
+// Design-space exploration post-processing: the envelope and Pareto
+// helpers behind Figure 2 and the DSE example.
 //
-// DEPRECATED (kept as shims for one release): `sweep_power` and
-// `default_power_grid` are thin wrappers over the flow engine --
-// `flow::run_batch` and `flow::power_grid` (see flow/flow.h) -- and now
-// evaluate sweep points on a worker pool.  New code should use the flow
-// API directly; `monotone_envelope` and `pareto_front` remain the
-// canonical post-processing helpers.
+// The sweeps themselves run through the flow engine -- build a grid with
+// `flow::power_grid`, evaluate it with `flow::run_batch` (or stream it
+// with `flow::run_batch_stream`), then map each flow_report to the
+// sweep_point shape with `to_sweep_point` and post-process here.  The
+// legacy sweep free functions were removed after one release as
+// deprecated shims; see docs/FLOW_API.md for the migration.
 #pragma once
 
 #include <vector>
@@ -17,30 +17,14 @@ namespace phls {
 
 /// One synthesis run inside a sweep.
 struct sweep_point {
-    double cap = 0.0;   ///< Pmax used
-    int latency_bound = 0;
-    bool feasible = false;
-    double area = 0.0;
-    double peak = 0.0;  ///< achieved peak power
-    int latency = 0;    ///< achieved latency
-    synthesis_stats stats;
+    double cap = 0.0;      ///< Pmax used
+    int latency_bound = 0; ///< T used
+    bool feasible = false; ///< a design satisfying (T, Pmax) exists
+    double area = 0.0;     ///< total datapath area
+    double peak = 0.0;     ///< achieved peak power
+    int latency = 0;       ///< achieved latency
+    synthesis_stats stats; ///< heuristic counters of the run
 };
-
-/// Synthesises once per cap in `caps` at fixed latency bound, on
-/// `threads` workers (0 = hardware concurrency; results are identical
-/// for every thread count).  Deprecated shim over flow::run_batch.
-std::vector<sweep_point> sweep_power(const graph& g, const module_library& lib,
-                                     int latency, const std::vector<double>& caps,
-                                     const synthesis_options& options = {},
-                                     int threads = 0);
-
-/// A power grid for Figure-2-style curves: `points` values spanning from
-/// just below the infeasibility threshold to just above the design's
-/// unconstrained peak (so the sweep shows both the cliff and the plateau).
-/// Deprecated shim over flow::power_grid.
-std::vector<double> default_power_grid(const graph& g, const module_library& lib,
-                                       int latency, int points,
-                                       const synthesis_options& options = {});
 
 /// Monotone envelope of a cap-ascending sweep: every design whose
 /// *achieved* peak fits under a looser cap is also a valid solution
@@ -59,7 +43,8 @@ std::vector<sweep_point> monotone_envelope(const std::vector<sweep_point>& point
 /// all-infeasible input yields an empty front.
 std::vector<sweep_point> pareto_front(const std::vector<sweep_point>& points);
 
-/// Maps one flow batch report to the legacy sweep_point shape.
+/// Maps one flow batch report to the sweep_point shape consumed by
+/// monotone_envelope / pareto_front.
 sweep_point to_sweep_point(const struct flow_report& report);
 
 } // namespace phls

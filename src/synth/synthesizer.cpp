@@ -1,5 +1,6 @@
 #include "synth/synthesizer.h"
 
+#include "flow/explore_cache.h"
 #include "synth/clique.h"
 #include "synth/verify.h"
 
@@ -9,9 +10,11 @@ namespace {
 
 synthesis_result synthesize_one(const graph& g, const module_library& lib,
                                 const synthesis_constraints& constraints,
-                                const synthesis_options& options)
+                                const synthesis_options& options,
+                                const explore_cache* cache)
 {
-    synthesis_result result = run_clique_partitioning(g, lib, constraints, options);
+    synthesis_result result =
+        run_clique_partitioning(g, lib, constraints, options, cache);
     if (!result.feasible) return result;
 
     result.dp.compute_area(g, lib, options.costs);
@@ -24,12 +27,14 @@ synthesis_result synthesize_one(const graph& g, const module_library& lib,
 
 synthesis_result synthesize(const graph& g, const module_library& lib,
                             const synthesis_constraints& constraints,
-                            const synthesis_options& options)
+                            const synthesis_options& options,
+                            const explore_cache* cache)
 {
     g.validate();
     lib.check_covers(g);
 
-    if (!options.try_both_prospects) return synthesize_one(g, lib, constraints, options);
+    if (!options.try_both_prospects)
+        return synthesize_one(g, lib, constraints, options, cache);
 
     synthesis_options fast = options;
     fast.try_both_prospects = false;
@@ -37,11 +42,28 @@ synthesis_result synthesize(const graph& g, const module_library& lib,
     synthesis_options cheap = fast;
     cheap.policy = prospect_policy::cheapest_fit;
 
-    synthesis_result a = synthesize_one(g, lib, constraints, fast);
-    synthesis_result b = synthesize_one(g, lib, constraints, cheap);
+    // Under many caps the two policies resolve to the same module per
+    // operation (e.g. Table 1 below the parallel multiplier's power:
+    // both pick mult_ser, and add/sub/comp have a unique best module).
+    // Synthesis is a deterministic function of the prospect table, so
+    // the second run would reproduce the first bit for bit -- skip it.
+    const double cap = constraints.max_power;
+    const prospect_result pf =
+        cache ? cache->prospect(prospect_policy::fastest_fit, cap)
+              : make_prospect(g, lib, prospect_policy::fastest_fit, cap);
+    const prospect_result pc =
+        cache ? cache->prospect(prospect_policy::cheapest_fit, cap)
+              : make_prospect(g, lib, prospect_policy::cheapest_fit, cap);
+    const bool same_prospects =
+        pf.ok == pc.ok && pf.assignment == pc.assignment && pf.reason == pc.reason;
+
+    const synthesis_result a = synthesize_one(g, lib, constraints, fast, cache);
+    const synthesis_result b =
+        same_prospects ? a : synthesize_one(g, lib, constraints, cheap, cache);
     if (!a.feasible && !b.feasible) {
-        a.reason = "fastest_fit: " + a.reason + "; cheapest_fit: " + b.reason;
-        return a;
+        synthesis_result out = a;
+        out.reason = "fastest_fit: " + a.reason + "; cheapest_fit: " + b.reason;
+        return out;
     }
     if (!a.feasible) return b;
     if (!b.feasible) return a;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "cdfg/benchmarks.h"
+#include "flow/flow.h"
 #include "support/errors.h"
 #include "synth/explore.h"
 
@@ -15,11 +16,31 @@ const module_library& lib()
     return l;
 }
 
+/// Evaluates one cap grid through the flow engine and maps the reports
+/// to sweep points (what the removed legacy sweep shim used to do).
+std::vector<sweep_point> sweep(const graph& g, int T, const std::vector<double>& caps,
+                               int threads = 0)
+{
+    std::vector<synthesis_constraints> grid;
+    grid.reserve(caps.size());
+    for (double cap : caps) grid.push_back({T, cap});
+    std::vector<sweep_point> out;
+    for (const flow_report& r :
+         flow::on(g).with_library(lib()).latency(T).run_batch(grid, threads))
+        out.push_back(to_sweep_point(r));
+    return out;
+}
+
+std::vector<double> power_grid(const graph& g, int T, int points)
+{
+    return flow::on(g).with_library(lib()).latency(T).power_grid(points);
+}
+
 TEST(explore, sweep_reports_one_point_per_cap)
 {
     const graph g = make_hal();
     const std::vector<double> caps = {2.0, 6.0, 9.0, 15.0};
-    const std::vector<sweep_point> pts = sweep_power(g, lib(), 17, caps);
+    const std::vector<sweep_point> pts = sweep(g, 17, caps);
     ASSERT_EQ(pts.size(), caps.size());
     for (std::size_t i = 0; i < caps.size(); ++i) {
         EXPECT_DOUBLE_EQ(pts[i].cap, caps[i]);
@@ -35,24 +56,23 @@ TEST(explore, sweep_reports_one_point_per_cap)
 TEST(explore, default_grid_spans_the_cliff_and_the_plateau)
 {
     const graph g = make_hal();
-    const std::vector<double> caps = default_power_grid(g, lib(), 17, 12);
+    const std::vector<double> caps = power_grid(g, 17, 12);
     ASSERT_EQ(caps.size(), 12u);
     for (std::size_t i = 1; i < caps.size(); ++i) EXPECT_GT(caps[i], caps[i - 1]);
-    const std::vector<sweep_point> pts = sweep_power(g, lib(), 17, caps);
+    const std::vector<sweep_point> pts = sweep(g, 17, caps);
     EXPECT_FALSE(pts.front().feasible); // starts below feasibility
     EXPECT_TRUE(pts.back().feasible);   // ends above the unconstrained peak
 }
 
 TEST(explore, default_grid_requires_two_points)
 {
-    EXPECT_THROW(default_power_grid(make_hal(), lib(), 17, 1), error);
+    EXPECT_THROW(power_grid(make_hal(), 17, 1), error);
 }
 
 TEST(explore, envelope_is_monotone_and_dominates_raw)
 {
     const graph g = make_cosine();
-    const std::vector<sweep_point> raw =
-        sweep_power(g, lib(), 12, default_power_grid(g, lib(), 12, 12));
+    const std::vector<sweep_point> raw = sweep(g, 12, power_grid(g, 12, 12));
     const std::vector<sweep_point> env = monotone_envelope(raw);
     ASSERT_EQ(env.size(), raw.size());
     double last_area = std::numeric_limits<double>::infinity();
@@ -102,8 +122,7 @@ TEST(explore, envelope_ignores_designs_that_overshoot_the_cap)
 TEST(explore, pareto_front_is_strictly_improving)
 {
     const graph g = make_hal();
-    const std::vector<sweep_point> pts =
-        sweep_power(g, lib(), 17, default_power_grid(g, lib(), 17, 16));
+    const std::vector<sweep_point> pts = sweep(g, 17, power_grid(g, 17, 16));
     const std::vector<sweep_point> front = pareto_front(pts);
     ASSERT_FALSE(front.empty());
     for (std::size_t i = 1; i < front.size(); ++i) {
@@ -185,10 +204,10 @@ TEST(explore, envelope_breaks_area_ties_by_lower_peak)
 TEST(explore, sweep_is_identical_across_thread_counts)
 {
     const graph g = make_hal();
-    const std::vector<double> caps = default_power_grid(g, lib(), 17, 10);
-    const std::vector<sweep_point> seq = sweep_power(g, lib(), 17, caps, {}, 1);
+    const std::vector<double> caps = power_grid(g, 17, 10);
+    const std::vector<sweep_point> seq = sweep(g, 17, caps, 1);
     for (int threads : {2, 4}) {
-        const std::vector<sweep_point> par = sweep_power(g, lib(), 17, caps, {}, threads);
+        const std::vector<sweep_point> par = sweep(g, 17, caps, threads);
         ASSERT_EQ(par.size(), seq.size());
         for (std::size_t i = 0; i < seq.size(); ++i) {
             EXPECT_EQ(par[i].feasible, seq[i].feasible);

@@ -1,0 +1,209 @@
+// Tests for the batch explore_cache (shared per-(graph, lib) sub-results)
+// and the streaming batch report channel.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "cdfg/benchmarks.h"
+#include "flow/explore_cache.h"
+#include "flow/flow.h"
+#include "support/errors.h"
+#include "synth/prospect.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+std::vector<synthesis_constraints> hal_grid(int points)
+{
+    const flow f = flow::on(make_hal()).with_library(lib()).latency(17);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(points)) grid.push_back({17, cap});
+    return grid;
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(explore_cache, cached_batches_are_byte_identical_to_uncached_across_threads)
+{
+    const graph g = make_cosine();
+    const flow base = flow::on(g).with_library(lib()).latency(15);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : base.power_grid(16)) grid.push_back({15, cap});
+
+    // The uncached sequential run is the pre-cache engine behaviour.
+    const std::vector<flow_report> reference =
+        flow::on(g).with_library(lib()).latency(15).caching(false).run_batch(grid, 1);
+    ASSERT_EQ(reference.size(), grid.size());
+
+    const auto cache = base.build_cache();
+    const flow cached = flow::on(g).with_library(lib()).latency(15).reuse(cache);
+    for (int threads : {1, 2, 8}) {
+        const std::vector<flow_report> reports = cached.run_batch(grid, threads);
+        ASSERT_EQ(reports.size(), reference.size()) << threads << " threads";
+        for (std::size_t i = 0; i < reports.size(); ++i)
+            EXPECT_EQ(reports[i].to_string(), reference[i].to_string())
+                << threads << " threads, point " << i;
+    }
+}
+
+TEST(explore_cache, hits_are_taken_on_a_16_point_sweep)
+{
+    const auto cache = std::make_shared<explore_cache>(make_hal(), lib());
+    const flow f = flow::on(make_hal()).with_library(lib()).latency(17).reuse(cache);
+    const std::vector<flow_report> reports = f.run_batch(hal_grid(16), 2);
+    ASSERT_EQ(reports.size(), 16u);
+
+    const explore_cache::counters c = cache->stats();
+    EXPECT_GT(c.hits, 0);
+    // Every feasible point takes several hits (prospect tables from both
+    // policies, the initial windows' table, reachability), so a 16-point
+    // sweep lands well past one hit per point.
+    EXPECT_GE(c.hits, 16);
+    // Far fewer distinct computations than lookups: the sweep shares them.
+    EXPECT_LT(c.misses, c.hits);
+}
+
+TEST(explore_cache, prospect_lookup_matches_direct_computation)
+{
+    const graph g = make_cosine();
+    const explore_cache cache(g, lib());
+    for (double cap : {2.0, 2.5, 2.8, 7.0, 8.1, 9.0, 40.0, unbounded_power}) {
+        for (prospect_policy policy :
+             {prospect_policy::fastest_fit, prospect_policy::cheapest_fit}) {
+            const prospect_result direct = make_prospect(g, lib(), policy, cap);
+            const prospect_result via_cache = cache.prospect(policy, cap);
+            ASSERT_EQ(direct.ok, via_cache.ok) << "cap " << cap;
+            EXPECT_EQ(direct.assignment, via_cache.assignment) << "cap " << cap;
+            EXPECT_EQ(direct.reason, via_cache.reason) << "cap " << cap;
+        }
+    }
+    EXPECT_GT(cache.stats().hits, 0); // buckets repeat across those caps
+}
+
+TEST(explore_cache, auto_cache_keeps_run_batch_output_stable)
+{
+    // run_batch builds a per-batch cache by default; disabling it must
+    // not change a single byte.
+    const graph g = make_hal();
+    const std::vector<synthesis_constraints> grid = hal_grid(12);
+    const std::vector<flow_report> with_cache =
+        flow::on(g).with_library(lib()).latency(17).run_batch(grid, 2);
+    const std::vector<flow_report> without_cache =
+        flow::on(g).with_library(lib()).latency(17).caching(false).run_batch(grid, 2);
+    ASSERT_EQ(with_cache.size(), without_cache.size());
+    for (std::size_t i = 0; i < with_cache.size(); ++i)
+        EXPECT_EQ(with_cache[i].to_string(), without_cache[i].to_string()) << i;
+}
+
+TEST(explore_cache, stale_cache_is_reported_not_silently_recomputed)
+{
+    const auto cache = std::make_shared<explore_cache>(make_hal(), lib());
+    // Same library, different graph: every run must refuse loudly.
+    const flow f = flow::on(make_cosine()).with_library(lib()).latency(15).reuse(cache);
+    const flow_report single = f.run();
+    EXPECT_EQ(single.st.code, status_code::invalid_argument);
+    const std::vector<flow_report> batch = f.run_batch({{15, 9.0}, {15, 20.0}}, 2);
+    ASSERT_EQ(batch.size(), 2u);
+    for (const flow_report& r : batch)
+        EXPECT_EQ(r.st.code, status_code::invalid_argument);
+    const sched_outcome sched = f.run_schedule();
+    EXPECT_EQ(sched.st.code, status_code::invalid_argument);
+}
+
+TEST(explore_cache, rejects_malformed_problems_at_construction)
+{
+    const module_library empty = parse_library_string("library empty\n");
+    EXPECT_THROW(explore_cache(make_hal(), empty), error);
+}
+
+TEST(explore_cache, fastest_lookup_matches_direct_computation)
+{
+    const graph g = make_hal();
+    const explore_cache cache(g, lib());
+    for (double cap : {2.0, 3.0, 8.1, 20.0, unbounded_power})
+        EXPECT_EQ(cache.fastest(cap), fastest_assignment(g, lib(), cap)) << cap;
+}
+
+// -------------------------------------------------------------- streaming
+
+TEST(flow_stream, callback_sees_every_point_exactly_once)
+{
+    const graph g = make_hal();
+    const flow f = flow::on(g).with_library(lib()).latency(17);
+    const std::vector<synthesis_constraints> grid = hal_grid(10);
+
+    std::set<std::size_t> seen;
+    std::atomic<int> calls{0};
+    const std::vector<flow_report> reports = f.run_batch_stream(
+        grid,
+        [&](std::size_t i, const flow_report& r) {
+            ++calls;
+            EXPECT_TRUE(seen.insert(i).second) << "index " << i << " delivered twice";
+            ASSERT_LT(i, grid.size());
+            EXPECT_EQ(r.constraints.latency, grid[i].latency);
+            EXPECT_DOUBLE_EQ(r.constraints.max_power, grid[i].max_power);
+        },
+        4);
+    EXPECT_EQ(calls.load(), static_cast<int>(grid.size()));
+    EXPECT_EQ(seen.size(), grid.size());
+    ASSERT_EQ(reports.size(), grid.size());
+}
+
+TEST(flow_stream, streamed_reports_match_the_final_vector)
+{
+    const graph g = make_cosine();
+    const flow f = flow::on(g).with_library(lib()).latency(15);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(8)) grid.push_back({15, cap});
+
+    std::vector<std::string> streamed(grid.size());
+    const std::vector<flow_report> reports = f.run_batch_stream(
+        grid,
+        [&](std::size_t i, const flow_report& r) { streamed[i] = r.to_string(); }, 3);
+    ASSERT_EQ(reports.size(), grid.size());
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        EXPECT_EQ(streamed[i], reports[i].to_string()) << i;
+
+    // And the final vector is byte-identical to the non-streaming run.
+    const std::vector<flow_report> plain = f.run_batch(grid, 1);
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        EXPECT_EQ(reports[i].to_string(), plain[i].to_string()) << i;
+}
+
+TEST(flow_stream, empty_callback_degrades_to_run_batch)
+{
+    const flow f = flow::on(make_hal()).with_library(lib()).latency(17);
+    const std::vector<synthesis_constraints> grid = {{17, 9.0}, {17, 1.0}};
+    const std::vector<flow_report> a = f.run_batch_stream(grid, {}, 2);
+    const std::vector<flow_report> b = f.run_batch(grid, 2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].to_string(), b[i].to_string());
+}
+
+TEST(flow_stream, callback_exception_is_rethrown_after_the_batch_drains)
+{
+    const flow f = flow::on(make_hal()).with_library(lib()).latency(17);
+    const std::vector<synthesis_constraints> grid = hal_grid(6);
+    std::atomic<int> calls{0};
+    EXPECT_THROW(f.run_batch_stream(
+                     grid,
+                     [&](std::size_t, const flow_report&) {
+                         ++calls;
+                         throw std::runtime_error("consumer failed");
+                     },
+                     3),
+                 std::runtime_error);
+    // The first throw cancels the remaining deliveries.
+    EXPECT_EQ(calls.load(), 1);
+}
+
+} // namespace
+} // namespace phls

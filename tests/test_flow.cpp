@@ -1,6 +1,6 @@
 // Tests for the flow engine: status type, strategy registry, the fluent
-// pipeline, shim equivalence with the legacy free functions, and the
-// batch executor's determinism and per-point isolation.
+// pipeline, strategy/implementation equivalence, and the batch
+// executor's determinism and per-point isolation.
 #include <gtest/gtest.h>
 
 #include "cdfg/analysis.h"
@@ -202,9 +202,9 @@ TEST(flow_run, exact_strategy_marks_proven_optima)
     }
 }
 
-// ------------------------------------------------------ shim equivalence
+// ------------------------------------------- strategy == implementation
 
-TEST(flow_shims, synthesize_shim_equals_flow_output)
+TEST(flow_strategies, greedy_strategy_equals_direct_synthesize)
 {
     const graph g = make_cosine();
     for (double cap : {10.0, 16.0, 26.0, unbounded_power}) {
@@ -222,7 +222,7 @@ TEST(flow_shims, synthesize_shim_equals_flow_output)
     }
 }
 
-TEST(flow_shims, two_step_shim_equals_flow_output)
+TEST(flow_strategies, two_step_strategy_equals_direct_two_step)
 {
     const graph g = make_hal();
     const two_step_result legacy = two_step_synthesize(g, lib(), {17, 9.0});
@@ -233,34 +233,6 @@ TEST(flow_shims, two_step_shim_equals_flow_output)
     EXPECT_EQ(legacy.meets_power, modern.st.ok());
     EXPECT_DOUBLE_EQ(legacy.dp.area.total(), modern.area);
     EXPECT_EQ(legacy.dp.sched.starts(), modern.dp.sched.starts());
-}
-
-TEST(flow_shims, sweep_power_shim_equals_run_batch)
-{
-    const graph g = make_hal();
-    const std::vector<double> caps = default_power_grid(g, lib(), 17, 8);
-    const std::vector<sweep_point> legacy = sweep_power(g, lib(), 17, caps);
-
-    const flow f = flow::on(g).with_library(lib()).latency(17);
-    std::vector<synthesis_constraints> grid;
-    for (double cap : caps) grid.push_back({17, cap});
-    const std::vector<flow_report> reports = f.run_batch(grid);
-
-    ASSERT_EQ(legacy.size(), reports.size());
-    for (std::size_t i = 0; i < legacy.size(); ++i) {
-        const sweep_point via_flow = to_sweep_point(reports[i]);
-        EXPECT_EQ(legacy[i].feasible, via_flow.feasible);
-        EXPECT_DOUBLE_EQ(legacy[i].cap, via_flow.cap);
-        EXPECT_DOUBLE_EQ(legacy[i].area, via_flow.area);
-        EXPECT_DOUBLE_EQ(legacy[i].peak, via_flow.peak);
-    }
-}
-
-TEST(flow_shims, default_power_grid_shim_equals_flow_power_grid)
-{
-    const graph g = make_elliptic();
-    EXPECT_EQ(default_power_grid(g, lib(), 22, 9),
-              flow::on(g).with_library(lib()).latency(22).power_grid(9));
 }
 
 // ----------------------------------------------------------------- batch

@@ -5,6 +5,7 @@
 
 #include "cdfg/analysis.h"
 #include "cdfg/benchmarks.h"
+#include "flow/flow.h"
 #include "synth/explore.h"
 #include "synth/synthesizer.h"
 #include "synth/two_step.h"
@@ -112,9 +113,12 @@ TEST(integration_extra, power_sweep_areas_are_monotone_in_cap_on_hal)
 {
     const graph g = make_hal();
     const module_library lib = table1_library();
-    const std::vector<double> caps = default_power_grid(g, lib, 17, 8);
-    const std::vector<sweep_point> pts = sweep_power(g, lib, 17, caps);
-    ASSERT_EQ(pts.size(), caps.size());
+    const flow f = flow::on(g).with_library(lib).latency(17);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(8)) grid.push_back({17, cap});
+    std::vector<sweep_point> pts;
+    for (const flow_report& r : f.run_batch(grid)) pts.push_back(to_sweep_point(r));
+    ASSERT_EQ(pts.size(), grid.size());
     // Not strictly monotone (heuristic), but the loosest cap should not
     // be more expensive than the tightest feasible one.
     double tight_area = -1.0, loose_area = -1.0;

@@ -5,6 +5,7 @@
 
 #include "battery/lifetime.h"
 #include "cdfg/benchmarks.h"
+#include "flow/flow.h"
 #include "support/errors.h"
 #include "sched/asap_alap.h"
 #include "sched/pasap.h"
@@ -18,6 +19,17 @@ const module_library& lib()
 {
     static const module_library l = table1_library();
     return l;
+}
+
+/// A power sweep through the flow engine, mapped to sweep points.
+std::vector<sweep_point> sweep(const graph& g, int T, int grid_points)
+{
+    const flow f = flow::on(g).with_library(lib()).latency(T);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(grid_points)) grid.push_back({T, cap});
+    std::vector<sweep_point> out;
+    for (const flow_report& r : f.run_batch(grid)) out.push_back(to_sweep_point(r));
+    return out;
 }
 
 TEST(figure1, pasap_eliminates_the_spike_at_bounded_latency_cost)
@@ -51,8 +63,7 @@ TEST_P(figure2, curve_has_cliff_plateau_and_cap_compliance)
 {
     const graph g = benchmark_by_name(GetParam().bench);
     const int T = GetParam().latency;
-    const std::vector<double> caps = default_power_grid(g, lib(), T, 14);
-    const std::vector<sweep_point> raw = sweep_power(g, lib(), T, caps);
+    const std::vector<sweep_point> raw = sweep(g, T, 14);
     const std::vector<sweep_point> env = monotone_envelope(raw);
 
     // (i) a feasibility cliff exists,
@@ -89,10 +100,8 @@ INSTANTIATE_TEST_SUITE_P(curves, figure2,
 TEST(figure2_ordering, tighter_latency_needs_more_power_and_area)
 {
     const graph g = make_hal();
-    const auto front10 =
-        monotone_envelope(sweep_power(g, lib(), 10, default_power_grid(g, lib(), 10, 14)));
-    const auto front17 =
-        monotone_envelope(sweep_power(g, lib(), 17, default_power_grid(g, lib(), 17, 14)));
+    const auto front10 = monotone_envelope(sweep(g, 10, 14));
+    const auto front17 = monotone_envelope(sweep(g, 17, 14));
     const auto min_feasible = [](const std::vector<sweep_point>& pts) {
         for (const sweep_point& p : pts)
             if (p.feasible) return p;

@@ -179,7 +179,17 @@ int cmd_sweep(const arg_parser& args)
     std::vector<synthesis_constraints> grid;
     for (double cap : f.power_grid(points)) grid.push_back({T, cap});
 
-    const std::vector<flow_report> reports = f.run_batch(grid, threads);
+    // Stream per-point progress to stderr as workers finish; stdout
+    // stays a deterministic, input-ordered table either way.
+    std::size_t done = 0;
+    stream_callback progress;
+    if (args.has("--progress"))
+        progress = [&done, total = grid.size()](std::size_t, const flow_report& r) {
+            std::cerr << strf("[%zu/%zu] T=%d Pmax=%.2f -> %s\n", ++done, total,
+                              r.constraints.latency, r.constraints.max_power,
+                              r.st.to_string().c_str());
+        };
+    const std::vector<flow_report> reports = f.run_batch_stream(grid, progress, threads);
     std::vector<sweep_point> raw;
     raw.reserve(reports.size());
     for (const flow_report& r : reports) raw.push_back(to_sweep_point(r));
@@ -300,6 +310,7 @@ int run(const std::vector<std::string>& argv)
     args.add_option("--dot", "", "write a Graphviz file");
     args.add_option("--verilog", "", "write a structural Verilog skeleton");
     args.add_flag("--netlist", "", "print the datapath netlist");
+    args.add_flag("--progress", "", "stream sweep progress to stderr");
     args.add_flag("--exact", "", "use the exact synthesiser (same as --synth exact)");
     args.add_flag("--help", "-h", "show usage");
 
