@@ -1,8 +1,9 @@
 // Batch sweep scaling and cache reuse: flow::run_batch over a
 // Figure-2-style power grid at several worker-pool sizes, cached vs
-// uncached.
+// uncached, plus a 2-D (T, Pmax) grid with duplicate points exercising
+// the two-level explore_cache.
 //
-// Checks three properties of the batch executor:
+// Checks and gates:
 //   * determinism -- reports are byte-identical for every thread count
 //     AND with the explore_cache disabled (each point is claimed by
 //     exactly one worker and written to its own slot, synthesis is
@@ -12,10 +13,17 @@
 //     reachability, prospect tables and initial windows from the shared
 //     explore_cache (hit counter printed per benchmark, and required to
 //     be positive);
-//   * scaling -- wall-clock time drops as workers are added, up to the
-//     machine's core count (points are independent, so the sweep is
-//     embarrassingly parallel; on a single-core host the speedup is ~1x
-//     by construction and only determinism is asserted).
+//   * two-level cache -- a 120-point 2-D grid with duplicates must take
+//     committed-window (level 1) and whole-report (level 2) hits, beat
+//     the initial-windows-only (PR 2) cache configuration on wall time,
+//     and stay byte-identical across cache levels and thread counts;
+//   * incremental Pareto -- the front streamed by run_batch_pareto must
+//     equal the front computed post-hoc from the final vector;
+//   * scaling -- wall-clock time drops as workers are added.  On a host
+//     with >= 4 hardware threads the 4-worker sweep must beat the
+//     uncached sequential reference by >= 2x (hard gate); on smaller
+//     hosts the speedup is reported but not gated (a single-core host is
+//     ~1x by construction).
 #include <chrono>
 #include <functional>
 #include <iostream>
@@ -26,6 +34,7 @@
 #include "cdfg/benchmarks.h"
 #include "flow/explore_cache.h"
 #include "flow/flow.h"
+#include "flow/pareto_stream.h"
 #include "support/strings.h"
 #include "support/table.h"
 
@@ -39,15 +48,25 @@ double run_ms(const std::function<void()>& fn)
         .count();
 }
 
+bool identical(const std::vector<phls::flow_report>& a,
+               const std::vector<phls::flow_report>& b)
+{
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].to_string() != b[i].to_string()) return false;
+    return true;
+}
+
 } // namespace
 
 int main()
 {
     using namespace phls;
     const module_library lib = table1_library();
+    const unsigned cores = std::thread::hardware_concurrency();
 
     std::cout << "=== flow::run_batch scaling on a 24-point power grid ===\n";
-    std::cout << "hardware threads: " << std::thread::hardware_concurrency() << "\n\n";
+    std::cout << "hardware threads: " << cores << "\n\n";
 
     bool all_identical = true;
     bool all_hit = true;
@@ -70,9 +89,7 @@ int main()
         const flow cached = flow::on(g).with_library(lib).latency(T).reuse(cache);
         std::vector<flow_report> with_cache;
         const double ms_cached = run_ms([&] { with_cache = cached.run_batch(grid, 1); });
-        bool cache_identical = with_cache.size() == reference.size();
-        for (std::size_t i = 0; cache_identical && i < with_cache.size(); ++i)
-            cache_identical = with_cache[i].to_string() == reference[i].to_string();
+        const bool cache_identical = identical(with_cache, reference);
         all_identical = all_identical && cache_identical;
         const explore_cache::counters cc = cache->stats();
         all_hit = all_hit && cc.hits > 0;
@@ -88,15 +105,13 @@ int main()
         for (int threads : {2, 4, 8}) {
             std::vector<flow_report> reports;
             const double ms = run_ms([&] { reports = f.run_batch(grid, threads); });
-            bool identical = reports.size() == reference.size();
-            for (std::size_t i = 0; identical && i < reports.size(); ++i)
-                identical = reports[i].to_string() == reference[i].to_string();
-            all_identical = all_identical && identical;
+            const bool same = identical(reports, reference);
+            all_identical = all_identical && same;
             if (threads == 4 && bench == std::string("elliptic"))
                 speedup_at_4 = ms_uncached / ms;
             t.add_row({std::to_string(threads), "on", strf("%.1f", ms),
                        strf("%.2f", ms / grid.size()),
-                       strf("%.2fx", ms_uncached / ms), identical ? "yes" : "NO"});
+                       strf("%.2fx", ms_uncached / ms), same ? "yes" : "NO"});
         }
         std::cout << "--- " << bench << " (T=" << T << ", "
                   << grid.size() << " points) ---\n";
@@ -104,13 +119,121 @@ int main()
         int feasible = 0;
         for (const flow_report& r : reference) feasible += r.st.ok() ? 1 : 0;
         std::cout << feasible << "/" << reference.size() << " points feasible; "
-                  << strf("explore_cache: %ld hits, %ld misses\n\n", cc.hits, cc.misses);
+                  << strf("explore_cache: %ld hits, %ld misses; committed windows: "
+                          "%ld hits, %ld misses; report memo: %ld hits, %ld misses\n\n",
+                          cc.hits, cc.misses, cc.committed_hits, cc.committed_misses,
+                          cc.report_hits, cc.report_misses);
     }
 
+    // ---- two-level cache on a duplicate-heavy 2-D (T, Pmax) grid ----
+    //
+    // Each (T, cap) point appears twice, as a dense DSE grid or a
+    // repeated CLI sweep would produce: the first evaluation fills the
+    // committed-window memo (level 1), the duplicate is served whole
+    // from the report memo (level 2).  A cache restricted to the initial
+    // windows only (the PR 2 configuration) is the ablation baseline.
+    std::cout << "=== two-level cache on a 2-D (T, Pmax) grid with duplicates ===\n";
+    const graph g2 = make_hal();
+    const flow base2 = flow::on(g2).with_library(lib).latency(17);
+    std::vector<synthesis_constraints> grid2;
+    for (int T : {17, 19, 21})
+        for (double cap : base2.power_grid(20)) grid2.push_back({T, cap});
+    const std::size_t distinct = grid2.size();
+    const std::vector<synthesis_constraints> once = grid2; // self-insert is UB
+    grid2.insert(grid2.end(), once.begin(), once.end());   // exact duplicates
+    std::cout << grid2.size() << " points (" << distinct << " distinct)\n\n";
+
+    std::vector<flow_report> ref2;
+    const double ms2_off = run_ms([&] {
+        ref2 = flow::on(g2).with_library(lib).caching(false).run_batch(grid2, 1);
+    });
+
+    const std::shared_ptr<explore_cache> cache_l0 = base2.build_cache();
+    cache_l0->set_committed_memo(false);
+    cache_l0->set_report_memo(false);
+    std::vector<flow_report> rep_l0;
+    const double ms2_l0 = run_ms([&] {
+        rep_l0 = flow::on(g2).with_library(lib).reuse(cache_l0).run_batch(grid2, 1);
+    });
+
+    const std::shared_ptr<explore_cache> cache_l2 = base2.build_cache();
+    std::vector<flow_report> rep_l2;
+    const double ms2_l2 = run_ms([&] {
+        rep_l2 = flow::on(g2).with_library(lib).reuse(cache_l2).run_batch(grid2, 1);
+    });
+    const explore_cache::counters c2 = cache_l2->stats();
+
+    bool grid_identical = identical(ref2, rep_l0) && identical(ref2, rep_l2);
+    for (int threads : {2, 8}) {
+        const std::vector<flow_report> rep =
+            flow::on(g2).with_library(lib).run_batch(grid2, threads);
+        grid_identical = grid_identical && identical(ref2, rep);
+    }
+
+    // The streamed incremental front must equal the post-hoc one.
+    std::size_t delivered = 0;
+    std::size_t front_changes = 0;
+    std::vector<front_point> streamed_front;
+    const std::vector<flow_report> rep_pareto =
+        flow::on(g2).with_library(lib).run_batch_pareto(
+            grid2,
+            [&](std::size_t, const flow_report&, const pareto_stream& front,
+                bool changed) {
+                ++delivered;
+                front_changes += changed ? 1 : 0;
+                streamed_front = front.front();
+            },
+            2);
+    const std::vector<front_point> posthoc_front = pareto_points(rep_pareto);
+    const bool pareto_matches = streamed_front == posthoc_front &&
+                                delivered == grid2.size() &&
+                                identical(rep_pareto, ref2);
+
+    ascii_table t2({"cache levels", "wall (ms)", "speedup", "identical"});
+    t2.add_row({"off", strf("%.1f", ms2_off), "1.00x", "ref"});
+    t2.add_row({"initial windows (PR 2)", strf("%.1f", ms2_l0),
+                strf("%.2fx", ms2_off / ms2_l0), identical(ref2, rep_l0) ? "yes" : "NO"});
+    t2.add_row({"two-level", strf("%.1f", ms2_l2), strf("%.2fx", ms2_off / ms2_l2),
+                identical(ref2, rep_l2) ? "yes" : "NO"});
+    t2.print(std::cout);
+    std::cout << strf("two-level counters: invariants %ld hits / %ld misses, "
+                      "committed windows %ld hits / %ld misses, report memo %ld hits "
+                      "/ %ld misses\n",
+                      c2.hits, c2.misses, c2.committed_hits, c2.committed_misses,
+                      c2.report_hits, c2.report_misses);
+    std::cout << strf("incremental Pareto front: %zu points, %zu changes over %zu "
+                      "deliveries\n\n",
+                      streamed_front.size(), front_changes, delivered);
+
+    // ------------------------------------------------------------ gates
+    //
+    // The two wall-clock gates are deliberately hard (per ROADMAP) but
+    // structurally safe: the duplicate grid hands the two-level cache
+    // half its points for free (measured ~1.6x over the level-0 config,
+    // far above timing noise), and 24 independent points on >= 4 cores
+    // clear 2x with a similar margin.
+    const bool committed_hit = c2.committed_hits > 0;
+    const bool report_hit = c2.report_hits > 0;
+    const bool beats_l0 = ms2_l2 < ms2_l0;
+    const bool hard_scaling = cores >= 4;
+    const bool scaling_ok = !hard_scaling || speedup_at_4 >= 2.0;
+
     std::cout << "reports identical across thread counts and caching modes: "
-              << (all_identical ? "YES" : "NO") << '\n';
+              << (all_identical && grid_identical ? "YES" : "NO") << '\n';
     std::cout << "cache hits taken on every benchmark: " << (all_hit ? "YES" : "NO")
               << '\n';
-    std::cout << strf("elliptic speedup at 4 threads: %.2fx\n", speedup_at_4);
-    return all_identical && all_hit ? 0 : 1;
+    std::cout << "committed-window hits taken on the 2-D grid: "
+              << (committed_hit ? "YES" : "NO") << '\n';
+    std::cout << "report-memo hits taken on the 2-D grid: "
+              << (report_hit ? "YES" : "NO") << '\n';
+    std::cout << "two-level cache beats the initial-windows-only cache: "
+              << (beats_l0 ? "YES" : "NO") << '\n';
+    std::cout << "incremental Pareto front equals the post-hoc front: "
+              << (pareto_matches ? "YES" : "NO") << '\n';
+    std::cout << strf("elliptic speedup at 4 threads: %.2fx (gate %s)\n", speedup_at_4,
+                      hard_scaling ? ">= 2x, hard" : "soft: fewer than 4 cores");
+    return all_identical && grid_identical && all_hit && committed_hit && report_hit &&
+                   beats_l0 && pareto_matches && scaling_ok
+               ? 0
+               : 1;
 }

@@ -17,6 +17,7 @@
 #include "cdfg/benchmarks.h"
 #include "flow/explore_cache.h"
 #include "flow/flow.h"
+#include "flow/pareto_stream.h"
 #include "support/strings.h"
 #include "support/table.h"
 #include "synth/explore.h"
@@ -59,32 +60,39 @@ int main()
     std::cout << "('.' = infeasible: no schedule fits both constraints)\n";
 
     // Pareto front at T=15: the designs worth considering.  The same
-    // cache keeps serving this second exploration, and the streaming
-    // channel reports every point the moment its worker finishes.
+    // cache keeps serving this second exploration (the 2-D plane above
+    // already filled its window and report memos), and the Pareto
+    // channel folds each report into the incremental front the moment
+    // its worker finishes -- the stderr trace shows the front growing
+    // while the sweep is still running.
     const int T = 15;
     const flow at15 = flow::on(g).with_library(lib).latency(T).reuse(cache);
     std::vector<synthesis_constraints> grid;
     for (double cap : at15.power_grid(24)) grid.push_back({T, cap});
-    std::vector<sweep_point> sweep;
     std::size_t done = 0;
-    const std::vector<flow_report> pareto_reports = at15.run_batch_stream(
-        grid, [&done, &grid](std::size_t, const flow_report& r) {
-            std::cerr << strf("pareto sweep %zu/%zu: Pmax=%.2f %s\n", ++done,
-                              grid.size(), r.constraints.max_power,
-                              r.st.ok() ? "ok" : "infeasible");
+    std::vector<front_point> front;
+    const std::vector<flow_report> pareto_reports = at15.run_batch_pareto(
+        grid, [&](std::size_t, const flow_report& r, const pareto_stream& stream,
+                  bool changed) {
+            std::cerr << strf("pareto sweep %zu/%zu: Pmax=%.2f %s (front: %zu%s)\n",
+                              ++done, grid.size(), r.constraints.max_power,
+                              r.st.ok() ? "ok" : "infeasible",
+                              stream.front().size(), changed ? ", updated" : "");
+            front = stream.front(); // snapshot; complete after the last point
         });
-    for (const flow_report& r : pareto_reports) sweep.push_back(to_sweep_point(r));
-    const std::vector<sweep_point> front = pareto_front(sweep);
     std::cout << "\n=== Pareto front at T=" << T << " (peak power vs area) ===\n\n";
     ascii_table pf({"peak power", "area", "synthesised at cap"});
-    for (const sweep_point& p : front)
+    for (const front_point& p : front)
         pf.add_row({strf("%.2f", p.peak), strf("%.0f", p.area), strf("%.2f", p.cap)});
     pf.print(std::cout);
 
     std::cout << "\nReading guide: moving up-left on the front trades peak power for\n"
                  "area; everything off the front is dominated.\n";
     const explore_cache::counters c = cache->stats();
-    std::cout << strf("\nexplore_cache: %ld hits, %ld misses across %zu points\n",
-                      c.hits, c.misses, plane.size() + grid.size());
+    std::cout << strf("\nexplore_cache: %ld hits, %ld misses across %zu points\n"
+                      "  committed windows: %ld hits, %ld misses; report memo: %ld "
+                      "hits, %ld misses\n",
+                      c.hits, c.misses, plane.size() + grid.size(), c.committed_hits,
+                      c.committed_misses, c.report_hits, c.report_misses);
     return 0;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "cdfg/textio.h"
+#include "flow/flow.h"
 #include "sched/schedule.h"
+#include "support/memo_key.h"
 
 namespace phls {
 
@@ -20,9 +22,20 @@ const graph& checked(const graph& g, const module_library& lib)
 
 } // namespace
 
+/// Level-2 store.  Lives behind a pimpl so explore_cache.h does not pull
+/// in flow.h (the flow layer sits above this one).  It has its own lock:
+/// copying a whole flow_report (datapath, netlist, note strings) in or
+/// out is far heavier than the level-0/1 lookups, and must not stall
+/// workers queued on the shared mutex_ for those.
+struct explore_cache::report_memo {
+    std::mutex mutex;
+    std::map<std::string, flow_report> reports;
+};
+
 explore_cache::explore_cache(const graph& g, const module_library& lib)
     : g_(g), lib_(lib), reach_(checked(g_, lib_)),
-      graph_text_(write_cdfg_string(g_)), lib_text_(write_library_string(lib_))
+      graph_text_(write_cdfg_string(g_)), lib_text_(write_library_string(lib_)),
+      reports_(new report_memo)
 {
     misses_.store(1, std::memory_order_relaxed); // the eager reachability build
 
@@ -31,6 +44,8 @@ explore_cache::explore_cache(const graph& g, const module_library& lib)
     power_levels_.erase(std::unique(power_levels_.begin(), power_levels_.end()),
                         power_levels_.end());
 }
+
+explore_cache::~explore_cache() = default;
 
 bool explore_cache::compatible(const graph& g, const module_library& lib) const
 {
@@ -58,13 +73,19 @@ prospect_result explore_cache::prospect(prospect_policy policy, double cap) cons
         }
     }
     // Computed outside the lock; concurrent misses compute the same value.
+    // The insert decides who counts the miss: exactly one racing thread
+    // wins the emplace and counts it, every loser counts a hit, so the
+    // counters are exact on multicore (hits + misses == lookups).
     prospect_result result = make_prospect(g_, lib_, policy, cap);
-    misses_.fetch_add(1, std::memory_order_relaxed);
     if (result.ok) {
-        // Failures are not memoised: their reason text embeds the exact
-        // cap, which varies within one admissible-module bucket.
         const std::lock_guard<std::mutex> lock(mutex_);
-        prospects_.emplace(key, result);
+        const bool inserted = prospects_.emplace(key, result).second;
+        (inserted ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+    } else {
+        // Failures are not memoised: their reason text embeds the exact
+        // cap, which varies within one admissible-module bucket.  Every
+        // failing computation is a genuine miss.
+        misses_.fetch_add(1, std::memory_order_relaxed);
     }
     return result;
 }
@@ -81,10 +102,10 @@ module_assignment explore_cache::fastest(double cap) const
         }
     }
     module_assignment result = fastest_assignment(g_, lib_, cap);
-    misses_.fetch_add(1, std::memory_order_relaxed);
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        fastest_.emplace(key, result);
+        const bool inserted = fastest_.emplace(key, result).second;
+        (inserted ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
     }
     return result;
 }
@@ -111,7 +132,6 @@ time_windows explore_cache::initial_windows(prospect_policy policy, double cap,
         opts.order = order;
         result = power_windows(g_, lib_, p.assignment, cap, latency, opts);
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
     if (p.ok) {
         // Same rule as prospect(): infeasibility text embeds the exact
         // point, but here the exact point IS the key, so a feasible-input
@@ -119,9 +139,72 @@ time_windows explore_cache::initial_windows(prospect_policy policy, double cap,
         // only the prospect-failure path (cap-text via a shared bucket)
         // must stay uncached.
         const std::lock_guard<std::mutex> lock(mutex_);
-        windows_.emplace(key, result);
+        const bool inserted = windows_.emplace(key, result).second;
+        (inserted ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+    } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
     }
     return result;
+}
+
+time_windows explore_cache::committed_windows(const module_assignment& assignment,
+                                              double cap, int latency, pasap_order order,
+                                              const std::vector<int>& fixed_starts) const
+{
+    pasap_options opts;
+    opts.order = order;
+    opts.fixed_starts = fixed_starts;
+    if (!committed_memo_)
+        return power_windows(g_, lib_, assignment, cap, latency, opts);
+
+    // Canonical key over the full scheduling state; every quantity the
+    // window computation reads (beyond the cached problem itself) is in
+    // it, so even infeasible results are safely memoisable.
+    std::string key;
+    key.reserve((assignment.size() + fixed_starts.size() + 4) * sizeof(long));
+    key_int(key, static_cast<int>(order));
+    key_int(key, latency);
+    key_double(key, cap);
+    key_int(key, static_cast<int>(assignment.size()));
+    for (const module_id m : assignment) key_int(key, m.value());
+    for (const int t : fixed_starts) key_int(key, t);
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = committed_.find(key);
+        if (it != committed_.end()) {
+            committed_hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    const time_windows result = power_windows(g_, lib_, assignment, cap, latency, opts);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const bool inserted = committed_.emplace(std::move(key), result).second;
+        (inserted ? committed_misses_ : committed_hits_)
+            .fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+}
+
+bool explore_cache::report_lookup(const std::string& fingerprint, flow_report* out) const
+{
+    if (!report_memo_) return false;
+    const std::lock_guard<std::mutex> lock(reports_->mutex);
+    const auto it = reports_->reports.find(fingerprint);
+    if (it == reports_->reports.end()) return false;
+    report_hits_.fetch_add(1, std::memory_order_relaxed);
+    *out = it->second;
+    return true;
+}
+
+void explore_cache::report_store(const std::string& fingerprint,
+                                 const flow_report& report) const
+{
+    if (!report_memo_) return;
+    const std::lock_guard<std::mutex> lock(reports_->mutex);
+    const bool inserted = reports_->reports.emplace(fingerprint, report).second;
+    (inserted ? report_misses_ : report_hits_).fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace phls

@@ -5,14 +5,31 @@
 // that (graph, library) pair: the transitive reachability relation behind
 // the compatibility graph, the per-cap prospect module tables, the
 // fastest-assignment tables used by the schedulers, and the initial
-// (unpinned) pasap/palap start-time windows.  explore_cache computes each
-// of those once and serves it to every batch point and worker thread;
-// flow::run_batch builds one automatically, and callers can share a cache
+// (unpinned) pasap/palap windows.  explore_cache computes each of those
+// once and serves it to every batch point and worker thread; flow::
+// run_batch builds one automatically, and callers can share a cache
 // across several flows/batches with flow::reuse().
+//
+// The cache is two-level:
+//
+//   * level 1 -- per-(graph, lib) invariants plus *committed-window*
+//     recomputes: the pasap/palap windows the greedy partitioner
+//     re-derives after every merge, keyed by the full scheduling state
+//     (module assignment, cap, latency, order, fixed-start vector).
+//     Identical states recur inside one point (joins after the backtrack
+//     lock leave the state unchanged), across the two prospect policies,
+//     and across points (two_step's time-only first step is the same for
+//     every cap).
+//   * level 2 -- whole-flow_report memoisation for exactly-duplicate
+//     constraint points, keyed by a fingerprint of the complete flow
+//     configuration (strategy, every option, enabled stages) plus the
+//     (T, Pmax) point, so distinct configurations never collide.  Dense
+//     2-D grids and repeated CLI sweeps hit this level.
 #pragma once
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <tuple>
@@ -24,6 +41,8 @@
 #include "synth/prospect.h"
 
 namespace phls {
+
+struct flow_report;
 
 /// Memoised per-(graph, library) invariants of design-space exploration.
 ///
@@ -41,6 +60,7 @@ public:
     /// `lib` covers it, and computes the reachability relation eagerly.
     /// @throws phls::error when the graph is malformed or uncovered.
     explore_cache(const graph& g, const module_library& lib);
+    ~explore_cache();
 
     /// The graph this cache was built for (a private copy).
     const graph& design() const { return g_; }
@@ -77,18 +97,72 @@ public:
     time_windows initial_windows(prospect_policy policy, double cap, int latency,
                                  pasap_order order) const;
 
-    /// Hit/miss counters across all lookups (reach/prospect/fastest/
-    /// windows).  `misses` starts at 1 for the eager reachability build.
+    /// Level 1: the committed-operator pasap/palap windows — identical to
+    /// power_windows(design(), library(), assignment, cap, latency,
+    /// {order, fixed_starts}).  Memoised per exact state: the key is the
+    /// canonical (assignment, cap, latency, order, fixed-start) tuple, so
+    /// infeasible results are memoisable too (their diagnostic text can
+    /// only mention quantities that are part of the key).  Served to the
+    /// greedy partitioner's per-merge recomputes; counted in the
+    /// committed_hits/committed_misses counters.
+    time_windows committed_windows(const module_assignment& assignment, double cap,
+                                   int latency, pasap_order order,
+                                   const std::vector<int>& fixed_starts) const;
+
+    /// Level 2: whole-report memoisation for exactly-duplicate constraint
+    /// points.  `fingerprint` must encode the complete flow configuration
+    /// and the (T, Pmax) point (flow::run_point builds it); the stored
+    /// report is a deterministic pure function of that fingerprint on the
+    /// cached problem.  Returns true and fills `*out` on a hit.
+    bool report_lookup(const std::string& fingerprint, flow_report* out) const;
+
+    /// Stores `report` under `fingerprint`.  The first writer of a key
+    /// counts the miss; a concurrent loser of the insert race counts a
+    /// hit instead, so report_hits + report_misses always equals the
+    /// number of memoised run_point calls.  (flow::run_point skips the
+    /// store for status `internal` — an escaped, possibly transient
+    /// exception must not become permanent for every duplicate point.)
+    void report_store(const std::string& fingerprint, const flow_report& report) const;
+
+    /// Benchmark/ablation knobs: selectively disable the deeper memo
+    /// levels to reproduce the initial-windows-only (PR 2) cache.
+    /// Results are byte-identical either way; only wall time and the
+    /// counters change.  Not thread-safe: call before sharing the cache.
+    void set_committed_memo(bool enabled) { committed_memo_ = enabled; }
+    void set_report_memo(bool enabled) { report_memo_ = enabled; }
+
+    /// Per-level hit/miss counters.
+    ///
+    ///   * hits/misses — the shared per-(graph, lib) invariants:
+    ///     reach/prospect/fastest/initial windows.  `misses` starts at 1
+    ///     for the eager reachability build.
+    ///   * committed_hits/committed_misses — level-1 committed-window
+    ///     lookups (see committed_windows()).
+    ///   * report_hits/report_misses — level-2 whole-report lookups.
+    ///
+    /// Counting is exact even under concurrent misses of one key: the
+    /// thread whose insert wins counts the miss, every racing loser
+    /// counts a hit, so for each level hits + misses equals the number
+    /// of lookups and misses equals the number of stored entries (plus,
+    /// for the invariant level, recomputed prospect failures).
     struct counters {
         long hits = 0;
         long misses = 0;
+        long committed_hits = 0;
+        long committed_misses = 0;
+        long report_hits = 0;
+        long report_misses = 0;
     };
 
     /// Snapshot of the counters; safe to call concurrently with lookups.
     counters stats() const
     {
         return {hits_.load(std::memory_order_relaxed),
-                misses_.load(std::memory_order_relaxed)};
+                misses_.load(std::memory_order_relaxed),
+                committed_hits_.load(std::memory_order_relaxed),
+                committed_misses_.load(std::memory_order_relaxed),
+                report_hits_.load(std::memory_order_relaxed),
+                report_misses_.load(std::memory_order_relaxed)};
     }
 
 private:
@@ -103,13 +177,24 @@ private:
     std::string graph_text_;
     std::string lib_text_;
     std::vector<double> power_levels_; ///< sorted distinct module powers
+    bool committed_memo_ = true;
+    bool report_memo_ = true;
 
     mutable std::mutex mutex_;
     mutable std::map<std::pair<int, int>, prospect_result> prospects_;
     mutable std::map<int, module_assignment> fastest_;
     mutable std::map<std::tuple<int, double, int, int>, time_windows> windows_;
+    mutable std::map<std::string, time_windows> committed_;
+    /// Level-2 store, behind a pimpl so this header does not depend on
+    /// flow.h (flow_report is incomplete here).
+    struct report_memo;
+    mutable std::unique_ptr<report_memo> reports_;
     mutable std::atomic<long> hits_{0};
     mutable std::atomic<long> misses_{0};
+    mutable std::atomic<long> committed_hits_{0};
+    mutable std::atomic<long> committed_misses_{0};
+    mutable std::atomic<long> report_hits_{0};
+    mutable std::atomic<long> report_misses_{0};
 };
 
 } // namespace phls

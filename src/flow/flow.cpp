@@ -9,7 +9,9 @@
 
 #include "battery/lifetime.h"
 #include "flow/explore_cache.h"
+#include "flow/pareto_stream.h"
 #include "support/errors.h"
+#include "support/memo_key.h"
 #include "support/strings.h"
 
 namespace phls {
@@ -151,10 +153,63 @@ status flow::shared_cache(const explore_cache** out) const
     return status::success();
 }
 
+std::string flow::report_key(const synthesis_constraints& c) const
+{
+    // Every field that influences run_point's outcome (beyond the graph
+    // and library, which are the cache's identity) is encoded, so flows
+    // with distinct configurations never collide; the scheduler name is
+    // included for future-proofing even though run_point ignores it.
+    std::string key;
+    key_str(key, synth_name_);
+    key_str(key, sched_name_);
+    key_int(key, static_cast<int>(options_.policy));
+    key_int(key, options_.try_both_prospects ? 1 : 0);
+    key_int(key, static_cast<int>(options_.order));
+    key_double(key, options_.costs.register_area);
+    key_double(key, options_.costs.mux_area_per_extra_input);
+    key_int(key, options_.costs.include_interconnect ? 1 : 0);
+    key_int(key, options_.enable_backtrack_lock ? 1 : 0);
+    key_int(key, options_.lock_from_start ? 1 : 0);
+    key_int(key, options_.allow_cheapest_rebind ? 1 : 0);
+    key_int(key, options_.verify_result ? 1 : 0);
+    key_int(key, exact_.max_operations);
+    key_int(key, exact_.node_limit);
+    key_double(key, exact_.costs.register_area);
+    key_double(key, exact_.costs.mux_area_per_extra_input);
+    key_int(key, exact_.costs.include_interconnect ? 1 : 0);
+    key_int(key, want_netlist_ ? 1 : 0);
+    key_int(key, want_lifetime_ ? 1 : 0);
+    key_double(key, lifetime_.voltage);
+    key_double(key, lifetime_.cycle_seconds);
+    key_int(key, lifetime_.idle_cycles);
+    key_double(key, lifetime_.beta);
+    key_double(key, lifetime_.alpha);
+    key_double(key, lifetime_.max_seconds);
+    key_int(key, c.latency);
+    key_double(key, c.max_power);
+    return key;
+}
+
 flow_report flow::run_point(const synthesis_constraints& c,
                             const explore_cache* cache) const
 {
     const auto started = std::chrono::steady_clock::now();
+
+    // Level 2: exactly-duplicate points (dense 2-D grids, repeated
+    // sweeps over a shared cache) are served whole.  The stored report
+    // is a deterministic pure function of the fingerprint, so serving it
+    // is byte-identical to recomputing; only wall_ms (excluded from the
+    // canonical rendering) reflects the lookup instead.
+    std::string memo_key;
+    if (cache != nullptr) {
+        memo_key = report_key(c);
+        flow_report memo;
+        if (cache->report_lookup(memo_key, &memo)) {
+            memo.wall_ms = elapsed_ms(started);
+            return memo;
+        }
+    }
+
     flow_report report;
     report.strategy = synth_name_;
     report.constraints = c;
@@ -217,6 +272,12 @@ flow_report flow::run_point(const synthesis_constraints& c,
         report.st = status::internal(e.what());
     }
     report.wall_ms = elapsed_ms(started);
+    // internal means an escaped exception (possibly transient, e.g. an
+    // allocation failure): memoising it would make one bad run permanent
+    // for every duplicate of this point on a shared cache.  The other
+    // codes are deterministic outcomes and safe to store.
+    if (cache != nullptr && report.st.code != status_code::internal)
+        cache->report_store(memo_key, report);
     return report;
 }
 
@@ -246,13 +307,12 @@ flow::run_batch_stream(const std::vector<synthesis_constraints>& points,
     std::vector<flow_report> reports(points.size());
     if (points.empty()) return reports;
 
-    // One compatibility check per batch, not per point; a stale shared
-    // cache fails the whole batch loudly instead of computing on the
-    // wrong problem.  Callback semantics match the worker-pool path: a
-    // throwing consumer cancels further deliveries, every report is
-    // still filled in, and the exception is rethrown at the end.
-    const explore_cache* cache = nullptr;
-    if (const status st = shared_cache(&cache); !st.ok()) {
+    // Malformed batch requests fail every point loudly with the same
+    // status instead of computing on wrong assumptions.  Callback
+    // semantics match the worker-pool path: a throwing consumer cancels
+    // further deliveries, every report is still filled in, and the
+    // exception is rethrown at the end.
+    const auto fail_all = [&](const status& st) {
         std::exception_ptr consumer_error;
         for (std::size_t i = 0; i < points.size(); ++i) {
             reports[i].strategy = synth_name_;
@@ -267,7 +327,18 @@ flow::run_batch_stream(const std::vector<synthesis_constraints>& points,
         }
         if (consumer_error) std::rethrow_exception(consumer_error);
         return reports;
-    }
+    };
+
+    // A negative worker count is a malformed request, not "use all
+    // cores" (that is spelled 0).
+    if (threads < 0)
+        return fail_all(status::invalid(
+            strf("thread count must be >= 0 (0 = hardware concurrency), got %d",
+                 threads)));
+
+    // One compatibility check per batch, not per point.
+    const explore_cache* cache = nullptr;
+    if (const status st = shared_cache(&cache); !st.ok()) return fail_all(st);
 
     // Without a shared cache, build one for this batch so every point
     // reuses the (graph, lib) invariants.  A malformed problem cannot be
@@ -335,6 +406,24 @@ flow::run_batch_stream(const std::vector<synthesis_constraints>& points,
     return reports;
 }
 
+std::vector<flow_report>
+flow::run_batch_pareto(const std::vector<synthesis_constraints>& points,
+                       const pareto_callback& on_progress, int threads) const
+{
+    if (!on_progress) return run_batch(points, threads);
+    // run_batch_stream serialises callbacks, so the fold needs no lock;
+    // the front state is complete w.r.t. every previously delivered
+    // report when on_progress observes it.
+    pareto_stream front;
+    return run_batch_stream(
+        points,
+        [&front, &on_progress](std::size_t i, const flow_report& r) {
+            const bool changed = front.add(i, r);
+            on_progress(i, r, front, changed);
+        },
+        threads);
+}
+
 sched_outcome flow::run_schedule() const
 {
     const explore_cache* cache = nullptr;
@@ -370,11 +459,16 @@ std::vector<double> flow::power_grid(int points) const
     }
 
     // Upper edge: the unconstrained design's peak; everything above it is
-    // a plateau.
+    // a plateau.  When even the unconstrained probe fails (e.g. the
+    // latency bound is below the critical path) there is no meaningful
+    // grid to build -- propagate that run's diagnostic instead of
+    // fabricating one.
     const flow_report unconstrained =
         run_point({constraints_.latency, unbounded_power}, cache);
-    double high = unconstrained.st.ok() ? unconstrained.peak : low * 4.0;
-    high = std::max(high, low + 1.0);
+    if (!unconstrained.st.ok())
+        throw error("power_grid: unconstrained probe failed: " +
+                    unconstrained.st.to_string());
+    const double high = std::max(unconstrained.peak, low + 1.0);
 
     std::vector<double> caps;
     caps.reserve(static_cast<std::size_t>(points));

@@ -35,6 +35,7 @@
 namespace phls {
 
 class explore_cache;
+class pareto_stream;
 
 /// Battery-lifetime stage parameters (see battery/battery.h for the
 /// underlying Rakhmatov-Vrudhula model).
@@ -95,6 +96,14 @@ struct flow_report {
 /// the batch finishes.
 using stream_callback = std::function<void(std::size_t index, const flow_report& report)>;
 
+/// Progress channel for run_batch_pareto: like stream_callback, plus the
+/// incremental Pareto-front state after folding this report in and
+/// whether the front changed.  Same serialisation and exception
+/// semantics as stream_callback; `front` (and any pointer obtained from
+/// it) is only valid during the call.
+using pareto_callback = std::function<void(std::size_t index, const flow_report& report,
+                                           const pareto_stream& front, bool front_changed)>;
+
 /// Fluent builder + executor for one design problem.  The graph and
 /// library are copied in, so a flow outlives its inputs; a configured
 /// flow is immutable under run()/run_batch() and safe to share across
@@ -128,12 +137,13 @@ public:
     flow& estimate_lifetime(const lifetime_spec& spec = {});
 
     /// Shares a pre-built explore_cache with this flow: run(), batch runs
-    /// and run_schedule() serve reachability, prospect tables and initial
-    /// windows from it instead of recomputing per point.  The cache must
-    /// have been built for this flow's (graph, library) -- see
-    /// build_cache(); a mismatched cache makes every run report
-    /// invalid_argument rather than silently computing on the wrong
-    /// problem.
+    /// and run_schedule() serve reachability, prospect tables, initial
+    /// and committed windows, and whole reports of exactly-duplicate
+    /// points from it instead of recomputing per point (see
+    /// explore_cache for the two levels).  The cache must have been
+    /// built for this flow's (graph, library) -- see build_cache(); a
+    /// mismatched cache makes every run report invalid_argument rather
+    /// than silently computing on the wrong problem.
     flow& reuse(std::shared_ptr<const explore_cache> cache);
 
     /// Enables/disables the automatic per-batch cache (default enabled).
@@ -154,11 +164,13 @@ public:
     flow_report run() const;
 
     /// Runs the configured pipeline once per (T, Pmax) point on a pool
-    /// of `threads` workers (0 = hardware concurrency).  Results are in
-    /// input order and bit-identical to `threads == 1`; a failure in one
-    /// point (including an escaped exception) is isolated to that
-    /// point's report.  Per-(graph, lib) sub-results are shared across
-    /// points through an explore_cache (see reuse()/caching()).
+    /// of `threads` workers.  `threads == 0` means hardware concurrency;
+    /// a negative count is a malformed request and is reported as
+    /// invalid_argument on every point (like a stale cache).  Results
+    /// are in input order and bit-identical to `threads == 1`; a failure
+    /// in one point (including an escaped exception) is isolated to that
+    /// point's report.  Sub-results are shared across points through an
+    /// explore_cache (see reuse()/caching()).
     std::vector<flow_report> run_batch(const std::vector<synthesis_constraints>& points,
                                        int threads = 0) const;
 
@@ -171,14 +183,28 @@ public:
     run_batch_stream(const std::vector<synthesis_constraints>& points,
                      const stream_callback& on_result, int threads = 0) const;
 
+    /// run_batch_stream with an incremental Pareto front folded in: each
+    /// completed report is added to a pareto_stream over (peak, area,
+    /// lifetime when estimated) before `on_progress` sees it, so
+    /// consumers can render the partial front / Figure-2 envelope while
+    /// the sweep runs.  After the last point the front equals
+    /// pareto_points() of the returned vector, whatever the completion
+    /// order.  An empty callback degrades to plain run_batch.
+    std::vector<flow_report>
+    run_batch_pareto(const std::vector<synthesis_constraints>& points,
+                     const pareto_callback& on_progress, int threads = 0) const;
+
     /// Runs only the scheduling stage with the selected scheduler
     /// strategy (assignment: fastest modules under the cap).
     sched_outcome run_schedule() const;
 
     /// A Figure-2-style power grid for this problem: `points` caps from
     /// just below the feasibility threshold to just above the
-    /// unconstrained design's peak.  @throws phls::error when points < 2
-    /// or the library does not cover the graph.
+    /// unconstrained design's peak.  @throws phls::error when points < 2,
+    /// the library does not cover the graph, or the unconstrained probe
+    /// run fails (e.g. the latency bound is below the critical path) --
+    /// the error carries that run's diagnostic instead of fabricating a
+    /// grid.
     std::vector<double> power_grid(int points) const;
 
     // Accessors (used by reporting and the CLI).
@@ -194,6 +220,12 @@ private:
 
     flow_report run_point(const synthesis_constraints& c,
                           const explore_cache* cache) const;
+
+    /// The level-2 memo key for point `c`: every configuration field
+    /// that influences run_point's outcome, canonically encoded, so two
+    /// flows share a stored report iff they would compute identical
+    /// ones.
+    std::string report_key(const synthesis_constraints& c) const;
 
     /// The shared cache when it is installed and matches this problem;
     /// a non-ok status when it is installed but stale.

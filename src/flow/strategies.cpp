@@ -250,7 +250,7 @@ public:
             synth_outcome out;
             if (out.st = validate(r); !out.st.ok()) return out;
             const two_step_result ts =
-                two_step_synthesize(*r.g, *r.lib, r.constraints, r.options);
+                two_step_synthesize(*r.g, *r.lib, r.constraints, r.options, r.cache);
             if (!ts.feasible) {
                 out.st = status::infeasible(ts.reason);
                 return out;

@@ -1,0 +1,39 @@
+// Canonical byte-encoding helpers for memoisation keys.
+//
+// The explore_cache keys its deeper memo levels by exact values: doubles
+// by bit pattern (two caps differing in the 17th digit are different
+// scheduling problems) and strings length-prefixed (so adjacent fields
+// cannot run together and collide).  Both the committed-window key
+// (explore_cache.cpp) and the report fingerprint (flow.cpp) use these,
+// so the encoding cannot silently diverge between levels.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace phls {
+
+/// Appends the raw bytes of `v` (widened to long) to `key`.
+inline void key_int(std::string& key, long v)
+{
+    char bytes[sizeof v];
+    std::memcpy(bytes, &v, sizeof v);
+    key.append(bytes, sizeof v);
+}
+
+/// Appends the bit pattern of `v` to `key`.
+inline void key_double(std::string& key, double v)
+{
+    char bytes[sizeof v];
+    std::memcpy(bytes, &v, sizeof v);
+    key.append(bytes, sizeof v);
+}
+
+/// Appends `s` length-prefixed to `key`.
+inline void key_str(std::string& key, const std::string& s)
+{
+    key_int(key, static_cast<long>(s.size()));
+    key += s;
+}
+
+} // namespace phls

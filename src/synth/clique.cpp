@@ -65,10 +65,19 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
 
     const pasap_options sched_opts_base{options.order, {}};
 
+    // Committed-window recomputes are level-1 memoised when a batch cache
+    // is attached: the key is the full scheduling state, so identical
+    // states (joins after the backtrack lock, the shared time-only first
+    // step of two_step, duplicate points) are served instead of re-run.
+    // The recompute counter still advances either way, keeping reports
+    // byte-identical with the uncached path.
     const auto recompute_windows = [&](partition_state& s) {
+        ++result.stats.window_recomputes;
+        if (cache != nullptr)
+            return cache->committed_windows(s.assignment, cap, constraints.latency,
+                                            options.order, s.fixed);
         pasap_options o = sched_opts_base;
         o.fixed_starts = s.fixed;
-        ++result.stats.window_recomputes;
         return power_windows(g, lib, s.assignment, cap, constraints.latency, o);
     };
 

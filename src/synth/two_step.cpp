@@ -83,16 +83,19 @@ int reduce_peak_power(const graph& g, const module_library& lib, datapath& dp, i
 
 two_step_result two_step_synthesize(const graph& g, const module_library& lib,
                                     const synthesis_constraints& constraints,
-                                    const synthesis_options& options)
+                                    const synthesis_options& options,
+                                    const explore_cache* cache)
 {
     two_step_result result;
 
-    // Step one: time-constrained only.
+    // Step one: time-constrained only.  Every point of a power sweep
+    // shares this exact sub-problem (the cap is relaxed away), so a batch
+    // cache serves its window recomputes after the first point.
     synthesis_constraints step1 = constraints;
     step1.max_power = unbounded_power;
     synthesis_options opts = options;
     opts.verify_result = false; // verified below with the relaxed cap
-    const synthesis_result s1 = synthesize(g, lib, step1, opts);
+    const synthesis_result s1 = synthesize(g, lib, step1, opts, cache);
     if (!s1.feasible) {
         result.reason = "step one (time-constrained synthesis) failed: " + s1.reason;
         return result;

@@ -21,12 +21,19 @@ struct two_step_result {
     int moves = 0;             ///< accepted reordering moves
 };
 
+class explore_cache;
+
 /// Runs the baseline under `constraints`; step one ignores
 /// constraints.max_power, step two tries to reach it by moving operations
-/// within their slack (allocation/binding unchanged).
+/// within their slack (allocation/binding unchanged).  `cache` (optional)
+/// serves step one's window computations during batch exploration: the
+/// time-only first step is the same scheduling problem for every cap, so
+/// a power sweep recomputes it once.  Results are byte-identical with or
+/// without the cache.
 two_step_result two_step_synthesize(const graph& g, const module_library& lib,
                                     const synthesis_constraints& constraints,
-                                    const synthesis_options& options = {});
+                                    const synthesis_options& options = {},
+                                    const explore_cache* cache = nullptr);
 
 /// Step two alone: greedy peak-power reduction on an existing datapath by
 /// retiming operations within dependency and instance-exclusivity slack.

@@ -3,13 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <set>
+#include <thread>
 
 #include "cdfg/benchmarks.h"
 #include "flow/explore_cache.h"
 #include "flow/flow.h"
+#include "sched/mobility.h"
 #include "support/errors.h"
 #include "synth/prospect.h"
+#include "synth/two_step.h"
 
 namespace phls {
 namespace {
@@ -131,6 +135,219 @@ TEST(explore_cache, fastest_lookup_matches_direct_computation)
         EXPECT_EQ(cache.fastest(cap), fastest_assignment(g, lib(), cap)) << cap;
 }
 
+// Many threads race misses of ONE key: exactly one thread must count the
+// miss (the one whose insert wins) and every other lookup must count a
+// hit, so hits + misses equals the number of lookups on any machine.
+// Before the re-check-under-the-lock fix, every racing thread counted a
+// miss and the totals drifted on multicore.
+TEST(explore_cache, counters_are_exact_under_concurrent_misses_of_one_key)
+{
+    const graph g = make_hal();
+    const explore_cache cache(g, lib());
+    constexpr int threads = 8;
+    constexpr int lookups_per_thread = 4;
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&] {
+            while (!go.load()) std::this_thread::yield();
+            for (int i = 0; i < lookups_per_thread; ++i) (void)cache.fastest(9.0);
+        });
+    go.store(true);
+    for (std::thread& t : pool) t.join();
+
+    const explore_cache::counters c = cache.stats();
+    // One counted miss for the key + the eager reachability build.
+    EXPECT_EQ(c.misses, 2);
+    EXPECT_EQ(c.hits, threads * lookups_per_thread - 1);
+}
+
+TEST(explore_cache, committed_counters_are_exact_under_concurrent_misses)
+{
+    const graph g = make_hal();
+    const explore_cache cache(g, lib());
+    const module_assignment a = fastest_assignment(g, lib(), 9.0);
+    const std::vector<int> all_free(static_cast<std::size_t>(g.node_count()), -1);
+    constexpr int threads = 8;
+    constexpr int lookups_per_thread = 4;
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&] {
+            while (!go.load()) std::this_thread::yield();
+            for (int i = 0; i < lookups_per_thread; ++i)
+                (void)cache.committed_windows(a, 9.0, 17, pasap_order::critical_path,
+                                              all_free);
+        });
+    go.store(true);
+    for (std::thread& t : pool) t.join();
+
+    const explore_cache::counters c = cache.stats();
+    EXPECT_EQ(c.committed_misses, 1);
+    EXPECT_EQ(c.committed_hits, threads * lookups_per_thread - 1);
+}
+
+// ------------------------------------------------- level 1: committed windows
+
+TEST(explore_cache, committed_windows_match_direct_computation)
+{
+    const graph g = make_hal();
+    const explore_cache cache(g, lib());
+    const module_assignment a = fastest_assignment(g, lib(), 9.0);
+
+    std::vector<int> fixed(static_cast<std::size_t>(g.node_count()), -1);
+    for (int variant = 0; variant < 3; ++variant) {
+        if (variant == 1) fixed[0] = 0;    // pin the source
+        if (variant == 2) fixed[3] = 2;    // plus an interior operator
+        for (const int latency : {17, 20, 5 /* infeasible bound */}) {
+            pasap_options opts;
+            opts.order = pasap_order::critical_path;
+            opts.fixed_starts = fixed;
+            const time_windows direct = power_windows(g, lib(), a, 9.0, latency, opts);
+            const time_windows cached = cache.committed_windows(
+                a, 9.0, latency, pasap_order::critical_path, fixed);
+            ASSERT_EQ(direct.feasible, cached.feasible) << variant << " T=" << latency;
+            EXPECT_EQ(direct.reason, cached.reason) << variant << " T=" << latency;
+            EXPECT_EQ(direct.s_min, cached.s_min) << variant << " T=" << latency;
+            EXPECT_EQ(direct.s_max, cached.s_max) << variant << " T=" << latency;
+        }
+    }
+    // Repeating one state is a hit, not a recompute.
+    EXPECT_GT(cache.stats().committed_misses, 0);
+    const long misses_before = cache.stats().committed_misses;
+    (void)cache.committed_windows(a, 9.0, 17, pasap_order::critical_path, fixed);
+    EXPECT_EQ(cache.stats().committed_misses, misses_before);
+    EXPECT_GT(cache.stats().committed_hits, 0);
+}
+
+TEST(explore_cache, two_step_shares_step_one_windows_across_a_cap_sweep)
+{
+    // two_step's first step relaxes the cap away, so every point of a
+    // power sweep solves the same scheduling problem; the batch cache
+    // must serve it after the first point, byte-identically.
+    const graph g = make_hal();
+    const std::vector<synthesis_constraints> grid = hal_grid(8);
+    const std::vector<flow_report> reference = flow::on(g)
+                                                   .with_library(lib())
+                                                   .latency(17)
+                                                   .synthesizer("two_step")
+                                                   .caching(false)
+                                                   .run_batch(grid, 1);
+    const auto cache = std::make_shared<explore_cache>(g, lib());
+    const std::vector<flow_report> cached = flow::on(g)
+                                                .with_library(lib())
+                                                .latency(17)
+                                                .synthesizer("two_step")
+                                                .reuse(cache)
+                                                .run_batch(grid, 1);
+    ASSERT_EQ(cached.size(), reference.size());
+    for (std::size_t i = 0; i < cached.size(); ++i)
+        EXPECT_EQ(cached[i].to_string(), reference[i].to_string()) << i;
+    EXPECT_GT(cache->stats().committed_hits, 0);
+
+    // The free function accepts the cache directly too.
+    const two_step_result with = two_step_synthesize(g, lib(), {17, 9.0}, {}, cache.get());
+    const two_step_result without = two_step_synthesize(g, lib(), {17, 9.0});
+    ASSERT_EQ(with.feasible, without.feasible);
+    EXPECT_EQ(with.dp.sched.starts(), without.dp.sched.starts());
+    EXPECT_DOUBLE_EQ(with.peak_after, without.peak_after);
+}
+
+// ----------------------------------------------------- level 2: report memo
+
+TEST(explore_cache, report_memo_serves_exact_duplicates_byte_identically)
+{
+    const graph g = make_hal();
+    const std::vector<synthesis_constraints> grid = {
+        {17, 9.0}, {17, 7.0}, {17, 9.0}, {17, 7.0}, {17, 9.0}};
+    const std::vector<flow_report> reference =
+        flow::on(g).with_library(lib()).caching(false).run_batch(grid, 1);
+
+    const auto cache = std::make_shared<explore_cache>(g, lib());
+    const flow f = flow::on(g).with_library(lib()).reuse(cache);
+    const std::vector<flow_report> cached = f.run_batch(grid, 1);
+    ASSERT_EQ(cached.size(), reference.size());
+    for (std::size_t i = 0; i < cached.size(); ++i)
+        EXPECT_EQ(cached[i].to_string(), reference[i].to_string()) << i;
+
+    // 2 distinct points -> 2 stored reports, 3 duplicate hits (exact at
+    // one thread).
+    EXPECT_EQ(cache->stats().report_misses, 2);
+    EXPECT_EQ(cache->stats().report_hits, 3);
+
+    // A repeated sweep over the shared cache is served whole.
+    const std::vector<flow_report> again = f.run_batch(grid, 1);
+    for (std::size_t i = 0; i < again.size(); ++i)
+        EXPECT_EQ(again[i].to_string(), reference[i].to_string()) << i;
+    EXPECT_EQ(cache->stats().report_hits, 8);
+    EXPECT_EQ(cache->stats().report_misses, 2);
+}
+
+TEST(explore_cache, report_memo_fingerprint_separates_configurations)
+{
+    // One shared cache, one constraint point, several configurations:
+    // every cached run must match its own uncached reference, proving
+    // the fingerprints never collide across strategies or options.
+    const graph g = make_hal();
+    const auto cache = std::make_shared<explore_cache>(g, lib());
+    const synthesis_constraints point{17, 9.0};
+
+    synthesis_options locked;
+    locked.lock_from_start = true;
+    lifetime_spec cell;
+    cell.beta = 0.2;
+
+    const std::vector<std::function<flow(void)>> configs = {
+        [&] { return flow::on(g).with_library(lib()).constraints(point); },
+        [&] {
+            return flow::on(g).with_library(lib()).constraints(point).synthesizer(
+                "two_step");
+        },
+        [&] { return flow::on(g).with_library(lib()).constraints(point).options(locked); },
+        [&] {
+            return flow::on(g).with_library(lib()).constraints(point).estimate_lifetime(
+                cell);
+        },
+    };
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const flow_report uncached = configs[i]().run();
+        const flow_report cached = configs[i]().reuse(cache).run();
+        EXPECT_EQ(cached.to_string(), uncached.to_string()) << "config " << i;
+    }
+    // Four distinct fingerprints were stored, none served another config.
+    EXPECT_EQ(cache->stats().report_misses, 4);
+    EXPECT_EQ(cache->stats().report_hits, 0);
+
+    // Re-running any of them is now a pure hit.
+    const flow_report repeat = configs[1]().reuse(cache).run();
+    EXPECT_EQ(repeat.to_string(), configs[1]().run().to_string());
+    EXPECT_EQ(cache->stats().report_hits, 1);
+}
+
+TEST(explore_cache, memo_levels_can_be_disabled_without_changing_results)
+{
+    const graph g = make_hal();
+    const std::vector<synthesis_constraints> grid = {
+        {17, 9.0}, {17, 7.0}, {17, 9.0}};
+    const std::vector<flow_report> reference =
+        flow::on(g).with_library(lib()).caching(false).run_batch(grid, 1);
+
+    const auto cache = std::make_shared<explore_cache>(g, lib());
+    cache->set_committed_memo(false);
+    cache->set_report_memo(false);
+    const std::vector<flow_report> reports =
+        flow::on(g).with_library(lib()).reuse(cache).run_batch(grid, 1);
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        EXPECT_EQ(reports[i].to_string(), reference[i].to_string()) << i;
+    EXPECT_EQ(cache->stats().committed_hits, 0);
+    EXPECT_EQ(cache->stats().committed_misses, 0);
+    EXPECT_EQ(cache->stats().report_hits, 0);
+    EXPECT_EQ(cache->stats().report_misses, 0);
+    EXPECT_GT(cache->stats().hits, 0); // level 0 invariants still serve
+}
+
 // -------------------------------------------------------------- streaming
 
 TEST(flow_stream, callback_sees_every_point_exactly_once)
@@ -203,6 +420,114 @@ TEST(flow_stream, callback_exception_is_rethrown_after_the_batch_drains)
                  std::runtime_error);
     // The first throw cancels the remaining deliveries.
     EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(flow_stream, single_worker_path_keeps_the_exception_contract)
+{
+    // workers == 1 bypasses the thread pool; the consumer contract must
+    // not change: every point is still evaluated and delivered in input
+    // order, the reports are filled, and the (first) exception is
+    // rethrown after the batch drains.
+    const flow f = flow::on(make_hal()).with_library(lib()).latency(17);
+    const std::vector<synthesis_constraints> grid = hal_grid(5);
+
+    std::vector<std::string> delivered;
+    EXPECT_THROW(f.run_batch_stream(
+                     grid,
+                     [&](std::size_t i, const flow_report& r) {
+                         EXPECT_EQ(i, delivered.size()); // input order at 1 worker
+                         delivered.push_back(r.to_string());
+                         if (delivered.size() == grid.size())
+                             throw std::runtime_error("consumer failed on the last point");
+                     },
+                     1),
+                 std::runtime_error);
+    // Every report was computed and delivered filled before the throw.
+    ASSERT_EQ(delivered.size(), grid.size());
+    const std::vector<flow_report> reference = f.run_batch(grid, 1);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        EXPECT_EQ(delivered[i], reference[i].to_string()) << i;
+
+    // An exception on the FIRST delivery cancels the remaining ones.
+    int calls = 0;
+    EXPECT_THROW(f.run_batch_stream(
+                     grid,
+                     [&](std::size_t, const flow_report&) {
+                         ++calls;
+                         throw std::runtime_error("consumer failed immediately");
+                     },
+                     1),
+                 std::runtime_error);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(flow_stream, stale_cache_path_keeps_the_exception_contract)
+{
+    // The stale-cache early return also bypasses the worker pool; it
+    // must fill every report with the stale status, deliver them, and
+    // rethrow the first consumer exception after the batch finishes.
+    const auto cache = std::make_shared<explore_cache>(make_hal(), lib());
+    const flow f = flow::on(make_cosine()).with_library(lib()).latency(15).reuse(cache);
+    const std::vector<synthesis_constraints> grid = {{15, 9.0}, {15, 12.0}, {15, 20.0}};
+
+    std::vector<status_code> codes;
+    EXPECT_THROW(f.run_batch_stream(
+                     grid,
+                     [&](std::size_t, const flow_report& r) {
+                         codes.push_back(r.st.code);
+                         if (codes.size() == grid.size())
+                             throw std::runtime_error("consumer failed on the last point");
+                     },
+                     2),
+                 std::runtime_error);
+    ASSERT_EQ(codes.size(), grid.size());
+    for (const status_code c : codes) EXPECT_EQ(c, status_code::invalid_argument);
+
+    int calls = 0;
+    EXPECT_THROW(f.run_batch_stream(
+                     grid,
+                     [&](std::size_t, const flow_report&) {
+                         ++calls;
+                         throw std::runtime_error("consumer failed immediately");
+                     },
+                     2),
+                 std::runtime_error);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(flow_stream, negative_thread_count_is_invalid_on_every_point)
+{
+    const flow f = flow::on(make_hal()).with_library(lib()).latency(17);
+    const std::vector<synthesis_constraints> grid = {{17, 9.0}, {17, 7.0}, {17, 1.0}};
+
+    for (const int threads : {-1, -8}) {
+        const std::vector<flow_report> reports = f.run_batch(grid, threads);
+        ASSERT_EQ(reports.size(), grid.size()) << threads;
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            EXPECT_EQ(reports[i].st.code, status_code::invalid_argument) << i;
+            EXPECT_NE(reports[i].st.message.find("thread count"), std::string::npos) << i;
+            // The report still names its point and strategy.
+            EXPECT_EQ(reports[i].constraints.latency, grid[i].latency) << i;
+            EXPECT_EQ(reports[i].strategy, "greedy") << i;
+        }
+    }
+
+    // The streaming variant delivers the failed reports like the
+    // stale-cache path does.
+    std::size_t delivered = 0;
+    const std::vector<flow_report> streamed = f.run_batch_stream(
+        grid,
+        [&](std::size_t, const flow_report& r) {
+            ++delivered;
+            EXPECT_EQ(r.st.code, status_code::invalid_argument);
+        },
+        -2);
+    EXPECT_EQ(delivered, grid.size());
+    ASSERT_EQ(streamed.size(), grid.size());
+
+    // 0 keeps meaning "hardware concurrency".
+    const std::vector<flow_report> auto_threads = f.run_batch(grid, 0);
+    EXPECT_TRUE(auto_threads[0].st.ok());
 }
 
 } // namespace

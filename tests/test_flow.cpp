@@ -8,6 +8,7 @@
 #include "cdfg/random_dag.h"
 #include "flow/flow.h"
 #include "rtl/netlist.h"
+#include "support/errors.h"
 #include "synth/explore.h"
 #include "synth/two_step.h"
 #include "synth/verify.h"
@@ -290,6 +291,43 @@ TEST(flow_batch, empty_batch_returns_empty)
 {
     EXPECT_TRUE(
         flow::on(make_hal()).with_library(lib()).latency(17).run_batch({}, 4).empty());
+}
+
+// ------------------------------------------------------------- power grid
+
+TEST(flow_power_grid, infeasible_probe_propagates_its_diagnostic)
+{
+    // Latency 2 is far below hal's critical path, so even the
+    // unconstrained probe is infeasible; the grid must not be fabricated
+    // from magic constants — the error carries the probe's diagnostic.
+    try {
+        flow::on(make_hal()).with_library(lib()).latency(2).power_grid(8);
+        FAIL() << "expected phls::error";
+    } catch (const error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unconstrained probe failed"), std::string::npos) << what;
+        EXPECT_NE(what.find("infeasible"), std::string::npos) << what;
+    }
+}
+
+TEST(flow_power_grid, uncovered_library_is_reported_at_the_lower_edge)
+{
+    const module_library empty = parse_library_string("library empty\n");
+    try {
+        flow::on(make_hal()).with_library(empty).latency(17).power_grid(8);
+        FAIL() << "expected phls::error";
+    } catch (const error& e) {
+        EXPECT_NE(std::string(e.what()).find("does not cover"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(flow_power_grid, feasible_problems_still_get_a_monotone_grid)
+{
+    const std::vector<double> caps =
+        flow::on(make_hal()).with_library(lib()).latency(17).power_grid(12);
+    ASSERT_EQ(caps.size(), 12u);
+    for (std::size_t i = 1; i < caps.size(); ++i) EXPECT_GT(caps[i], caps[i - 1]);
 }
 
 } // namespace

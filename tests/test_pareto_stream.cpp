@@ -1,0 +1,255 @@
+// Tests for the incremental Pareto front (flow/pareto_stream.h) and the
+// flow::run_batch_pareto progress channel: the streamed front must equal
+// the post-hoc front whatever the completion order, and must agree with
+// the legacy 2-D post-processing helpers on lifetime-free sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cdfg/benchmarks.h"
+#include "flow/flow.h"
+#include "flow/pareto_stream.h"
+#include "synth/explore.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+flow_report fake_report(std::size_t, double peak, double area, double cap,
+                        bool feasible = true, double lifetime = -1.0)
+{
+    flow_report r;
+    r.constraints = {17, cap};
+    if (feasible) {
+        r.st = status::success();
+        r.has_design = true;
+        r.peak = peak;
+        r.area = area;
+        r.latency = 17;
+    } else {
+        r.st = status::infeasible("fake");
+    }
+    if (lifetime >= 0.0) {
+        r.has_lifetime = true;
+        r.lifetime_seconds = lifetime;
+    }
+    return r;
+}
+
+std::vector<flow_report> hal_sweep(int points)
+{
+    const flow f = flow::on(make_hal()).with_library(lib()).latency(17);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(points)) grid.push_back({17, cap});
+    return f.run_batch(grid, 1);
+}
+
+// -------------------------------------------------------------- dominance
+
+TEST(pareto_stream, dominance_is_componentwise_with_index_tiebreak)
+{
+    const front_point a{0, 17, 9.0, 100.0, 5.0, 17, false, 0.0};
+    const front_point better_area{1, 17, 9.0, 90.0, 5.0, 17, false, 0.0};
+    const front_point better_peak{2, 17, 9.0, 100.0, 4.0, 17, false, 0.0};
+    const front_point trade_off{3, 17, 9.0, 90.0, 6.0, 17, false, 0.0};
+    const front_point duplicate{4, 17, 12.0, 100.0, 5.0, 17, false, 0.0};
+
+    EXPECT_TRUE(front_dominates(better_area, a));
+    EXPECT_FALSE(front_dominates(a, better_area));
+    EXPECT_TRUE(front_dominates(better_peak, a));
+    EXPECT_FALSE(front_dominates(trade_off, a)); // worse peak, better area
+    EXPECT_FALSE(front_dominates(a, trade_off));
+    // Exact objective tie: the lower input index wins, asymmetrically.
+    EXPECT_TRUE(front_dominates(a, duplicate));
+    EXPECT_FALSE(front_dominates(duplicate, a));
+    EXPECT_FALSE(front_dominates(a, a));
+}
+
+TEST(pareto_stream, lifetime_is_a_third_objective_when_present)
+{
+    const front_point short_lived{0, 17, 9.0, 100.0, 5.0, 17, true, 40.0};
+    const front_point long_lived{1, 17, 9.0, 100.0, 5.0, 17, true, 70.0};
+    // Same peak/area: the longer-lived design dominates despite the
+    // higher index...
+    EXPECT_TRUE(front_dominates(long_lived, short_lived));
+    EXPECT_FALSE(front_dominates(short_lived, long_lived));
+
+    // ...and a lifetime advantage keeps an otherwise-dominated design on
+    // the front.
+    pareto_stream s;
+    (void)s.add(0, fake_report(0, 5.0, 100.0, 9.0, true, 70.0));
+    (void)s.add(1, fake_report(1, 5.0, 90.0, 9.0, true, 40.0)); // cheaper, dies sooner
+    EXPECT_EQ(s.front().size(), 2u);
+
+    pareto_stream flat; // without lifetime the cheaper one wins outright
+    (void)flat.add(0, fake_report(0, 5.0, 100.0, 9.0));
+    (void)flat.add(1, fake_report(1, 5.0, 90.0, 9.0));
+    EXPECT_EQ(flat.front().size(), 1u);
+    EXPECT_EQ(flat.front()[0].index, 1u);
+}
+
+// ------------------------------------------------- incremental == post-hoc
+
+TEST(pareto_stream, incremental_front_is_completion_order_independent)
+{
+    const std::vector<flow_report> reports = hal_sweep(12);
+    const std::vector<front_point> reference = pareto_points(reports);
+    ASSERT_FALSE(reference.empty());
+
+    std::vector<std::size_t> order(reports.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+    for (int permutation = 0; permutation < 4; ++permutation) {
+        pareto_stream s;
+        bool any_change = false;
+        for (const std::size_t i : order) any_change |= s.add(i, reports[i]);
+        EXPECT_TRUE(any_change);
+        EXPECT_EQ(s.seen(), reports.size());
+        ASSERT_EQ(s.front().size(), reference.size()) << "permutation " << permutation;
+        for (std::size_t i = 0; i < reference.size(); ++i)
+            EXPECT_TRUE(s.front()[i] == reference[i])
+                << "permutation " << permutation << ", front point " << i;
+        // reverse, then rotate for the next rounds: four distinct orders.
+        if (permutation == 0) std::reverse(order.begin(), order.end());
+        std::rotate(order.begin(), order.begin() + 3, order.end());
+    }
+}
+
+TEST(pareto_stream, duplicate_points_keep_one_representative)
+{
+    const std::vector<flow_report> once = hal_sweep(8);
+    const std::size_t n = once.size();
+    std::vector<flow_report> reports = once;
+    reports.insert(reports.end(), once.begin(), once.end());
+
+    const std::vector<front_point> front = pareto_points(reports);
+    pareto_stream s;
+    for (std::size_t i = reports.size(); i-- > 0;) (void)s.add(i, reports[i]);
+    ASSERT_EQ(s.front().size(), front.size());
+    for (std::size_t i = 0; i < front.size(); ++i) {
+        EXPECT_TRUE(s.front()[i] == front[i]) << i;
+        EXPECT_LT(front[i].index, n) << "duplicate shadowed its original";
+    }
+}
+
+// --------------------------------------- agreement with the legacy helpers
+
+TEST(pareto_stream, matches_legacy_pareto_front_on_2d_sweeps)
+{
+    const std::vector<flow_report> reports = hal_sweep(16);
+    std::vector<sweep_point> pts;
+    for (const flow_report& r : reports) pts.push_back(to_sweep_point(r));
+    const std::vector<sweep_point> legacy = pareto_front(pts);
+    const std::vector<front_point> front = pareto_points(reports);
+
+    ASSERT_EQ(front.size(), legacy.size());
+    for (std::size_t i = 0; i < front.size(); ++i) {
+        EXPECT_DOUBLE_EQ(front[i].peak, legacy[i].peak) << i;
+        EXPECT_DOUBLE_EQ(front[i].area, legacy[i].area) << i;
+        EXPECT_DOUBLE_EQ(front[i].cap, legacy[i].cap) << i;
+    }
+}
+
+TEST(pareto_stream, best_under_matches_the_monotone_envelope)
+{
+    const std::vector<flow_report> reports = hal_sweep(16);
+    std::vector<sweep_point> pts;
+    for (const flow_report& r : reports) pts.push_back(to_sweep_point(r));
+    const std::vector<sweep_point> envelope = monotone_envelope(pts);
+
+    pareto_stream s;
+    for (std::size_t i = 0; i < reports.size(); ++i) (void)s.add(i, reports[i]);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const front_point* best = s.best_under(pts[i].cap);
+        ASSERT_EQ(best != nullptr, envelope[i].feasible) << "cap " << pts[i].cap;
+        if (best == nullptr) continue;
+        EXPECT_DOUBLE_EQ(best->area, envelope[i].area) << "cap " << pts[i].cap;
+        EXPECT_DOUBLE_EQ(best->peak, envelope[i].peak) << "cap " << pts[i].cap;
+    }
+}
+
+// -------------------------------------------------------- run_batch_pareto
+
+TEST(run_batch_pareto, streams_the_front_and_matches_the_final_vector)
+{
+    const flow f = flow::on(make_cosine()).with_library(lib()).latency(15);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(10)) grid.push_back({15, cap});
+    grid.push_back(grid[grid.size() / 2]); // one duplicate for good measure
+
+    std::set<std::size_t> seen;
+    std::vector<front_point> last_front;
+    std::size_t changes = 0;
+    const std::vector<flow_report> reports = f.run_batch_pareto(
+        grid,
+        [&](std::size_t i, const flow_report& r, const pareto_stream& front,
+            bool changed) {
+            EXPECT_TRUE(seen.insert(i).second) << "index " << i << " delivered twice";
+            EXPECT_EQ(front.seen(), seen.size());
+            EXPECT_DOUBLE_EQ(r.constraints.max_power, grid[i].max_power);
+            if (changed)
+                ++changes;
+            else
+                EXPECT_EQ(front.front().size(), last_front.size());
+            last_front = front.front();
+        },
+        3);
+    EXPECT_EQ(seen.size(), grid.size());
+    EXPECT_GT(changes, 0u);
+
+    // The front delivered with the last point is the post-hoc front of
+    // the returned vector, and the vector itself is byte-identical to a
+    // plain batch run.
+    const std::vector<front_point> posthoc = pareto_points(reports);
+    ASSERT_EQ(last_front.size(), posthoc.size());
+    for (std::size_t i = 0; i < posthoc.size(); ++i)
+        EXPECT_TRUE(last_front[i] == posthoc[i]) << i;
+    const std::vector<flow_report> plain = f.run_batch(grid, 1);
+    ASSERT_EQ(reports.size(), plain.size());
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        EXPECT_EQ(reports[i].to_string(), plain[i].to_string()) << i;
+}
+
+TEST(run_batch_pareto, empty_callback_degrades_to_run_batch)
+{
+    const flow f = flow::on(make_hal()).with_library(lib()).latency(17);
+    const std::vector<synthesis_constraints> grid = {{17, 9.0}, {17, 1.0}};
+    const std::vector<flow_report> a = f.run_batch_pareto(grid, {}, 2);
+    const std::vector<flow_report> b = f.run_batch(grid, 2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].to_string(), b[i].to_string());
+}
+
+TEST(run_batch_pareto, lifetime_front_equals_posthoc_when_lifetime_streams)
+{
+    lifetime_spec cell;
+    cell.beta = 0.15;
+    const flow f =
+        flow::on(make_hal()).with_library(lib()).latency(17).estimate_lifetime(cell);
+    std::vector<synthesis_constraints> grid;
+    for (double cap : f.power_grid(8)) grid.push_back({17, cap});
+
+    std::vector<front_point> last_front;
+    const std::vector<flow_report> reports = f.run_batch_pareto(
+        grid,
+        [&](std::size_t, const flow_report&, const pareto_stream& front, bool) {
+            last_front = front.front();
+        },
+        2);
+    const std::vector<front_point> posthoc = pareto_points(reports);
+    ASSERT_EQ(last_front.size(), posthoc.size());
+    for (std::size_t i = 0; i < posthoc.size(); ++i) {
+        EXPECT_TRUE(last_front[i] == posthoc[i]) << i;
+        EXPECT_TRUE(posthoc[i].has_lifetime) << i;
+    }
+}
+
+} // namespace
+} // namespace phls

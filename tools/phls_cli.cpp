@@ -21,6 +21,7 @@
 #include "cdfg/dot.h"
 #include "cdfg/textio.h"
 #include "flow/flow.h"
+#include "flow/pareto_stream.h"
 #include "support/argparse.h"
 #include "support/errors.h"
 #include "support/csv.h"
@@ -171,6 +172,7 @@ int cmd_sweep(const arg_parser& args)
     const int T = args.get_int("--latency");
     const int points = args.get_int("--points");
     const int threads = args.get_int("--threads");
+    check(threads >= 0, "--threads must be >= 0 (0 = all cores)");
     // Validate the output path before spending minutes on the sweep.
     const std::string csv_path =
         args.has("--csv") ? output_path(args, "--csv", ".csv") : "";
@@ -179,17 +181,23 @@ int cmd_sweep(const arg_parser& args)
     std::vector<synthesis_constraints> grid;
     for (double cap : f.power_grid(points)) grid.push_back({T, cap});
 
-    // Stream per-point progress to stderr as workers finish; stdout
-    // stays a deterministic, input-ordered table either way.
+    // Stream per-point progress and the incremental Pareto front to
+    // stderr as workers finish; stdout stays a deterministic,
+    // input-ordered table either way.
     std::size_t done = 0;
-    stream_callback progress;
+    pareto_callback progress;
     if (args.has("--progress"))
-        progress = [&done, total = grid.size()](std::size_t, const flow_report& r) {
-            std::cerr << strf("[%zu/%zu] T=%d Pmax=%.2f -> %s\n", ++done, total,
-                              r.constraints.latency, r.constraints.max_power,
-                              r.st.to_string().c_str());
+        progress = [&done, total = grid.size()](std::size_t, const flow_report& r,
+                                                const pareto_stream& front,
+                                                bool changed) {
+            std::cerr << strf("[%zu/%zu] T=%d Pmax=%.2f -> %s (front: %zu point%s%s)\n",
+                              ++done, total, r.constraints.latency,
+                              r.constraints.max_power, r.st.to_string().c_str(),
+                              front.front().size(),
+                              front.front().size() == 1 ? "" : "s",
+                              changed ? ", updated" : "");
         };
-    const std::vector<flow_report> reports = f.run_batch_stream(grid, progress, threads);
+    const std::vector<flow_report> reports = f.run_batch_pareto(grid, progress, threads);
     std::vector<sweep_point> raw;
     raw.reserve(reports.size());
     for (const flow_report& r : reports) raw.push_back(to_sweep_point(r));
@@ -310,7 +318,8 @@ int run(const std::vector<std::string>& argv)
     args.add_option("--dot", "", "write a Graphviz file");
     args.add_option("--verilog", "", "write a structural Verilog skeleton");
     args.add_flag("--netlist", "", "print the datapath netlist");
-    args.add_flag("--progress", "", "stream sweep progress to stderr");
+    args.add_flag("--progress", "",
+                  "stream sweep progress + incremental Pareto front to stderr");
     args.add_flag("--exact", "", "use the exact synthesiser (same as --synth exact)");
     args.add_flag("--help", "-h", "show usage");
 
