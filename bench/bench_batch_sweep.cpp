@@ -23,8 +23,24 @@
 //     with >= 4 hardware threads the 4-worker sweep must beat the
 //     uncached sequential reference by >= 2x (hard gate); on smaller
 //     hosts the speedup is reported but not gated (a single-core host is
-//     ~1x by construction).
+//     ~1x by construction);
+//   * dse::session -- a cold, unbounded session explore over the same
+//     duplicate-heavy grid is byte-identical to run_batch; replaying the
+//     streamed front *deltas* reconstructs the final front; a session
+//     warm-started from a save()d cache file answers every point at the
+//     metric level, matches the reference metrics and front, and beats
+//     the cold wall time; a memo-bounded session never holds more full
+//     reports than its capacity while still serving evicted duplicates
+//     as metric records; dse::refine evaluates a subset of the lattice
+//     yet lands on the same final front as the eager grid.
+//
+// The machine-readable summary (points/sec, per-level hit rates, warm
+// vs cold wall time, gate results) is written to BENCH_batch_sweep.json
+// so the perf trajectory is comparable across PRs.
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -32,6 +48,7 @@
 #include <vector>
 
 #include "cdfg/benchmarks.h"
+#include "dse/session.h"
 #include "flow/explore_cache.h"
 #include "flow/flow.h"
 #include "flow/pareto_stream.h"
@@ -55,6 +72,18 @@ bool identical(const std::vector<phls::flow_report>& a,
     for (std::size_t i = 0; i < a.size(); ++i)
         if (a[i].to_string() != b[i].to_string()) return false;
     return true;
+}
+
+/// Metric-level equality: what a warm-started session guarantees (the
+/// datapath is not persisted, the outcome and achieved metrics are).
+bool metric_identical(const phls::flow_report& a, const phls::flow_report& b)
+{
+    return a.st.code == b.st.code && a.st.message == b.st.message &&
+           a.constraints.latency == b.constraints.latency &&
+           a.constraints.max_power == b.constraints.max_power &&
+           a.has_design == b.has_design && a.area == b.area && a.peak == b.peak &&
+           a.latency == b.latency && a.has_lifetime == b.has_lifetime &&
+           a.lifetime_seconds == b.lifetime_seconds;
 }
 
 } // namespace
@@ -135,9 +164,11 @@ int main()
     std::cout << "=== two-level cache on a 2-D (T, Pmax) grid with duplicates ===\n";
     const graph g2 = make_hal();
     const flow base2 = flow::on(g2).with_library(lib).latency(17);
+    const std::vector<int> lat2 = {17, 19, 21};
+    const std::vector<double> caps20 = base2.power_grid(20);
     std::vector<synthesis_constraints> grid2;
-    for (int T : {17, 19, 21})
-        for (double cap : base2.power_grid(20)) grid2.push_back({T, cap});
+    for (int T : lat2)
+        for (double cap : caps20) grid2.push_back({T, cap});
     const std::size_t distinct = grid2.size();
     const std::vector<synthesis_constraints> once = grid2; // self-insert is UB
     grid2.insert(grid2.end(), once.begin(), once.end());   // exact duplicates
@@ -205,6 +236,120 @@ int main()
                       "deliveries\n\n",
                       streamed_front.size(), front_changes, delivered);
 
+    // ---- dse::session: delta streaming, persistence, bounded memo ----
+    //
+    // The session is the new exploration surface (run_batch* remain thin
+    // wrappers over the same executor).  Cold + unbounded it must be
+    // byte-identical to run_batch; its persisted cache file must make a
+    // second process-equivalent run answer every point at the metric
+    // level, match the reference metrics and front, and beat the cold
+    // wall time; a bounded memo must respect its capacity while evicted
+    // duplicates still answer as metric records; refine must land on the
+    // eager grid's front while evaluating fewer lattice points.
+    std::cout << "=== dse::session on the duplicate-heavy grid ===\n";
+    const char* cache_file = "bench_batch_sweep.phlscache";
+    std::remove(cache_file);
+
+    dse::session cold(flow::on(g2).with_library(lib));
+    std::vector<flow_report> ses_reports(grid2.size());
+    std::vector<front_delta> deltas;
+    dse::sink cold_sink;
+    cold_sink.on_result = [&](std::size_t i, const flow_report& r) {
+        ses_reports[i] = r;
+    };
+    cold_sink.on_front = [&](const front_delta& d) { deltas.push_back(d); };
+    dse::explore_summary cold_sum;
+    const double ms_cold = run_ms(
+        [&] { cold_sum = cold.explore(dse::list(grid2), cold_sink, 1); });
+    const bool session_identical = identical(ses_reports, ref2);
+    cold.save(cache_file);
+
+    // Replaying the streamed deltas must reconstruct the final front.
+    std::vector<front_point> replay;
+    for (const front_delta& d : deltas) {
+        for (const front_point& p : d.left) std::erase(replay, p);
+        for (const front_point& p : d.entered) replay.push_back(p);
+    }
+    std::sort(replay.begin(), replay.end(), [](const front_point& a, const front_point& b) {
+        if (a.peak != b.peak) return a.peak < b.peak;
+        if (a.area != b.area) return a.area < b.area;
+        return a.index < b.index;
+    });
+    const bool deltas_ok =
+        replay == cold_sum.front && cold_sum.front == pareto_points(ref2);
+
+    dse::session warm(flow::on(g2).with_library(lib));
+    warm.load(cache_file);
+    std::vector<flow_report> warm_reports(grid2.size());
+    dse::sink warm_sink;
+    warm_sink.on_result = [&](std::size_t i, const flow_report& r) {
+        warm_reports[i] = r;
+    };
+    dse::explore_summary warm_sum;
+    const double ms_warm = run_ms(
+        [&] { warm_sum = warm.explore(dse::list(grid2), warm_sink, 1); });
+    bool warm_matches = warm_sum.front == cold_sum.front &&
+                        warm_sum.metric_served == grid2.size();
+    for (std::size_t i = 0; i < grid2.size(); ++i)
+        warm_matches = warm_matches && metric_identical(warm_reports[i], ref2[i]);
+    const bool warm_faster = ms_warm < ms_cold;
+    std::remove(cache_file);
+
+    // A small chunk puts the duplicate half of the grid in later chunks
+    // than the originals, so the scan actually meets evicted entries and
+    // the metric fallback (not just run_point's in-batch full hits).
+    constexpr std::size_t memo_limit = 16;
+    dse::session bounded(flow::on(g2).with_library(lib),
+                         {.memo_limit = memo_limit, .chunk = 30});
+    std::size_t max_full = 0;
+    std::vector<flow_report> bounded_reports(grid2.size());
+    dse::sink bounded_sink;
+    bounded_sink.on_result = [&](std::size_t i, const flow_report& r) {
+        bounded_reports[i] = r;
+        max_full = std::max(max_full, bounded.cache()->report_full_size());
+    };
+    dse::explore_summary bounded_sum;
+    const double ms_bounded = run_ms(
+        [&] { bounded_sum = bounded.explore(dse::list(grid2), bounded_sink, 1); });
+    bool bounded_ok = max_full <= memo_limit &&
+                      bounded.cache()->report_full_size() <= memo_limit &&
+                      bounded_sum.metric_served > 0;
+    for (std::size_t i = 0; i < grid2.size(); ++i)
+        bounded_ok = bounded_ok && metric_identical(bounded_reports[i], ref2[i]);
+
+    dse::session eager_session(flow::on(g2).with_library(lib));
+    dse::explore_summary eager_sum;
+    const double ms_eager = run_ms(
+        [&] { eager_sum = eager_session.explore(dse::cross(lat2, caps20), {}, 1); });
+    dse::session refine_session(flow::on(g2).with_library(lib));
+    dse::explore_summary refine_sum;
+    const double ms_refine = run_ms(
+        [&] { refine_sum = refine_session.explore(dse::refine(lat2, caps20), {}, 1); });
+    const bool refine_ok = refine_sum.front == eager_sum.front &&
+                           refine_sum.evaluated <= eager_sum.evaluated;
+
+    const explore_cache::counters ccold = cold.cache()->stats();
+    ascii_table t3({"session run", "wall (ms)", "points", "points/sec"});
+    const auto pps = [](std::size_t n, double ms) {
+        return ms > 0.0 ? strf("%.0f", 1000.0 * static_cast<double>(n) / ms) : "-";
+    };
+    t3.add_row({"cold (unbounded)", strf("%.1f", ms_cold),
+                std::to_string(cold_sum.evaluated), pps(cold_sum.evaluated, ms_cold)});
+    t3.add_row({"warm (from cache file)", strf("%.1f", ms_warm),
+                std::to_string(warm_sum.evaluated), pps(warm_sum.evaluated, ms_warm)});
+    t3.add_row({strf("bounded (memo %zu)", memo_limit), strf("%.1f", ms_bounded),
+                std::to_string(bounded_sum.evaluated),
+                pps(bounded_sum.evaluated, ms_bounded)});
+    t3.add_row({"eager grid", strf("%.1f", ms_eager),
+                std::to_string(eager_sum.evaluated), pps(eager_sum.evaluated, ms_eager)});
+    t3.add_row({"refine", strf("%.1f", ms_refine), std::to_string(refine_sum.evaluated),
+                pps(refine_sum.evaluated, ms_refine)});
+    t3.print(std::cout);
+    std::cout << strf("warm speedup vs cold: %.1fx; refine evaluated %zu of %zu "
+                      "lattice points\n\n",
+                      ms_warm > 0.0 ? ms_cold / ms_warm : 0.0, refine_sum.evaluated,
+                      refine_sum.space_size);
+
     // ------------------------------------------------------------ gates
     //
     // The two wall-clock gates are deliberately hard (per ROADMAP) but
@@ -230,10 +375,68 @@ int main()
               << (beats_l0 ? "YES" : "NO") << '\n';
     std::cout << "incremental Pareto front equals the post-hoc front: "
               << (pareto_matches ? "YES" : "NO") << '\n';
+    std::cout << "cold session explore is byte-identical to run_batch: "
+              << (session_identical ? "YES" : "NO") << '\n';
+    std::cout << "replayed front deltas reconstruct the final front: "
+              << (deltas_ok ? "YES" : "NO") << '\n';
+    std::cout << "warm-started session matches the reference at the metric level: "
+              << (warm_matches ? "YES" : "NO") << '\n';
+    std::cout << "warm-started session beats the cold wall time: "
+              << (warm_faster ? "YES" : "NO") << '\n';
+    std::cout << "bounded memo respects its capacity and serves metric fallbacks: "
+              << (bounded_ok ? "YES" : "NO") << '\n';
+    std::cout << "refine lands on the eager grid's front: "
+              << (refine_ok ? "YES" : "NO") << '\n';
     std::cout << strf("elliptic speedup at 4 threads: %.2fx (gate %s)\n", speedup_at_4,
                       hard_scaling ? ">= 2x, hard" : "soft: fewer than 4 cores");
-    return all_identical && grid_identical && all_hit && committed_hit && report_hit &&
-                   beats_l0 && pareto_matches && scaling_ok
-               ? 0
-               : 1;
+
+    const bool ok = all_identical && grid_identical && all_hit && committed_hit &&
+                    report_hit && beats_l0 && pareto_matches && scaling_ok &&
+                    session_identical && deltas_ok && warm_matches && warm_faster &&
+                    bounded_ok && refine_ok;
+
+    // Machine-readable trajectory: one flat JSON object per run, stable
+    // keys, so successive PRs can be diffed/plotted without parsing the
+    // tables above.
+    {
+        std::ofstream json("BENCH_batch_sweep.json");
+        const auto rate = [](long hits, long misses) {
+            const long total = hits + misses;
+            return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                             : 0.0;
+        };
+        json << "{\n";
+        json << strf("  \"hardware_threads\": %u,\n", cores);
+        json << strf("  \"grid_points\": %zu,\n", grid2.size());
+        json << strf("  \"grid_distinct\": %zu,\n", distinct);
+        json << strf("  \"cold_wall_ms\": %.3f,\n", ms_cold);
+        json << strf("  \"cold_points_per_sec\": %.1f,\n",
+                     ms_cold > 0.0 ? 1000.0 * static_cast<double>(grid2.size()) / ms_cold
+                                   : 0.0);
+        json << strf("  \"warm_wall_ms\": %.3f,\n", ms_warm);
+        json << strf("  \"warm_points_per_sec\": %.1f,\n",
+                     ms_warm > 0.0 ? 1000.0 * static_cast<double>(grid2.size()) / ms_warm
+                                   : 0.0);
+        json << strf("  \"warm_speedup_vs_cold\": %.2f,\n",
+                     ms_warm > 0.0 ? ms_cold / ms_warm : 0.0);
+        json << strf("  \"warm_metric_served\": %zu,\n", warm_sum.metric_served);
+        json << strf("  \"invariant_hit_rate\": %.4f,\n", rate(ccold.hits, ccold.misses));
+        json << strf("  \"committed_hit_rate\": %.4f,\n",
+                     rate(ccold.committed_hits, ccold.committed_misses));
+        json << strf("  \"report_hit_rate\": %.4f,\n",
+                     rate(ccold.report_hits, ccold.report_misses));
+        json << strf("  \"two_level_wall_ms\": %.3f,\n", ms2_l2);
+        json << strf("  \"initial_windows_wall_ms\": %.3f,\n", ms2_l0);
+        json << strf("  \"uncached_wall_ms\": %.3f,\n", ms2_off);
+        json << strf("  \"refine_evaluated\": %zu,\n", refine_sum.evaluated);
+        json << strf("  \"refine_lattice\": %zu,\n", refine_sum.space_size);
+        json << strf("  \"refine_wall_ms\": %.3f,\n", ms_refine);
+        json << strf("  \"eager_wall_ms\": %.3f,\n", ms_eager);
+        json << strf("  \"speedup_at_4_threads\": %.2f,\n", speedup_at_4);
+        json << strf("  \"gates_passed\": %s\n", ok ? "true" : "false");
+        json << "}\n";
+        std::cout << "wrote BENCH_batch_sweep.json\n";
+    }
+
+    return ok ? 0 : 1;
 }

@@ -3,21 +3,20 @@
 // front at one latency.  This is how a system designer would pick the
 // constraint point before committing to a datapath.
 //
-// The whole 7x10 constraint plane is evaluated in ONE flow::run_batch
-// call: the engine spreads the points over a worker pool and returns
-// them in input order, so the map below fills multicore machines for
-// free while staying bit-identical to a sequential run.  One
-// explore_cache is shared across the plane AND the later Pareto sweep,
-// so the (graph, lib) invariants -- reachability, prospect tables,
-// initial windows -- are computed once for the whole program, and the
-// Pareto sweep streams per-point progress as workers finish.
+// The exploration runs as a dse::session: the 7x10 constraint plane is a
+// declarative dse::cross space (lazy — the session walks it in chunks,
+// nothing is materialised eagerly), one bounded two-level explore_cache
+// owns every memo across BOTH explorations, and the Pareto channel
+// streams *front deltas* (the designs entering and leaving the front)
+// the moment each worker finishes.  The final summary carries the front
+// and the per-level cache counters.
 #include <iostream>
 #include <vector>
 
 #include "cdfg/benchmarks.h"
+#include "dse/session.h"
 #include "flow/explore_cache.h"
 #include "flow/flow.h"
-#include "flow/pareto_stream.h"
 #include "support/strings.h"
 #include "support/table.h"
 #include "synth/explore.h"
@@ -33,66 +32,69 @@ int main()
     // Power axis: shared grid so columns align across rows.
     const std::vector<double> caps = {8, 12, 16, 20, 26, 32, 40, 50, 65, 80};
 
-    // One batch over the full plane, on one shared cache.
-    const std::shared_ptr<explore_cache> cache =
-        flow::on(g).with_library(lib).build_cache();
-    const flow f = flow::on(g).with_library(lib).reuse(cache);
-    std::vector<synthesis_constraints> plane;
-    for (int T : latencies)
-        for (double c : caps) plane.push_back({T, c});
-    const std::vector<flow_report> reports = f.run_batch(plane);
+    // One session owns the cache for the whole program.
+    dse::session session(flow::on(g).with_library(lib));
+
+    // Exploration 1: the full plane, delivered through the result
+    // channel into an index-addressed map (indices are row-major lattice
+    // positions, whatever order the workers finish in).
+    const dse::space plane = dse::cross(latencies, caps);
+    std::vector<sweep_point> cells(plane.size());
+    dse::sink plane_sink;
+    plane_sink.on_result = [&](std::size_t index, const flow_report& r) {
+        cells[index] = to_sweep_point(r);
+    };
+    session.explore(plane, plane_sink);
 
     std::cout << "=== cosine: area as a function of (T, Pmax) ===\n\n";
     std::vector<std::string> headers = {"T \\ Pmax"};
     for (double c : caps) headers.push_back(strf("%.0f", c));
     ascii_table t(std::move(headers));
     for (std::size_t row = 0; row < latencies.size(); ++row) {
-        std::vector<sweep_point> raw;
-        for (std::size_t col = 0; col < caps.size(); ++col)
-            raw.push_back(to_sweep_point(reports[row * caps.size() + col]));
+        const std::vector<sweep_point> raw(cells.begin() + row * caps.size(),
+                                           cells.begin() + (row + 1) * caps.size());
         const std::vector<sweep_point> env = monotone_envelope(raw);
-        std::vector<std::string> cells = {strf("T=%d", latencies[row])};
+        std::vector<std::string> cells_text = {strf("T=%d", latencies[row])};
         for (const sweep_point& p : env)
-            cells.push_back(p.feasible ? strf("%.0f", p.area) : ".");
-        t.add_row(std::move(cells));
+            cells_text.push_back(p.feasible ? strf("%.0f", p.area) : ".");
+        t.add_row(std::move(cells_text));
     }
     t.print(std::cout);
     std::cout << "('.' = infeasible: no schedule fits both constraints)\n";
 
-    // Pareto front at T=15: the designs worth considering.  The same
-    // cache keeps serving this second exploration (the 2-D plane above
-    // already filled its window and report memos), and the Pareto
-    // channel folds each report into the incremental front the moment
-    // its worker finishes -- the stderr trace shows the front growing
-    // while the sweep is still running.
+    // Exploration 2: the Pareto front at T=15 on a finer cap grid.  The
+    // same session cache keeps serving (the plane above already filled
+    // its window and report memos), and the front channel delivers only
+    // the *changes* — watch designs displace each other on stderr while
+    // the sweep runs.
     const int T = 15;
-    const flow at15 = flow::on(g).with_library(lib).latency(T).reuse(cache);
-    std::vector<synthesis_constraints> grid;
-    for (double cap : at15.power_grid(24)) grid.push_back({T, cap});
-    std::size_t done = 0;
-    std::vector<front_point> front;
-    const std::vector<flow_report> pareto_reports = at15.run_batch_pareto(
-        grid, [&](std::size_t, const flow_report& r, const pareto_stream& stream,
-                  bool changed) {
-            std::cerr << strf("pareto sweep %zu/%zu: Pmax=%.2f %s (front: %zu%s)\n",
-                              ++done, grid.size(), r.constraints.max_power,
-                              r.st.ok() ? "ok" : "infeasible",
-                              stream.front().size(), changed ? ", updated" : "");
-            front = stream.front(); // snapshot; complete after the last point
-        });
+    const flow at15 =
+        flow::on(g).with_library(lib).latency(T).reuse(session.cache());
+    const dse::space grid15 = dse::cross({T}, at15.power_grid(24));
+    dse::sink front_sink;
+    front_sink.on_front = [&](const front_delta& d) {
+        for (const front_point& p : d.entered)
+            std::cerr << strf("front + peak %.2f area %.0f (cap %.2f)\n", p.peak,
+                              p.area, p.cap);
+        for (const front_point& p : d.left)
+            std::cerr << strf("front - peak %.2f area %.0f (displaced)\n", p.peak,
+                              p.area);
+    };
+    const dse::explore_summary sum = session.explore(grid15, front_sink);
+
     std::cout << "\n=== Pareto front at T=" << T << " (peak power vs area) ===\n\n";
     ascii_table pf({"peak power", "area", "synthesised at cap"});
-    for (const front_point& p : front)
+    for (const front_point& p : sum.front)
         pf.add_row({strf("%.2f", p.peak), strf("%.0f", p.area), strf("%.2f", p.cap)});
     pf.print(std::cout);
 
     std::cout << "\nReading guide: moving up-left on the front trades peak power for\n"
                  "area; everything off the front is dominated.\n";
-    const explore_cache::counters c = cache->stats();
+    const explore_cache::counters c = session.cache()->stats();
     std::cout << strf("\nexplore_cache: %ld hits, %ld misses across %zu points\n"
                       "  committed windows: %ld hits, %ld misses; report memo: %ld "
                       "hits, %ld misses\n",
-                      c.hits, c.misses, plane.size() + grid.size(), c.committed_hits,
+                      c.hits, c.misses, plane.size() + grid15.size(), c.committed_hits,
                       c.committed_misses, c.report_hits, c.report_misses);
     return 0;
 }

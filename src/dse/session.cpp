@@ -1,0 +1,243 @@
+#include "dse/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <unordered_map>
+
+#include "support/errors.h"
+#include "support/memo_key.h"
+
+namespace phls::dse {
+
+namespace {
+
+/// A metric record turned back into a (metric-only) flow_report: status
+/// and achieved metrics are exact, the datapath/netlist/stats are empty.
+flow_report to_metric_report(const metric_record& m)
+{
+    flow_report r;
+    r.st = m.st;
+    r.strategy = m.strategy;
+    r.constraints = m.constraints;
+    r.has_design = m.has_design;
+    r.optimal = m.optimal;
+    r.note = m.note;
+    r.area = m.area;
+    r.peak = m.peak;
+    r.latency = m.latency;
+    r.has_lifetime = m.has_lifetime;
+    r.lifetime_seconds = m.lifetime_seconds;
+    r.battery_alpha = m.battery_alpha;
+    return r;
+}
+
+/// The Pareto-region signature refine() compares across cell corners:
+/// the outcome class and the achieved metrics, canonically encoded.
+/// The constraint point itself and diagnostic text (which embeds the
+/// point) are deliberately excluded — two corners are "the same region"
+/// iff the synthesis *outcome* is identical.
+std::string region_signature(const flow_report& r)
+{
+    std::string sig;
+    key_int(sig, static_cast<long>(r.st.code));
+    key_int(sig, r.has_design ? 1 : 0);
+    key_int(sig, r.optimal ? 1 : 0);
+    key_double(sig, r.area);
+    key_double(sig, r.peak);
+    key_int(sig, r.latency);
+    key_int(sig, r.has_lifetime ? 1 : 0);
+    key_double(sig, r.lifetime_seconds);
+    return sig;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+} // namespace
+
+/// Per-explore() mutable state: the incremental front, the summary under
+/// construction, and (for adaptive spaces) the corner signatures.
+struct session::delivery_state {
+    const sink* sk = nullptr;
+    pareto_stream front;
+    explore_summary summary;
+    bool want_signatures = false;
+    std::unordered_map<std::size_t, std::string> signatures; ///< space index -> region
+
+    /// Folds one finished report in and fans it out to the sink.  Called
+    /// serialised (scan loop or the executor's serialised callback).
+    void deliver(std::size_t index, const flow_report& report, bool metric)
+    {
+        ++summary.evaluated;
+        if (report.st.ok()) ++summary.feasible;
+        if (metric) ++summary.metric_served;
+        if (want_signatures) signatures.emplace(index, region_signature(report));
+        front_delta delta;
+        front.add(index, report, &delta);
+        if (sk->on_result) sk->on_result(index, report);
+        if (delta.changed() && sk->on_front) sk->on_front(delta);
+    }
+};
+
+session::session(const flow& prototype, const session_options& opts)
+    : flow_(prototype), opts_(opts), cache_(flow_.build_cache())
+{
+    check(opts_.chunk >= 1, "session chunk size must be >= 1");
+    cache_->set_report_capacity(opts_.memo_limit);
+    flow_.reuse(cache_);
+}
+
+void session::evaluate(const space& s, const std::vector<std::size_t>& indices,
+                       delivery_state& state, int threads)
+{
+    // Scan: duplicate points whose full report is memoised are served as
+    // run_point would serve them (so a cold session is byte-identical to
+    // run_batch); points evicted to — or warm-started as — metric
+    // records answer at the metric level; everything else batches
+    // through the flow executor.
+    // A malformed worker count must fail *every* point with
+    // invalid_argument (the run_batch contract) — memo-warm points
+    // included, so skip the scan and let the executor fail them all.
+    const bool malformed = threads < 0;
+    // Metric-only entries exist only after an eviction or a cache-file
+    // load; skip the per-point probe (one mutex round-trip each) when
+    // there are none.
+    const bool try_metrics =
+        opts_.metric_answers && cache_->report_metric_size() > 0;
+    std::vector<synthesis_constraints> compute_points;
+    std::vector<std::size_t> compute_indices;
+    for (const std::size_t index : indices) {
+        const synthesis_constraints c = s.at(index);
+        if (!malformed) {
+            const std::string fp = flow_.fingerprint(c);
+            flow_report full;
+            if (cache_->report_lookup(fp, &full)) {
+                state.deliver(index, full, false);
+                continue;
+            }
+            if (try_metrics) {
+                metric_record m;
+                if (cache_->metric_lookup(fp, &m)) {
+                    state.deliver(index, to_metric_report(m), true);
+                    continue;
+                }
+            }
+        }
+        compute_points.push_back(c);
+        compute_indices.push_back(index);
+    }
+    if (compute_points.empty()) return;
+    flow_.run_batch_stream(
+        compute_points,
+        [&](std::size_t local, const flow_report& r) {
+            state.deliver(compute_indices[local], r, false);
+        },
+        threads);
+}
+
+explore_summary session::explore(const space& s, const sink& sk, int threads)
+{
+    const auto started = std::chrono::steady_clock::now();
+    delivery_state state;
+    state.sk = &sk;
+    state.summary.space_size = s.size();
+
+    explore_summary summary = s.adaptive() ? explore_adaptive(s, state, threads)
+                                           : explore_exhaustive(s, state, threads);
+    summary.front = state.front.front();
+    summary.wall_ms = elapsed_ms(started);
+    return summary;
+}
+
+explore_summary session::explore_exhaustive(const space& s, delivery_state& state,
+                                            int threads)
+{
+    // Walk the space in bounded chunks: at most opts_.chunk points (plus
+    // the executor's result slots for the computed subset) exist at
+    // once, however large the space is.
+    std::vector<std::size_t> chunk;
+    chunk.reserve(std::min<std::size_t>(opts_.chunk, s.size()));
+    s.enumerate([&](std::size_t index, const synthesis_constraints&) {
+        chunk.push_back(index);
+        if (chunk.size() >= opts_.chunk) {
+            evaluate(s, chunk, state, threads);
+            chunk.clear();
+        }
+        return true;
+    });
+    if (!chunk.empty()) evaluate(s, chunk, state, threads);
+    return state.summary;
+}
+
+explore_summary session::explore_adaptive(const space& s, delivery_state& state,
+                                          int threads)
+{
+    const std::vector<int>& ts = s.latencies();
+    const std::vector<double>& ps = s.caps();
+    const std::size_t np = ps.size();
+    const auto lin = [np](std::size_t i, std::size_t j) { return i * np + j; };
+
+    state.want_signatures = true;
+
+    // Coarse-to-fine cell subdivision over the index lattice.  Each wave
+    // batch-evaluates every corner it is missing (one executor call, so
+    // the worker pool stays busy), then splits exactly the cells whose
+    // corners landed on different Pareto-front regions.
+    struct cell {
+        std::size_t i0, i1, j0, j1;
+    };
+    std::vector<cell> wave = {{0, ts.size() - 1, 0, np - 1}};
+    while (!wave.empty()) {
+        std::vector<std::size_t> need;
+        std::set<std::size_t> queued;
+        for (const cell& c : wave)
+            for (const std::size_t index :
+                 {lin(c.i0, c.j0), lin(c.i0, c.j1), lin(c.i1, c.j0), lin(c.i1, c.j1)})
+                if (!state.signatures.count(index) && queued.insert(index).second)
+                    need.push_back(index);
+        std::sort(need.begin(), need.end()); // deterministic input order
+        // The chunk bound holds for adaptive walks too: a wave of a
+        // large non-uniform lattice can need most of its corners.
+        for (std::size_t pos = 0; pos < need.size(); pos += opts_.chunk) {
+            const std::vector<std::size_t> block(
+                need.begin() + static_cast<std::ptrdiff_t>(pos),
+                need.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(pos + opts_.chunk, need.size())));
+            evaluate(s, block, state, threads);
+        }
+
+        std::vector<cell> next;
+        for (const cell& c : wave) {
+            const bool can_t = c.i1 - c.i0 > 1;
+            const bool can_p = c.j1 - c.j0 > 1;
+            if (!can_t && !can_p) continue; // no interior points to decide on
+            const std::string& sig = state.signatures.at(lin(c.i0, c.j0));
+            if (sig == state.signatures.at(lin(c.i0, c.j1)) &&
+                sig == state.signatures.at(lin(c.i1, c.j0)) &&
+                sig == state.signatures.at(lin(c.i1, c.j1)))
+                continue; // uniform cell: its interior cannot change the front
+            const std::size_t im = (c.i0 + c.i1) / 2;
+            const std::size_t jm = (c.j0 + c.j1) / 2;
+            if (can_t && can_p) {
+                next.push_back({c.i0, im, c.j0, jm});
+                next.push_back({c.i0, im, jm, c.j1});
+                next.push_back({im, c.i1, c.j0, jm});
+                next.push_back({im, c.i1, jm, c.j1});
+            } else if (can_t) {
+                next.push_back({c.i0, im, c.j0, c.j1});
+                next.push_back({im, c.i1, c.j0, c.j1});
+            } else {
+                next.push_back({c.i0, c.i1, c.j0, jm});
+                next.push_back({c.i0, c.i1, jm, c.j1});
+            }
+        }
+        wave = std::move(next);
+    }
+    return state.summary;
+}
+
+} // namespace phls::dse

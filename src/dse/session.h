@@ -1,0 +1,136 @@
+// Exploration sessions: the stateful owner of a design-space sweep.
+//
+// A dse::session binds a configured flow (the *prototype*: graph,
+// library, strategy, options, enabled stages — its own constraint point
+// is ignored) to a long-lived two-level explore_cache, and evaluates
+// dse::space point sets against it:
+//
+//   dse::session s(flow::on(g).latency(17), {.memo_limit = 4096});
+//   s.load("sweep.phlscache");              // warm-start, if the file exists
+//   const dse::explore_summary sum = s.explore(
+//       dse::grid({17, 21, 2}, {2.0, 9.0, 40}),
+//       {.on_result = ..., .on_front = ...});
+//   s.save("sweep.phlscache");              // persist for the next process
+//
+// explore() unifies the three flow::run_batch* shapes behind one sink:
+// the result channel streams each finished report (what
+// run_batch_stream's callback delivered), and the front channel streams
+// *envelope deltas* — the points that entered and left the incremental
+// Pareto front — instead of re-sending the whole front per completion
+// (what run_batch_pareto did).  The run_batch* functions remain as thin
+// wrappers over the same executor for eager vector callers; see
+// docs/FLOW_API.md for the migration table.
+//
+// The session's cache is bounded (memo_limit full reports, LRU) and
+// persistent: save()/load() serialise the memo tables, so a repeated CLI
+// sweep warm-starts across processes.  Warm-started (and evicted) points
+// are served as *metric-only* reports — status and achieved
+// (peak, area, latency, lifetime) without the datapath — which is
+// everything a sweep table, front or envelope reads; disable
+// metric_answers to force full recomputes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dse/space.h"
+#include "flow/explore_cache.h"
+#include "flow/flow.h"
+#include "flow/pareto_stream.h"
+
+namespace phls::dse {
+
+/// Session-construction knobs.
+struct session_options {
+    /// Level-2 memo bound: max *full* reports held (LRU-evicted down to
+    /// metric records beyond it); 0 = unbounded.
+    std::size_t memo_limit = 0;
+    /// Max points materialised per executor call: a space is walked in
+    /// chunks of this size, so a 10^5-point plane never exists as one
+    /// eager vector.  Must be >= 1.
+    std::size_t chunk = 1024;
+    /// Serve points whose full report is gone (warm-started from a cache
+    /// file, or LRU-evicted) as metric-only reports instead of
+    /// recomputing.  Metric reports carry status and achieved
+    /// (peak, area, latency, lifetime) but an empty datapath.
+    bool metric_answers = true;
+};
+
+/// The unified delivery interface of session::explore.  Both channels
+/// are optional; calls are serialised (never concurrent).  A throwing
+/// callback aborts the exploration and rethrows to the caller.
+struct sink {
+    /// Per-point channel: (space index, finished report), in completion
+    /// order — memo-served points complete instantly, computed points as
+    /// their worker finishes.
+    stream_callback on_result;
+    /// Pareto channel: invoked only when a report *changed* the
+    /// incremental front, with exactly the points that entered and left.
+    /// Replaying the deltas reconstructs the final front.
+    std::function<void(const front_delta&)> on_front;
+};
+
+/// Outcome of one explore() call.
+struct explore_summary {
+    std::size_t space_size = 0; ///< points the space describes
+    std::size_t evaluated = 0;  ///< points delivered (< space_size when refine pruned)
+    std::size_t feasible = 0;   ///< delivered points with an ok status
+    std::size_t metric_served = 0; ///< points answered as metric-only reports
+    std::vector<front_point> front; ///< final Pareto front over the delivered points
+    double wall_ms = 0.0;           ///< wall-clock time of the exploration
+};
+
+/// One design problem + one cache + many explorations.  Not thread-safe
+/// itself (one explore() at a time); the evaluation inside fans out over
+/// the worker pool.
+class session {
+public:
+    /// Binds `prototype` (its constraint point is irrelevant) to a fresh
+    /// cache built for its (graph, library).  @throws phls::error on a
+    /// malformed problem or invalid options.
+    explicit session(const flow& prototype, const session_options& opts = {});
+
+    /// The session's cache; shareable with plain flow::reuse() callers.
+    const std::shared_ptr<explore_cache>& cache() const { return cache_; }
+
+    /// Persists the cache's memo tables (committed windows + metric
+    /// records); returns the number of records written — what load()
+    /// into a fresh session reports.  @throws phls::error when the file
+    /// cannot be written.
+    std::size_t save(const std::string& path) const { return cache_->save(path); }
+
+    /// Warm-starts the cache from a save()d file; returns records
+    /// loaded.  @throws phls::error on a missing, corrupt, truncated or
+    /// mismatched file — never silently degrades.  Call before explore().
+    std::size_t load(const std::string& path) { return cache_->load(path); }
+
+    /// Evaluates every point of `s` (adaptively, when s.adaptive()) on
+    /// `threads` workers (0 = hardware concurrency), delivering through
+    /// `sk` and folding the incremental Pareto front.  Reports of a
+    /// cold, unbounded session are byte-identical to
+    /// flow::run_batch(s.materialize()); warm or evicted points are
+    /// served as metric-only reports when metric_answers allows.
+    explore_summary explore(const space& s, const sink& sk = {}, int threads = 0);
+
+private:
+    struct delivery_state;
+
+    /// Evaluates `indices` (space indices into `s`), serving memo hits
+    /// and batching the rest through the flow executor.
+    void evaluate(const space& s, const std::vector<std::size_t>& indices,
+                  delivery_state& state, int threads);
+
+    explore_summary explore_exhaustive(const space& s, delivery_state& state,
+                                       int threads);
+    explore_summary explore_adaptive(const space& s, delivery_state& state,
+                                     int threads);
+
+    flow flow_;
+    session_options opts_;
+    std::shared_ptr<explore_cache> cache_;
+};
+
+} // namespace phls::dse

@@ -1,0 +1,135 @@
+// Declarative (T, Pmax) point spaces for design-space exploration.
+//
+// A dse::space describes a set of constraint points *lazily*: grids and
+// crosses store only their axes, so a 10^5-point Figure-2 plane costs a
+// few hundred bytes until a session actually walks it, and enumeration
+// streams points in a deterministic order (row-major, latency outer)
+// without ever materialising an eager vector.  Spaces compose: concat()
+// chains two spaces, list() wraps an explicit point vector, and
+// refine() marks a lattice for *adaptive* evaluation — dse::session
+// evaluates its cells coarse-to-fine and subdivides only where the
+// corner outcomes land on different Pareto-front regions, skipping the
+// interiors of uniform cells entirely.
+//
+// The space layer knows nothing about flows or caches; dse::session
+// (session.h) owns evaluation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "synth/synthesizer.h"
+
+namespace phls::dse {
+
+/// Inclusive integer latency axis {lo, lo+step, ..., <= hi}.
+struct latency_range {
+    int lo = 0;   ///< first latency bound, cycles
+    int hi = 0;   ///< last latency bound (inclusive), cycles
+    int step = 1; ///< stride between bounds; must be positive
+
+    /// The axis values; @throws phls::error on a non-positive step or
+    /// an empty range (hi < lo).
+    std::vector<int> values() const;
+};
+
+/// Evenly spaced power-cap axis: `count` caps from lo to hi inclusive,
+/// spaced like flow::power_grid spaces its Figure-2 grid.
+struct power_range {
+    double lo = 0.0; ///< first cap
+    double hi = 0.0; ///< last cap (inclusive)
+    int count = 2;   ///< number of caps; must be >= 1
+
+    /// The axis values; @throws phls::error when count < 1.
+    std::vector<double> values() const;
+};
+
+/// A lazily-enumerated set of (T, Pmax) constraint points.  Cheap to
+/// copy (axis vectors and shared children); immutable once built.
+class space {
+public:
+    /// Number of points the space describes, computed from the axes —
+    /// never by materialisation.  For an adaptive (refine) space this is
+    /// the full lattice size, the upper bound of what a session may
+    /// evaluate.
+    std::size_t size() const;
+
+    /// Streams every point as (index, point) in the deterministic space
+    /// order — row-major with the latency axis outer, concatenation
+    /// left-to-right.  `fn` returns false to stop early (laziness: a
+    /// consumer of the first k points of a 10^5-point grid pays for k).
+    void enumerate(
+        const std::function<bool(std::size_t, const synthesis_constraints&)>& fn) const;
+
+    /// The point at `index` in space order.  O(1) for lattices and
+    /// lists, O(depth) for concatenations.  @throws phls::error when
+    /// index >= size().
+    synthesis_constraints at(std::size_t index) const;
+
+    /// Materialises the first `limit` points (all, by default) into a
+    /// vector — for tests and small spaces; sessions never call this.
+    std::vector<synthesis_constraints>
+    materialize(std::size_t limit = static_cast<std::size_t>(-1)) const;
+
+    /// True iff this space was built by refine(): a session evaluates it
+    /// adaptively instead of exhaustively.
+    bool adaptive() const { return adaptive_; }
+
+    /// True iff this space is a 2-D lattice (grid/cross/refine): the
+    /// latency/cap axes below are meaningful.
+    bool is_lattice() const { return kind_ == kind::lattice; }
+
+    /// Lattice axes (ascending construction order preserved).
+    /// @throws phls::error when !is_lattice().
+    const std::vector<int>& latencies() const;
+    const std::vector<double>& caps() const;
+
+    // Factories (free-function style, the declarative surface).
+    friend space grid(const latency_range& T, const power_range& P);
+    friend space list(std::vector<synthesis_constraints> points);
+    friend space cross(std::vector<int> latencies, std::vector<double> caps);
+    friend space refine(std::vector<int> latencies, std::vector<double> caps);
+    friend space concat(space a, space b);
+
+private:
+    enum class kind { list, lattice, concat };
+
+    space() = default;
+
+    kind kind_ = kind::list;
+    bool adaptive_ = false;
+    std::vector<synthesis_constraints> points_; ///< kind::list
+    std::vector<int> latencies_;                ///< kind::lattice
+    std::vector<double> caps_;                  ///< kind::lattice
+    std::shared_ptr<const space> left_, right_; ///< kind::concat
+};
+
+/// The cartesian lattice of a latency range and a power range, row-major
+/// (latency outer).  Lazy: stores the axes, never the product.
+space grid(const latency_range& T, const power_range& P);
+
+/// An explicit point vector, enumerated in the given order.
+space list(std::vector<synthesis_constraints> points);
+
+/// The cartesian lattice of two explicit axis vectors, row-major
+/// (latency outer).  @throws phls::error when an axis is empty.
+space cross(std::vector<int> latencies, std::vector<double> caps);
+
+/// The lattice of cross(), marked for adaptive evaluation: a session
+/// starts from the cell corners and subdivides only cells whose corner
+/// reports land on different Pareto-front regions (different status or
+/// achieved metrics), so uniform plateaus of a dense plane are never
+/// exhaustively synthesised.  Point indices are lattice indices, so the
+/// refined front is directly comparable to the eager grid's.
+/// @throws phls::error when an axis is empty.
+space refine(std::vector<int> latencies, std::vector<double> caps);
+
+/// The concatenation of two spaces: a's points first, then b's, indices
+/// running straight through.  @throws phls::error when either side is
+/// adaptive (refine spaces own their whole lattice and cannot be
+/// chained).
+space concat(space a, space b);
+
+} // namespace phls::dse

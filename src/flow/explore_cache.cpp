@@ -1,10 +1,15 @@
 #include "flow/explore_cache.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <sstream>
 
 #include "cdfg/textio.h"
 #include "flow/flow.h"
 #include "sched/schedule.h"
+#include "support/errors.h"
 #include "support/memo_key.h"
 
 namespace phls {
@@ -20,6 +25,39 @@ const graph& checked(const graph& g, const module_library& lib)
     return g;
 }
 
+/// The metric projection stored beside every level-2 entry.
+metric_record project(const flow_report& r)
+{
+    metric_record m;
+    m.st = r.st;
+    m.strategy = r.strategy;
+    m.constraints = r.constraints;
+    m.has_design = r.has_design;
+    m.optimal = r.optimal;
+    m.note = r.note;
+    m.area = r.area;
+    m.peak = r.peak;
+    m.latency = r.latency;
+    m.has_lifetime = r.has_lifetime;
+    m.lifetime_seconds = r.lifetime_seconds;
+    m.battery_alpha = r.battery_alpha;
+    return m;
+}
+
+/// Cache-file identity and integrity framing.
+constexpr const char* cache_file_magic = "phls-explore-cache";
+constexpr long cache_file_version = 1;
+
+std::uint64_t fnv1a(const std::string& bytes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 } // namespace
 
 /// Level-2 store.  Lives behind a pimpl so explore_cache.h does not pull
@@ -27,9 +65,47 @@ const graph& checked(const graph& g, const module_library& lib)
 /// copying a whole flow_report (datapath, netlist, note strings) in or
 /// out is far heavier than the level-0/1 lookups, and must not stall
 /// workers queued on the shared mutex_ for those.
+///
+/// Every entry carries the metric projection of its report; the full
+/// report itself is optional — LRU eviction under a configured capacity
+/// and cache-file loads leave metric-only entries behind, which keep
+/// serving metric_lookup() while report_lookup() falls through to a
+/// recompute.
 struct explore_cache::report_memo {
+    struct entry {
+        std::unique_ptr<flow_report> full; ///< null = metric-only entry
+        metric_record metrics;
+        /// Position in `lru`; meaningful only while `full` is held.
+        std::list<std::string>::iterator lru_pos;
+    };
+
     std::mutex mutex;
-    std::map<std::string, flow_report> reports;
+    std::map<std::string, entry> entries;
+    std::list<std::string> lru; ///< keys holding full reports; front = MRU
+    std::size_t capacity = 0;   ///< max full reports; 0 = unbounded
+    std::size_t full_count = 0; ///< entries currently holding a full report
+
+    /// Installs `report` as `it`'s full report and makes it MRU.
+    void install(std::map<std::string, entry>::iterator it, const flow_report& report)
+    {
+        it->second.full.reset(new flow_report(report));
+        it->second.metrics = project(report);
+        lru.push_front(it->first);
+        it->second.lru_pos = lru.begin();
+        ++full_count;
+    }
+
+    /// Drops least-recently-used full reports down to their metric
+    /// records until the capacity bound holds (with the lock held).
+    void evict_over_capacity()
+    {
+        while (capacity > 0 && full_count > capacity) {
+            const auto victim = entries.find(lru.back());
+            victim->second.full.reset();
+            lru.pop_back();
+            --full_count;
+        }
+    }
 };
 
 explore_cache::explore_cache(const graph& g, const module_library& lib)
@@ -191,10 +267,13 @@ bool explore_cache::report_lookup(const std::string& fingerprint, flow_report* o
 {
     if (!report_memo_) return false;
     const std::lock_guard<std::mutex> lock(reports_->mutex);
-    const auto it = reports_->reports.find(fingerprint);
-    if (it == reports_->reports.end()) return false;
+    const auto it = reports_->entries.find(fingerprint);
+    if (it == reports_->entries.end() || !it->second.full) return false;
     report_hits_.fetch_add(1, std::memory_order_relaxed);
-    *out = it->second;
+    // Touch: a served report moves to the front of the eviction order.
+    reports_->lru.splice(reports_->lru.begin(), reports_->lru, it->second.lru_pos);
+    it->second.lru_pos = reports_->lru.begin();
+    *out = *it->second.full;
     return true;
 }
 
@@ -203,8 +282,207 @@ void explore_cache::report_store(const std::string& fingerprint,
 {
     if (!report_memo_) return;
     const std::lock_guard<std::mutex> lock(reports_->mutex);
-    const bool inserted = reports_->reports.emplace(fingerprint, report).second;
-    (inserted ? report_misses_ : report_hits_).fetch_add(1, std::memory_order_relaxed);
+    const auto [it, inserted] = reports_->entries.try_emplace(fingerprint);
+    if (!inserted && it->second.full) {
+        // A concurrent computation of the same key won the insert race;
+        // this store is the loser and counts the hit.
+        report_hits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    // Fresh key, or a metric-only entry (evicted or loaded from a cache
+    // file) whose full report was genuinely recomputed: either way a
+    // real computation happened, so it counts as the miss.
+    reports_->install(it, report);
+    report_misses_.fetch_add(1, std::memory_order_relaxed);
+    reports_->evict_over_capacity();
+}
+
+bool explore_cache::metric_lookup(const std::string& fingerprint,
+                                  metric_record* out) const
+{
+    if (!report_memo_) return false;
+    const std::lock_guard<std::mutex> lock(reports_->mutex);
+    const auto it = reports_->entries.find(fingerprint);
+    if (it == reports_->entries.end()) return false;
+    metric_hits_.fetch_add(1, std::memory_order_relaxed);
+    *out = it->second.metrics;
+    return true;
+}
+
+void explore_cache::set_report_capacity(std::size_t max_full_reports)
+{
+    const std::lock_guard<std::mutex> lock(reports_->mutex);
+    reports_->capacity = max_full_reports;
+    reports_->evict_over_capacity();
+}
+
+std::size_t explore_cache::report_capacity() const
+{
+    const std::lock_guard<std::mutex> lock(reports_->mutex);
+    return reports_->capacity;
+}
+
+std::size_t explore_cache::report_full_size() const
+{
+    const std::lock_guard<std::mutex> lock(reports_->mutex);
+    return reports_->full_count;
+}
+
+std::size_t explore_cache::report_metric_size() const
+{
+    const std::lock_guard<std::mutex> lock(reports_->mutex);
+    return reports_->entries.size() - reports_->full_count;
+}
+
+// ------------------------------------------------------------ persistence
+
+std::size_t explore_cache::save(const std::string& path) const
+{
+    std::string payload;
+    key_str(payload, cache_file_magic);
+    key_int(payload, cache_file_version);
+    key_str(payload, graph_text_);
+    key_str(payload, lib_text_);
+    std::size_t records = 0;
+
+    {
+        // Level 1: the committed-window table, exact values — a warm run
+        // serves the partitioner's recomputes without re-deriving them.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        key_int(payload, static_cast<long>(committed_.size()));
+        records += committed_.size();
+        for (const auto& [key, w] : committed_) {
+            key_str(payload, key);
+            key_int(payload, w.feasible ? 1 : 0);
+            key_str(payload, w.reason);
+            key_int(payload, static_cast<long>(w.s_min.size()));
+            for (const int t : w.s_min) key_int(payload, t);
+            key_int(payload, static_cast<long>(w.s_max.size()));
+            for (const int t : w.s_max) key_int(payload, t);
+        }
+    }
+    {
+        // Level 2: every entry's metric record (full datapaths and
+        // netlists are deliberately not persisted — a warm start answers
+        // metric queries instantly and recomputes designs on demand).
+        const std::lock_guard<std::mutex> lock(reports_->mutex);
+        key_int(payload, static_cast<long>(reports_->entries.size()));
+        records += reports_->entries.size();
+        for (const auto& [fp, e] : reports_->entries) {
+            key_str(payload, fp);
+            const metric_record& m = e.metrics;
+            key_int(payload, static_cast<long>(m.st.code));
+            key_str(payload, m.st.message);
+            key_str(payload, m.strategy);
+            key_int(payload, m.constraints.latency);
+            key_double(payload, m.constraints.max_power);
+            key_int(payload, m.has_design ? 1 : 0);
+            key_int(payload, m.optimal ? 1 : 0);
+            key_str(payload, m.note);
+            key_double(payload, m.area);
+            key_double(payload, m.peak);
+            key_int(payload, m.latency);
+            key_int(payload, m.has_lifetime ? 1 : 0);
+            key_double(payload, m.lifetime_seconds);
+            key_double(payload, m.battery_alpha);
+        }
+    }
+
+    // The checksum frame is a fixed 8-byte field on both sides (not
+    // key_int, whose width is sizeof(long) and ABI-dependent).
+    const std::uint64_t sum = fnv1a(payload);
+    char sum_bytes[sizeof sum];
+    std::memcpy(sum_bytes, &sum, sizeof sum);
+    payload.append(sum_bytes, sizeof sum);
+
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    check(static_cast<bool>(os), "cannot write cache file '" + path + "'");
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    check(static_cast<bool>(os), "failed writing cache file '" + path + "'");
+    return records;
+}
+
+std::size_t explore_cache::load(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    check(static_cast<bool>(is), "cannot open cache file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const std::string content = buffer.str();
+
+    check(content.size() >= sizeof(std::uint64_t),
+          "cache file '" + path + "' is truncated");
+    const std::string payload =
+        content.substr(0, content.size() - sizeof(std::uint64_t));
+    std::uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, content.data() + payload.size(), sizeof stored_sum);
+    check(stored_sum == fnv1a(payload),
+          "cache file '" + path + "' is corrupt (checksum mismatch)");
+
+    key_reader r(payload);
+    check(r.read_str() == cache_file_magic,
+          "'" + path + "' is not a phls cache file");
+    check(r.read_int() == cache_file_version,
+          "cache file '" + path + "' has an unsupported version");
+    check(r.read_str() == graph_text_ && r.read_str() == lib_text_,
+          "cache file '" + path + "' was saved for a different graph or library");
+
+    std::size_t loaded = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const long n = r.read_int();
+        check(n >= 0, "cache file '" + path + "' is corrupt (negative table size)");
+        for (long i = 0; i < n; ++i) {
+            std::string key = r.read_str();
+            time_windows w;
+            w.feasible = r.read_int() != 0;
+            w.reason = r.read_str();
+            const long n_min = r.read_int();
+            check(n_min >= 0, "cache file '" + path + "' is corrupt");
+            w.s_min.reserve(static_cast<std::size_t>(n_min));
+            for (long j = 0; j < n_min; ++j)
+                w.s_min.push_back(static_cast<int>(r.read_int()));
+            const long n_max = r.read_int();
+            check(n_max >= 0, "cache file '" + path + "' is corrupt");
+            w.s_max.reserve(static_cast<std::size_t>(n_max));
+            for (long j = 0; j < n_max; ++j)
+                w.s_max.push_back(static_cast<int>(r.read_int()));
+            loaded += committed_.emplace(std::move(key), std::move(w)).second ? 1 : 0;
+        }
+    }
+    {
+        const std::lock_guard<std::mutex> lock(reports_->mutex);
+        const long n = r.read_int();
+        check(n >= 0, "cache file '" + path + "' is corrupt (negative table size)");
+        for (long i = 0; i < n; ++i) {
+            std::string fp = r.read_str();
+            metric_record m;
+            m.st.code = static_cast<status_code>(r.read_int());
+            m.st.message = r.read_str();
+            m.strategy = r.read_str();
+            m.constraints.latency = static_cast<int>(r.read_int());
+            m.constraints.max_power = r.read_double();
+            m.has_design = r.read_int() != 0;
+            m.optimal = r.read_int() != 0;
+            m.note = r.read_str();
+            m.area = r.read_double();
+            m.peak = r.read_double();
+            m.latency = static_cast<int>(r.read_int());
+            m.has_lifetime = r.read_int() != 0;
+            m.lifetime_seconds = r.read_double();
+            m.battery_alpha = r.read_double();
+            // Existing entries win: a live full report is strictly more
+            // informative than a loaded metric record.
+            const auto [it, inserted] = reports_->entries.try_emplace(std::move(fp));
+            if (!inserted) continue;
+            it->second.metrics = std::move(m);
+            ++loaded;
+        }
+    }
+    check(r.remaining() == 0,
+          "cache file '" + path + "' is corrupt (trailing bytes)");
+    return loaded;
 }
 
 } // namespace phls

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,12 +38,37 @@
 #include <vector>
 
 #include "cdfg/analysis.h"
+#include "flow/status.h"
 #include "sched/mobility.h"
 #include "synth/prospect.h"
+#include "synth/synthesizer.h"
 
 namespace phls {
 
 struct flow_report;
+
+/// The metric projection of one memoised flow_report: everything a sweep
+/// table, Pareto front or Figure-2 envelope reads — status, achieved
+/// (peak, area, latency) and battery lifetime — without the datapath,
+/// netlist or heuristic counters.  This is what remains of a level-2
+/// entry after LRU eviction, and what explore_cache::save persists, so
+/// evicted and warm-started points still answer metric queries without a
+/// resynthesis.  dse::session turns these back into metric-only
+/// flow_reports; callers that need the design itself recompute.
+struct metric_record {
+    status st;                         ///< outcome of the memoised run
+    std::string strategy;              ///< synthesis strategy used
+    synthesis_constraints constraints{0, unbounded_power}; ///< the (T, Pmax) point
+    bool has_design = false;           ///< the run produced a design
+    bool optimal = false;              ///< design proven minimal-area
+    std::string note;                  ///< strategy remark
+    double area = 0.0;                 ///< achieved total area
+    double peak = 0.0;                 ///< achieved peak per-cycle power
+    int latency = 0;                   ///< achieved latency, cycles
+    bool has_lifetime = false;         ///< the lifetime stage ran
+    double lifetime_seconds = 0.0;     ///< battery lifetime of the design
+    double battery_alpha = 0.0;        ///< battery capacity used by the model
+};
 
 /// Memoised per-(graph, library) invariants of design-space exploration.
 ///
@@ -111,18 +137,70 @@ public:
 
     /// Level 2: whole-report memoisation for exactly-duplicate constraint
     /// points.  `fingerprint` must encode the complete flow configuration
-    /// and the (T, Pmax) point (flow::run_point builds it); the stored
+    /// and the (T, Pmax) point (flow::fingerprint builds it); the stored
     /// report is a deterministic pure function of that fingerprint on the
-    /// cached problem.  Returns true and fills `*out` on a hit.
+    /// cached problem.  Returns true and fills `*out` on a full-report
+    /// hit (entries evicted down to metric records do not answer here —
+    /// see metric_lookup); a hit refreshes the entry's LRU position.
     bool report_lookup(const std::string& fingerprint, flow_report* out) const;
 
-    /// Stores `report` under `fingerprint`.  The first writer of a key
-    /// counts the miss; a concurrent loser of the insert race counts a
-    /// hit instead, so report_hits + report_misses always equals the
-    /// number of memoised run_point calls.  (flow::run_point skips the
-    /// store for status `internal` — an escaped, possibly transient
-    /// exception must not become permanent for every duplicate point.)
+    /// Stores `report` under `fingerprint` together with its metric
+    /// projection.  The first writer of a key counts the miss; a
+    /// concurrent loser of the insert race counts a hit instead, so
+    /// report_hits + report_misses always equals the number of level-2
+    /// lookups that found or stored a full report — flow::run_point's
+    /// memoised calls plus dse::session's scan-time probes.  (flow::
+    /// run_point skips the store for status
+    /// `internal` — an escaped, possibly transient exception must not
+    /// become permanent for every duplicate point.)  When a report
+    /// capacity is configured and the store exceeds it, the
+    /// least-recently-used full report is evicted down to its metric
+    /// record, so the number of held reports never passes the bound.
     void report_store(const std::string& fingerprint, const flow_report& report) const;
+
+    /// Metric-level lookup: serves the (status, peak, area, latency,
+    /// lifetime) projection of a memoised point from a live full report,
+    /// an evicted entry, or a record loaded from a cache file.  Returns
+    /// true and fills `*out` on a hit (counted in metric_hits; the full
+    /// report's LRU position is not refreshed — metric readers do not
+    /// keep heavy entries alive).
+    bool metric_lookup(const std::string& fingerprint, metric_record* out) const;
+
+    /// Bounds the number of *full* reports the level-2 memo holds;
+    /// 0 (the default) means unbounded.  Beyond the bound the
+    /// least-recently-used report is dropped to its metric record, which
+    /// is retained (metric records are ~100 bytes, so a 10^5-point plane
+    /// costs megabytes, not the gigabytes of full datapaths).  Shrinking
+    /// the capacity evicts immediately.  Not thread-safe: call before
+    /// sharing the cache, like the memo-level knobs.
+    void set_report_capacity(std::size_t max_full_reports);
+    /// The configured full-report bound (0 = unbounded).
+    std::size_t report_capacity() const;
+    /// Full reports currently held by the level-2 memo.
+    std::size_t report_full_size() const;
+    /// Metric-only records currently held (evicted or loaded entries).
+    std::size_t report_metric_size() const;
+
+    /// Persists the memo tables to `path`: the level-1 committed-window
+    /// table (exact values — warm runs recompute nothing and stay
+    /// byte-identical) and the level-2 entries as metric records, all in
+    /// the canonical memo_key.h byte encoding, prefixed with the
+    /// (graph, library) identity and suffixed with a checksum.  Returns
+    /// the number of records written — what load() into a *fresh* cache
+    /// reports (a load into a non-empty cache counts only new keys).
+    /// Cache files inherit the in-memory key encoding and are therefore
+    /// host-ABI-specific (sizeof(long) field widths); a file from a
+    /// different ABI fails load() loudly, it is never misread.
+    /// @throws phls::error when the file cannot be written.
+    std::size_t save(const std::string& path) const;
+
+    /// Warm-starts the memo tables from a file written by save().
+    /// Returns the number of records loaded.  @throws phls::error when
+    /// the file is missing, truncated, corrupt (checksum mismatch), of an
+    /// unknown version, or was saved for a different (graph, library) —
+    /// a bad cache file never silently degrades to wrong answers.
+    /// Not thread-safe: call before sharing the cache.
+    std::size_t load(const std::string& path);
 
     /// Benchmark/ablation knobs: selectively disable the deeper memo
     /// levels to reproduce the initial-windows-only (PR 2) cache.
@@ -139,6 +217,9 @@ public:
     ///   * committed_hits/committed_misses — level-1 committed-window
     ///     lookups (see committed_windows()).
     ///   * report_hits/report_misses — level-2 whole-report lookups.
+    ///   * metric_hits — metric_lookup() successes (served from a full
+    ///     report, an evicted entry or a loaded record; misses fall
+    ///     through to a real computation, which the other counters see).
     ///
     /// Counting is exact even under concurrent misses of one key: the
     /// thread whose insert wins counts the miss, every racing loser
@@ -152,6 +233,7 @@ public:
         long committed_misses = 0;
         long report_hits = 0;
         long report_misses = 0;
+        long metric_hits = 0;
     };
 
     /// Snapshot of the counters; safe to call concurrently with lookups.
@@ -162,7 +244,8 @@ public:
                 committed_hits_.load(std::memory_order_relaxed),
                 committed_misses_.load(std::memory_order_relaxed),
                 report_hits_.load(std::memory_order_relaxed),
-                report_misses_.load(std::memory_order_relaxed)};
+                report_misses_.load(std::memory_order_relaxed),
+                metric_hits_.load(std::memory_order_relaxed)};
     }
 
 private:
@@ -195,6 +278,7 @@ private:
     mutable std::atomic<long> committed_misses_{0};
     mutable std::atomic<long> report_hits_{0};
     mutable std::atomic<long> report_misses_{0};
+    mutable std::atomic<long> metric_hits_{0};
 };
 
 } // namespace phls

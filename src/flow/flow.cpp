@@ -153,7 +153,7 @@ status flow::shared_cache(const explore_cache** out) const
     return status::success();
 }
 
-std::string flow::report_key(const synthesis_constraints& c) const
+std::string flow::fingerprint(const synthesis_constraints& c) const
 {
     // Every field that influences run_point's outcome (beyond the graph
     // and library, which are the cache's identity) is encoded, so flows
@@ -202,7 +202,7 @@ flow_report flow::run_point(const synthesis_constraints& c,
     // canonical rendering) reflects the lookup instead.
     std::string memo_key;
     if (cache != nullptr) {
-        memo_key = report_key(c);
+        memo_key = fingerprint(c);
         flow_report memo;
         if (cache->report_lookup(memo_key, &memo)) {
             memo.wall_ms = elapsed_ms(started);

@@ -198,6 +198,14 @@ public:
     /// strategy (assignment: fastest modules under the cap).
     sched_outcome run_schedule() const;
 
+    /// The level-2 memo key for point `c`: every configuration field
+    /// that influences run()'s outcome (strategy names, options, enabled
+    /// stages, lifetime spec) plus the (T, Pmax) point, canonically
+    /// encoded via support/memo_key.h, so two flows share a stored
+    /// report iff they would compute identical ones.  dse::session uses
+    /// this for metric lookups against a warm-started cache.
+    std::string fingerprint(const synthesis_constraints& c) const;
+
     /// A Figure-2-style power grid for this problem: `points` caps from
     /// just below the feasibility threshold to just above the
     /// unconstrained design's peak.  @throws phls::error when points < 2,
@@ -220,12 +228,6 @@ private:
 
     flow_report run_point(const synthesis_constraints& c,
                           const explore_cache* cache) const;
-
-    /// The level-2 memo key for point `c`: every configuration field
-    /// that influences run_point's outcome, canonically encoded, so two
-    /// flows share a stored report iff they would compute identical
-    /// ones.
-    std::string report_key(const synthesis_constraints& c) const;
 
     /// The shared cache when it is installed and matches this problem;
     /// a non-ok status when it is installed but stale.

@@ -58,8 +58,13 @@ bool front_dominates(const front_point& a, const front_point& b)
     return strict || (a.has_lifetime == b.has_lifetime && a.index < b.index);
 }
 
-bool pareto_stream::add(std::size_t index, const flow_report& report)
+bool pareto_stream::add(std::size_t index, const flow_report& report, front_delta* delta)
 {
+    if (delta != nullptr) {
+        delta->index = index;
+        delta->entered.clear();
+        delta->left.clear();
+    }
     ++seen_;
     if (!report.st.ok() || !report.has_design) return false;
     ++feasible_;
@@ -67,8 +72,13 @@ bool pareto_stream::add(std::size_t index, const flow_report& report)
     const front_point p = to_front_point(index, report);
     for (const front_point& q : front_)
         if (front_dominates(q, p)) return false;
-    std::erase_if(front_, [&](const front_point& q) { return front_dominates(p, q); });
+    std::erase_if(front_, [&](const front_point& q) {
+        if (!front_dominates(p, q)) return false;
+        if (delta != nullptr) delta->left.push_back(q);
+        return true;
+    });
     front_.insert(std::upper_bound(front_.begin(), front_.end(), p, front_less), p);
+    if (delta != nullptr) delta->entered.push_back(p);
     return true;
 }
 

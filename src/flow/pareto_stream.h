@@ -48,14 +48,31 @@ bool operator==(const front_point& a, const front_point& b);
 /// configuration, where every pair is fully comparable.
 bool front_dominates(const front_point& a, const front_point& b);
 
+/// The change one report made to the front: the points that entered and
+/// the points it displaced.  Replaying a delta sequence onto an empty
+/// front reconstructs the final front exactly, so a consumer (the CLI's
+/// progress channel, a future multi-process aggregator) can mirror the
+/// envelope without ever being sent the whole front per completion —
+/// the dse::session sink delivers these.
+struct front_delta {
+    std::size_t index = 0;            ///< input index of the folded report
+    std::vector<front_point> entered; ///< points added (0 or 1 per fold)
+    std::vector<front_point> left;    ///< points the entrant displaced
+    /// True iff the fold changed the front (equivalently: entered or
+    /// left is non-empty).
+    bool changed() const { return !entered.empty() || !left.empty(); }
+};
+
 /// Incremental Pareto-front accumulator.  Not thread-safe by itself;
 /// run_batch_stream serialises callbacks, which is where it is meant to
 /// be fed.
 class pareto_stream {
 public:
     /// Folds one finished report in; infeasible reports only advance the
-    /// seen counters.  Returns true iff the front changed.
-    bool add(std::size_t index, const flow_report& report);
+    /// seen counters.  Returns true iff the front changed.  When `delta`
+    /// is non-null it receives exactly the points that entered and left
+    /// on this fold (empty vectors when nothing changed).
+    bool add(std::size_t index, const flow_report& report, front_delta* delta = nullptr);
 
     /// The current front: non-dominated feasible points, sorted by
     /// (peak, area, index) ascending.

@@ -1,0 +1,361 @@
+// Tests for dse::session: the unified explore() sink, byte-identity
+// with the run_batch wrappers, front-delta streaming, the bounded
+// level-2 memo, cache-file persistence and the adaptive refine driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cdfg/benchmarks.h"
+#include "dse/session.h"
+#include "flow/explore_cache.h"
+#include "flow/flow.h"
+#include "flow/pareto_stream.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+flow hal17() { return flow::on(make_hal()).with_library(lib()).latency(17); }
+
+/// A duplicate-heavy point list: every grid point appears twice.
+std::vector<synthesis_constraints> duplicated_grid(int points)
+{
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(points)) grid.push_back({17, cap});
+    const std::vector<synthesis_constraints> once = grid;
+    grid.insert(grid.end(), once.begin(), once.end());
+    return grid;
+}
+
+/// Collects every delivered report, index-addressed.
+dse::sink collector(std::vector<flow_report>& out)
+{
+    dse::sink sk;
+    sk.on_result = [&out](std::size_t i, const flow_report& r) {
+        if (i >= out.size()) out.resize(i + 1);
+        out[i] = r;
+    };
+    return sk;
+}
+
+/// A scratch file path unique to the test, cleaned up by the caller.
+std::string scratch(const char* name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+// -------------------------------------------------------- explore basics
+
+TEST(dse_session, cold_explore_is_byte_identical_to_run_batch)
+{
+    const std::vector<synthesis_constraints> grid = duplicated_grid(8);
+    const std::vector<flow_report> reference = hal17().run_batch(grid, 1);
+
+    dse::session session(hal17());
+    std::vector<flow_report> got;
+    const dse::explore_summary sum = session.explore(dse::list(grid), collector(got), 1);
+
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].to_string(), reference[i].to_string()) << i;
+    EXPECT_EQ(sum.evaluated, grid.size());
+    EXPECT_EQ(sum.space_size, grid.size());
+    EXPECT_EQ(sum.metric_served, 0u);
+    EXPECT_EQ(sum.front, pareto_points(reference));
+}
+
+TEST(dse_session, chunked_walk_is_byte_identical_too)
+{
+    const std::vector<synthesis_constraints> grid = duplicated_grid(8);
+    const std::vector<flow_report> reference = hal17().run_batch(grid, 1);
+
+    // chunk = 3 forces duplicates into later chunks than their
+    // originals: they must be served from the *full* report memo at scan
+    // time, keeping every byte identical.
+    dse::session session(hal17(), {.chunk = 3});
+    std::vector<flow_report> got;
+    session.explore(dse::list(grid), collector(got), 1);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].to_string(), reference[i].to_string()) << i;
+    EXPECT_GT(session.cache()->stats().report_hits, 0);
+}
+
+TEST(dse_session, front_deltas_replay_to_the_final_front)
+{
+    dse::session session(hal17());
+    std::vector<front_delta> deltas;
+    dse::sink sk;
+    sk.on_front = [&](const front_delta& d) {
+        EXPECT_TRUE(d.changed()); // only changes are delivered
+        deltas.push_back(d);
+    };
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(12)) grid.push_back({17, cap});
+    const dse::explore_summary sum = session.explore(dse::list(grid), sk, 2);
+
+    std::vector<front_point> replay;
+    for (const front_delta& d : deltas) {
+        for (const front_point& p : d.left) std::erase(replay, p);
+        for (const front_point& p : d.entered) replay.push_back(p);
+    }
+    std::sort(replay.begin(), replay.end(),
+              [](const front_point& a, const front_point& b) {
+                  if (a.peak != b.peak) return a.peak < b.peak;
+                  if (a.area != b.area) return a.area < b.area;
+                  return a.index < b.index;
+              });
+    EXPECT_EQ(replay, sum.front);
+    EXPECT_FALSE(sum.front.empty());
+}
+
+TEST(dse_session, negative_threads_fail_every_point_even_when_warm)
+{
+    // The run_batch contract: a malformed worker count reports
+    // invalid_argument on every point.  A warm memo must not leak ok
+    // answers past the validation.
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(4)) grid.push_back({17, cap});
+
+    dse::session session(hal17());
+    session.explore(dse::list(grid), {}, 1); // warm the memo
+
+    std::vector<flow_report> got;
+    const dse::explore_summary sum =
+        session.explore(dse::list(grid), collector(got), -2);
+    ASSERT_EQ(got.size(), grid.size());
+    for (const flow_report& r : got)
+        EXPECT_EQ(r.st.code, status_code::invalid_argument);
+    EXPECT_EQ(sum.feasible, 0u);
+    EXPECT_TRUE(sum.front.empty());
+}
+
+TEST(dse_session, sink_exception_aborts_and_rethrows)
+{
+    dse::session session(hal17());
+    dse::sink sk;
+    sk.on_result = [](std::size_t, const flow_report&) {
+        throw std::runtime_error("consumer failed");
+    };
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(4)) grid.push_back({17, cap});
+    EXPECT_THROW(session.explore(dse::list(grid), sk, 1), std::runtime_error);
+}
+
+// ------------------------------------------------------------ bounded memo
+
+TEST(dse_session, bounded_memo_never_exceeds_capacity_and_serves_metrics)
+{
+    const std::vector<synthesis_constraints> grid = duplicated_grid(10);
+    const std::vector<flow_report> reference = hal17().run_batch(grid, 1);
+
+    dse::session session(hal17(), {.memo_limit = 4, .chunk = 5});
+    std::size_t max_full = 0;
+    std::vector<flow_report> got(grid.size());
+    dse::sink sk;
+    sk.on_result = [&](std::size_t i, const flow_report& r) {
+        got[i] = r;
+        max_full = std::max(max_full, session.cache()->report_full_size());
+    };
+    const dse::explore_summary sum = session.explore(dse::list(grid), sk, 1);
+
+    EXPECT_LE(max_full, 4u);
+    EXPECT_LE(session.cache()->report_full_size(), 4u);
+    EXPECT_GT(session.cache()->report_metric_size(), 0u);
+    EXPECT_GT(sum.metric_served, 0u);
+    // Metric answers carry the exact outcome and metrics of the
+    // reference run, and the front is unchanged.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(got[i].st.code, reference[i].st.code) << i;
+        EXPECT_EQ(got[i].area, reference[i].area) << i;
+        EXPECT_EQ(got[i].peak, reference[i].peak) << i;
+        EXPECT_EQ(got[i].latency, reference[i].latency) << i;
+    }
+    EXPECT_EQ(sum.front, pareto_points(reference));
+}
+
+TEST(dse_session, metric_answers_can_be_disabled)
+{
+    const std::vector<synthesis_constraints> grid = duplicated_grid(6);
+    const std::vector<flow_report> reference = hal17().run_batch(grid, 1);
+
+    dse::session session(hal17(),
+                         {.memo_limit = 2, .chunk = 4, .metric_answers = false});
+    std::vector<flow_report> got;
+    const dse::explore_summary sum = session.explore(dse::list(grid), collector(got), 1);
+    EXPECT_EQ(sum.metric_served, 0u);
+    // Everything was genuinely recomputed: full byte identity holds even
+    // with a tiny memo.
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].to_string(), reference[i].to_string()) << i;
+}
+
+// ------------------------------------------------------------- persistence
+
+TEST(dse_session, save_load_round_trip_preserves_answers_and_counters)
+{
+    const std::vector<synthesis_constraints> grid = duplicated_grid(8);
+    const std::vector<flow_report> reference = hal17().run_batch(grid, 1);
+    const std::string path = scratch("session_round_trip.phlscache");
+
+    dse::session cold(hal17());
+    std::vector<flow_report> cold_reports;
+    cold.explore(dse::list(grid), collector(cold_reports), 1);
+    cold.save(path);
+
+    // Two fresh warm sessions over the same file behave identically:
+    // same loaded-record count, same served answers, same counters.
+    explore_cache::counters counters[2];
+    for (int run = 0; run < 2; ++run) {
+        dse::session warm(hal17());
+        const std::size_t loaded = warm.load(path);
+        EXPECT_GT(loaded, 0u) << run;
+        std::vector<flow_report> warm_reports;
+        const dse::explore_summary sum =
+            warm.explore(dse::list(grid), collector(warm_reports), 1);
+        EXPECT_EQ(sum.metric_served, grid.size()) << run;
+        ASSERT_EQ(warm_reports.size(), reference.size());
+        for (std::size_t i = 0; i < warm_reports.size(); ++i) {
+            EXPECT_EQ(warm_reports[i].st.code, reference[i].st.code) << run << ' ' << i;
+            EXPECT_EQ(warm_reports[i].st.message, reference[i].st.message);
+            EXPECT_EQ(warm_reports[i].area, reference[i].area) << run << ' ' << i;
+            EXPECT_EQ(warm_reports[i].peak, reference[i].peak) << run << ' ' << i;
+        }
+        EXPECT_EQ(sum.front, pareto_points(reference)) << run;
+        counters[run] = warm.cache()->stats();
+    }
+    EXPECT_EQ(counters[0].metric_hits, counters[1].metric_hits);
+    EXPECT_EQ(counters[0].hits, counters[1].hits);
+    EXPECT_EQ(counters[0].misses, counters[1].misses);
+    EXPECT_EQ(counters[0].committed_hits, counters[1].committed_hits);
+    EXPECT_EQ(counters[0].report_hits, counters[1].report_hits);
+
+    // Saving a loaded cache reproduces the file byte-for-byte.
+    dse::session again(hal17());
+    again.load(path);
+    const std::string path2 = scratch("session_round_trip2.phlscache");
+    again.save(path2);
+    std::ifstream a(path, std::ios::binary), b(path2, std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(a)), {});
+    const std::string bytes_b((std::istreambuf_iterator<char>(b)), {});
+    EXPECT_EQ(bytes_a, bytes_b);
+
+    std::remove(path.c_str());
+    std::remove(path2.c_str());
+}
+
+TEST(dse_session, corrupt_and_truncated_cache_files_fail_loudly)
+{
+    const std::string path = scratch("session_corrupt.phlscache");
+    dse::session cold(hal17());
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(4)) grid.push_back({17, cap});
+    cold.explore(dse::list(grid), {}, 1);
+    cold.save(path);
+
+    std::ifstream is(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)), {});
+    is.close();
+
+    // Truncated: cut the tail off.
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    dse::session victim(hal17());
+    EXPECT_THROW(victim.load(path), error);
+
+    // Corrupt: flip one payload byte (checksum must catch it).
+    {
+        std::string evil = bytes;
+        evil[evil.size() / 2] = static_cast<char>(evil[evil.size() / 2] ^ 0x5a);
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(evil.data(), static_cast<std::streamsize>(evil.size()));
+    }
+    EXPECT_THROW(victim.load(path), error);
+
+    // Not a cache file at all.
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << "just some text\n";
+    }
+    EXPECT_THROW(victim.load(path), error);
+
+    // Missing file.
+    std::remove(path.c_str());
+    EXPECT_THROW(victim.load(path), error);
+}
+
+TEST(dse_session, cache_file_for_a_different_problem_is_rejected)
+{
+    const std::string path = scratch("session_mismatch.phlscache");
+    dse::session hal_session(hal17());
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(4)) grid.push_back({17, cap});
+    hal_session.explore(dse::list(grid), {}, 1);
+    hal_session.save(path);
+
+    dse::session cosine_session(flow::on(make_cosine()).with_library(lib()).latency(15));
+    EXPECT_THROW(cosine_session.load(path), error);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------ refine
+
+TEST(dse_session, refine_matches_the_eager_grid_front_with_fewer_points)
+{
+    const std::vector<int> lats = {17, 19, 21};
+    const std::vector<double> caps = hal17().power_grid(12);
+
+    dse::session eager(hal17());
+    const dse::explore_summary eager_sum =
+        eager.explore(dse::cross(lats, caps), {}, 1);
+
+    dse::session adaptive(hal17());
+    std::vector<std::size_t> seen;
+    dse::sink sk;
+    sk.on_result = [&](std::size_t i, const flow_report&) { seen.push_back(i); };
+    const dse::explore_summary refine_sum =
+        adaptive.explore(dse::refine(lats, caps), sk, 2);
+
+    EXPECT_EQ(refine_sum.front, eager_sum.front);
+    EXPECT_LE(refine_sum.evaluated, eager_sum.evaluated);
+    EXPECT_EQ(refine_sum.evaluated, seen.size());
+    // No point is delivered twice.
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+    // Indices live on the lattice of the equivalent cross space.
+    EXPECT_LT(seen.back(), dse::cross(lats, caps).size());
+}
+
+TEST(dse_session, session_cache_is_shareable_with_plain_flows)
+{
+    // The session's cache is a normal explore_cache: a flow::reuse()
+    // caller sees the session's memo state.
+    dse::session session(hal17());
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(6)) grid.push_back({17, cap});
+    session.explore(dse::list(grid), {}, 1);
+
+    const flow f = hal17().reuse(session.cache());
+    const std::vector<flow_report> direct = f.run_batch(grid, 1);
+    const std::vector<flow_report> reference = hal17().run_batch(grid, 1);
+    ASSERT_EQ(direct.size(), reference.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(direct[i].to_string(), reference[i].to_string()) << i;
+    EXPECT_GT(session.cache()->stats().report_hits, 0);
+}
+
+} // namespace
+} // namespace phls

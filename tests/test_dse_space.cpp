@@ -1,0 +1,115 @@
+// Tests for the declarative point spaces (dse/space.h): lazy
+// enumeration, deterministic order, composition and the adaptive flag.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dse/space.h"
+#include "support/errors.h"
+
+namespace phls {
+namespace {
+
+using dse::concat;
+using dse::cross;
+using dse::grid;
+using dse::latency_range;
+using dse::list;
+using dse::power_range;
+using dse::refine;
+using dse::space;
+
+TEST(dse_space, ranges_expand_to_their_axes)
+{
+    EXPECT_EQ((latency_range{17, 21, 2}.values()), (std::vector<int>{17, 19, 21}));
+    EXPECT_EQ((latency_range{5, 5}.values()), (std::vector<int>{5}));
+    EXPECT_THROW((latency_range{5, 4}.values()), error);
+    EXPECT_THROW((latency_range{5, 9, 0}.values()), error);
+
+    const std::vector<double> caps = power_range{2.0, 8.0, 4}.values();
+    ASSERT_EQ(caps.size(), 4u);
+    EXPECT_DOUBLE_EQ(caps.front(), 2.0);
+    EXPECT_DOUBLE_EQ(caps.back(), 8.0);
+    EXPECT_EQ((power_range{3.0, 9.0, 1}.values()), (std::vector<double>{3.0}));
+    EXPECT_THROW((power_range{1.0, 2.0, 0}.values()), error);
+}
+
+TEST(dse_space, grid_enumerates_row_major_latency_outer)
+{
+    const space s = grid({17, 19, 2}, {2.0, 4.0, 3});
+    EXPECT_EQ(s.size(), 6u);
+    EXPECT_FALSE(s.adaptive());
+    EXPECT_TRUE(s.is_lattice());
+
+    const std::vector<synthesis_constraints> pts = s.materialize();
+    ASSERT_EQ(pts.size(), 6u);
+    EXPECT_EQ(pts[0].latency, 17);
+    EXPECT_DOUBLE_EQ(pts[0].max_power, 2.0);
+    EXPECT_EQ(pts[2].latency, 17);
+    EXPECT_DOUBLE_EQ(pts[2].max_power, 4.0);
+    EXPECT_EQ(pts[3].latency, 19);
+    EXPECT_DOUBLE_EQ(pts[3].max_power, 2.0);
+    // at() agrees with enumeration order.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_EQ(s.at(i).latency, pts[i].latency) << i;
+        EXPECT_EQ(s.at(i).max_power, pts[i].max_power) << i;
+    }
+    EXPECT_THROW(s.at(6), error);
+}
+
+TEST(dse_space, huge_grids_enumerate_lazily_without_materialising)
+{
+    // A 10^6-point plane: size() is O(1) on the axes and taking the
+    // first 5 points costs 5 callbacks, not a million-element vector.
+    const space s = grid({1, 1000}, {1.0, 100.0, 1000});
+    EXPECT_EQ(s.size(), 1000000u);
+    std::size_t calls = 0;
+    s.enumerate([&](std::size_t index, const synthesis_constraints& c) {
+        EXPECT_EQ(index, calls);
+        EXPECT_EQ(c.latency, 1);
+        ++calls;
+        return calls < 5;
+    });
+    EXPECT_EQ(calls, 5u);
+    EXPECT_EQ(s.materialize(3).size(), 3u);
+}
+
+TEST(dse_space, list_and_concat_compose_with_running_indices)
+{
+    const space a = list({{17, 5.0}, {17, 7.0}});
+    const space b = cross({19}, {2.0, 3.0, 4.0});
+    const space s = concat(a, b);
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_FALSE(s.is_lattice());
+
+    std::vector<std::size_t> indices;
+    std::vector<int> lats;
+    s.enumerate([&](std::size_t index, const synthesis_constraints& c) {
+        indices.push_back(index);
+        lats.push_back(c.latency);
+        return true;
+    });
+    EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(lats, (std::vector<int>{17, 17, 19, 19, 19}));
+    EXPECT_EQ(s.at(4).latency, 19);
+    EXPECT_DOUBLE_EQ(s.at(4).max_power, 4.0);
+}
+
+TEST(dse_space, refine_is_the_same_lattice_marked_adaptive)
+{
+    const space r = refine({17, 19}, {2.0, 4.0, 6.0});
+    EXPECT_TRUE(r.adaptive());
+    EXPECT_TRUE(r.is_lattice());
+    EXPECT_EQ(r.size(), 6u);
+    EXPECT_EQ(r.latencies(), (std::vector<int>{17, 19}));
+    EXPECT_EQ(r.caps(), (std::vector<double>{2.0, 4.0, 6.0}));
+    // Point-for-point the same space as the eager cross.
+    EXPECT_EQ(r.materialize().size(), cross({17, 19}, {2.0, 4.0, 6.0}).materialize().size());
+
+    EXPECT_THROW(concat(r, list({{17, 5.0}})), error);
+    EXPECT_THROW(cross({}, {1.0}), error);
+    EXPECT_THROW(list({{17, 5.0}}).latencies(), error);
+}
+
+} // namespace
+} // namespace phls

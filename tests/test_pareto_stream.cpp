@@ -227,6 +227,45 @@ TEST(run_batch_pareto, empty_callback_degrades_to_run_batch)
         EXPECT_EQ(a[i].to_string(), b[i].to_string());
 }
 
+TEST(pareto_stream, add_reports_exact_deltas)
+{
+    pareto_stream s;
+    front_delta d;
+
+    // First feasible point enters, displacing nothing.
+    EXPECT_TRUE(s.add(0, fake_report(0, 5.0, 100.0, 9.0), &d));
+    EXPECT_TRUE(d.changed());
+    ASSERT_EQ(d.entered.size(), 1u);
+    EXPECT_EQ(d.entered[0].index, 0u);
+    EXPECT_TRUE(d.left.empty());
+
+    // A dominated point changes nothing and says so.
+    EXPECT_FALSE(s.add(1, fake_report(1, 6.0, 110.0, 9.0), &d));
+    EXPECT_FALSE(d.changed());
+    EXPECT_EQ(d.index, 1u);
+    EXPECT_TRUE(d.entered.empty() && d.left.empty());
+
+    // An infeasible point likewise.
+    EXPECT_FALSE(s.add(2, fake_report(2, 0.0, 0.0, 9.0, false), &d));
+    EXPECT_FALSE(d.changed());
+
+    // A trade-off point enters without displacing.
+    EXPECT_TRUE(s.add(3, fake_report(3, 4.0, 120.0, 9.0), &d));
+    ASSERT_EQ(d.entered.size(), 1u);
+    EXPECT_TRUE(d.left.empty());
+    EXPECT_EQ(s.front().size(), 2u);
+
+    // A dominating point displaces both: the delta names exactly them.
+    EXPECT_TRUE(s.add(4, fake_report(4, 4.0, 90.0, 9.0), &d));
+    ASSERT_EQ(d.entered.size(), 1u);
+    EXPECT_EQ(d.entered[0].index, 4u);
+    ASSERT_EQ(d.left.size(), 2u);
+    EXPECT_EQ(s.front().size(), 1u);
+
+    EXPECT_EQ(s.front()[0].index, 4u);
+    // (full delta-replay reconstruction is asserted in test_dse_session)
+}
+
 TEST(run_batch_pareto, lifetime_front_equals_posthoc_when_lifetime_streams)
 {
     lifetime_spec cell;

@@ -6,20 +6,27 @@
 //   phls synth <bench|file.cdfg> -T 17 [-P 7] [--library lib.txt]
 //         [--netlist] [--verilog out.v] [--dot out.dot] [--synth greedy|exact|...]
 //   phls sweep <bench|file.cdfg> -T 17 [--points 20] [--threads N] [--csv out.csv]
+//         [--cache-file sweep.phlscache] [--memo-limit N] [--refine]
+//         [--out front.csv|front.json]
 //   phls schedule <bench|file.cdfg> -T 17 -P 7 [--alg asap|alap|pasap|palap|fds]
 //   phls lifetime <bench|file.cdfg> -T 17 [--beta 0.1]
 //
 // A positional that names a file ending in .cdfg is parsed from disk;
 // anything else must be a built-in benchmark name.  Output options
 // dispatch on extension: --csv wants .csv, --dot wants .dot, --verilog
-// wants .v.
+// wants .v, --out wants .csv or .json.
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
+#include <system_error>
 
 #include "cdfg/analysis.h"
 #include "cdfg/benchmarks.h"
 #include "cdfg/dot.h"
 #include "cdfg/textio.h"
+#include "dse/session.h"
 #include "flow/flow.h"
 #include "flow/pareto_stream.h"
 #include "support/argparse.h"
@@ -165,6 +172,98 @@ int cmd_synth(const arg_parser& args)
     return 0;
 }
 
+/// Minimal JSON string escaping for the --out export.
+std::string json_escape(const std::string& s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') (out += '\\') += c;
+        else if (c == '\n') out += "\\n";
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out += strf("\\u%04x", static_cast<unsigned>(c));
+        else out += c;
+    }
+    return out;
+}
+
+/// One evaluated sweep point: the metric projection the table and the
+/// --out export read.  Deliberately NOT the full flow_report — a sweep
+/// accumulates one of these per point, and keeping datapaths/netlists
+/// alive would grow O(points x design) however tight --memo-limit is.
+struct export_row {
+    std::size_t index = 0;
+    sweep_point pt;                      ///< cap, T, feasible, peak, area, latency
+    status_code code = status_code::ok;  ///< exact outcome class for the export
+    bool has_lifetime = false;
+    double lifetime_seconds = 0.0;
+};
+
+export_row to_export_row(std::size_t index, const flow_report& r)
+{
+    export_row e;
+    e.index = index;
+    e.pt = to_sweep_point(r);
+    e.code = r.st.code;
+    e.has_lifetime = r.has_lifetime;
+    e.lifetime_seconds = r.lifetime_seconds;
+    return e;
+}
+
+/// Writes the final front + every evaluated per-point report to `path`,
+/// dispatching on the extension (.csv or .json) like every other output
+/// option.
+void write_front_export(const std::string& path, const std::vector<export_row>& rows,
+                        const std::vector<front_point>& front)
+{
+    std::set<std::size_t> on_front;
+    for (const front_point& p : front) on_front.insert(p.index);
+
+    if (ends_with(path, ".csv")) {
+        csv_writer csv({"index", "latency_bound", "cap", "status", "peak", "area",
+                        "latency", "lifetime_s", "on_front"});
+        for (const export_row& e : rows) {
+            csv.add_row({std::to_string(e.index),
+                         std::to_string(e.pt.latency_bound),
+                         strf("%.6f", e.pt.cap),
+                         std::string(status_code_name(e.code)),
+                         e.pt.feasible ? strf("%.6f", e.pt.peak) : "",
+                         e.pt.feasible ? strf("%.6f", e.pt.area) : "",
+                         e.pt.feasible ? std::to_string(e.pt.latency) : "",
+                         e.has_lifetime ? strf("%.6f", e.lifetime_seconds) : "",
+                         on_front.count(e.index) ? "1" : "0"});
+        }
+        csv.save(path);
+        return;
+    }
+
+    std::ofstream os(path);
+    check(static_cast<bool>(os), "cannot write '" + path + "'");
+    os << "{\n  \"points\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const export_row& e = rows[i];
+        os << strf("    {\"index\": %zu, \"latency_bound\": %d, \"cap\": %.17g, "
+                   "\"status\": \"%s\"",
+                   e.index, e.pt.latency_bound, e.pt.cap,
+                   json_escape(status_code_name(e.code)).c_str());
+        if (e.pt.feasible)
+            os << strf(", \"peak\": %.17g, \"area\": %.17g, \"latency\": %d", e.pt.peak,
+                       e.pt.area, e.pt.latency);
+        if (e.has_lifetime) os << strf(", \"lifetime_s\": %.17g", e.lifetime_seconds);
+        os << (i + 1 < rows.size() ? "},\n" : "}\n");
+    }
+    os << "  ],\n  \"front\": [\n";
+    for (std::size_t i = 0; i < front.size(); ++i) {
+        const front_point& p = front[i];
+        os << strf("    {\"index\": %zu, \"latency_bound\": %d, \"cap\": %.17g, "
+                   "\"peak\": %.17g, \"area\": %.17g, \"latency\": %d",
+                   p.index, p.latency_bound, p.cap, p.peak, p.area, p.latency);
+        if (p.has_lifetime) os << strf(", \"lifetime_s\": %.17g", p.lifetime_seconds);
+        os << (i + 1 < front.size() ? "},\n" : "}\n");
+    }
+    os << "  ]\n}\n";
+    check(static_cast<bool>(os), "failed writing '" + path + "'");
+}
+
 int cmd_sweep(const arg_parser& args)
 {
     const graph g = load_graph(args.positionals().at(1));
@@ -173,34 +272,93 @@ int cmd_sweep(const arg_parser& args)
     const int points = args.get_int("--points");
     const int threads = args.get_int("--threads");
     check(threads >= 0, "--threads must be >= 0 (0 = all cores)");
-    // Validate the output path before spending minutes on the sweep.
+    // Validate every output path before spending minutes on the sweep.
     const std::string csv_path =
         args.has("--csv") ? output_path(args, "--csv", ".csv") : "";
+    std::string out_path;
+    if (args.has("--out")) {
+        out_path = args.get("--out");
+        check(ends_with(out_path, ".csv") || ends_with(out_path, ".json"),
+              "--out expects a file ending in '.csv' or '.json', got '" + out_path +
+                  "'");
+    }
 
-    const flow f = flow::on(g).with_library(lib).latency(T);
-    std::vector<synthesis_constraints> grid;
-    for (double cap : f.power_grid(points)) grid.push_back({T, cap});
+    // The sweep runs as a dse::session: one bounded two-level cache owns
+    // every memo, --cache-file persists it across processes (a repeated
+    // sweep warm-starts and serves metric answers instead of
+    // resynthesising), and --refine evaluates the cap axis adaptively.
+    const flow proto = flow::on(g).with_library(lib).latency(T);
+    dse::session_options opts;
+    if (args.has("--memo-limit")) {
+        const int limit = args.get_int("--memo-limit");
+        check(limit >= 0, "--memo-limit must be >= 0 (0 = unbounded)");
+        opts.memo_limit = static_cast<std::size_t>(limit);
+    }
+    dse::session session(proto, opts);
 
-    // Stream per-point progress and the incremental Pareto front to
-    // stderr as workers finish; stdout stays a deterministic,
-    // input-ordered table either way.
+    // A missing cache file is the normal first (cold) run; anything else
+    // that prevents loading — unreadable file, a directory, corruption —
+    // must fail loudly before the sweep spends minutes computing.
+    const std::string cache_path =
+        args.has("--cache-file") ? args.get("--cache-file") : "";
+    if (!cache_path.empty()) {
+        std::error_code probe_ec;
+        const bool present = std::filesystem::exists(cache_path, probe_ec);
+        check(!probe_ec, "cannot probe cache file '" + cache_path +
+                             "': " + probe_ec.message());
+        if (present) {
+            const std::size_t loaded = session.load(cache_path);
+            std::cerr << "loaded " << loaded << " memo records from " << cache_path
+                      << '\n';
+        }
+    }
+
+    // The grid probe shares the session cache (warm runs serve its
+    // committed windows instead of re-deriving the problem from cold).
+    flow probe = proto;
+    probe.reuse(session.cache());
+    const std::vector<double> caps = probe.power_grid(points);
+
+    const dse::space sp = args.has("--refine") ? dse::refine({T}, caps)
+                                               : dse::cross({T}, caps);
+
+    // Stream per-point progress and the front *deltas* to stderr as
+    // workers finish; stdout stays a deterministic, input-ordered table
+    // either way.
+    std::vector<export_row> rows;
+    dse::sink sink;
     std::size_t done = 0;
-    pareto_callback progress;
-    if (args.has("--progress"))
-        progress = [&done, total = grid.size()](std::size_t, const flow_report& r,
-                                                const pareto_stream& front,
-                                                bool changed) {
-            std::cerr << strf("[%zu/%zu] T=%d Pmax=%.2f -> %s (front: %zu point%s%s)\n",
-                              ++done, total, r.constraints.latency,
-                              r.constraints.max_power, r.st.to_string().c_str(),
-                              front.front().size(),
-                              front.front().size() == 1 ? "" : "s",
-                              changed ? ", updated" : "");
-        };
-    const std::vector<flow_report> reports = f.run_batch_pareto(grid, progress, threads);
+    std::size_t front_size = 0;
+    const bool progress = args.has("--progress");
+    // Under --refine the evaluated count is not known upfront, so the
+    // progress denominator shows the lattice size as an upper bound.
+    const std::string total =
+        strf(args.has("--refine") ? "<=%zu" : "%zu", sp.size());
+    sink.on_result = [&](std::size_t index, const flow_report& r) {
+        rows.push_back(to_export_row(index, r));
+        if (progress)
+            std::cerr << strf("[%zu/%s] T=%d Pmax=%.2f -> %s\n", ++done,
+                              total.c_str(), r.constraints.latency,
+                              r.constraints.max_power, r.st.to_string().c_str());
+    };
+    sink.on_front = [&](const front_delta& d) {
+        front_size += d.entered.size();
+        front_size -= d.left.size();
+        if (progress)
+            std::cerr << strf("  front: +%zu -%zu (now %zu point%s)\n",
+                              d.entered.size(), d.left.size(), front_size,
+                              front_size == 1 ? "" : "s");
+    };
+    const dse::explore_summary sum = session.explore(sp, sink, threads);
+
+    // Input-ordered rows whatever the completion order; with --refine
+    // only the evaluated subset exists, which is exactly what the
+    // envelope should be built from.
+    std::sort(rows.begin(), rows.end(),
+              [](const export_row& a, const export_row& b) { return a.index < b.index; });
     std::vector<sweep_point> raw;
-    raw.reserve(reports.size());
-    for (const flow_report& r : reports) raw.push_back(to_sweep_point(r));
+    raw.reserve(rows.size());
+    for (const export_row& e : rows) raw.push_back(e.pt);
     const std::vector<sweep_point> env = monotone_envelope(raw);
 
     ascii_table t({"Pmax", "feasible", "peak", "area"});
@@ -214,9 +372,20 @@ int cmd_sweep(const arg_parser& args)
                      p.feasible ? strf("%.2f", p.area) : ""});
     }
     t.print(std::cout);
+    if (args.has("--refine"))
+        std::cout << strf("refined: %zu of %zu lattice points evaluated\n",
+                          sum.evaluated, sum.space_size);
     if (!csv_path.empty()) {
         csv.save(csv_path);
         std::cout << "wrote " << csv_path << '\n';
+    }
+    if (!out_path.empty()) {
+        write_front_export(out_path, rows, sum.front);
+        std::cout << "wrote " << out_path << '\n';
+    }
+    if (!cache_path.empty()) {
+        const std::size_t saved = session.save(cache_path);
+        std::cerr << "saved " << saved << " memo records to " << cache_path << '\n';
     }
     return 0;
 }
@@ -317,9 +486,20 @@ int run(const std::vector<std::string>& argv)
     args.add_option("--csv", "", "write sweep results to a CSV file");
     args.add_option("--dot", "", "write a Graphviz file");
     args.add_option("--verilog", "", "write a structural Verilog skeleton");
+    args.add_option("--out", "",
+                    "export the sweep's Pareto front + per-point reports "
+                    "(.csv or .json)");
+    args.add_option("--cache-file", "",
+                    "persist the sweep's memo tables: load before, save after "
+                    "(warm-starts repeated sweeps)");
+    args.add_option("--memo-limit", "",
+                    "max full reports held by the level-2 memo (0 = unbounded)");
+    args.add_flag("--refine", "",
+                  "evaluate the sweep grid adaptively (subdivide only where "
+                  "the front changes)");
     args.add_flag("--netlist", "", "print the datapath netlist");
     args.add_flag("--progress", "",
-                  "stream sweep progress + incremental Pareto front to stderr");
+                  "stream sweep progress + incremental Pareto-front deltas to stderr");
     args.add_flag("--exact", "", "use the exact synthesiser (same as --synth exact)");
     args.add_flag("--help", "-h", "show usage");
 
