@@ -109,7 +109,7 @@ struct explore_cache::report_memo {
 };
 
 explore_cache::explore_cache(const graph& g, const module_library& lib)
-    : g_(g), lib_(lib), reach_(checked(g_, lib_)),
+    : g_(g), lib_(lib), reach_(checked(g_, lib_)), rev_(reversed_graph(g_)),
       graph_text_(write_cdfg_string(g_)), lib_text_(write_library_string(lib_)),
       reports_(new report_memo)
 {
@@ -206,6 +206,7 @@ time_windows explore_cache::initial_windows(prospect_policy policy, double cap,
     } else {
         pasap_options opts;
         opts.order = order;
+        opts.reversed = &rev_;
         result = power_windows(g_, lib_, p.assignment, cap, latency, opts);
     }
     if (p.ok) {
@@ -230,6 +231,7 @@ time_windows explore_cache::committed_windows(const module_assignment& assignmen
     pasap_options opts;
     opts.order = order;
     opts.fixed_starts = fixed_starts;
+    opts.reversed = &rev_;
     if (!committed_memo_)
         return power_windows(g_, lib_, assignment, cap, latency, opts);
 

@@ -106,6 +106,12 @@ public:
         return reach_;
     }
 
+    /// The edge-reversed graph palap schedules on -- like reach(), a
+    /// pure graph invariant built once at construction and served to
+    /// every window computation (it is part of the same eager invariant
+    /// build, so it does not move the hit/miss counters).
+    const graph& reversed_design() const { return rev_; }
+
     /// Prospect module table under `policy` and power cap `cap` —
     /// identical to make_prospect() on the cached problem.  Successful
     /// tables are memoised per (policy, admissible-module set); the set
@@ -257,6 +263,7 @@ private:
     graph g_;
     module_library lib_;
     reachability reach_;
+    graph rev_; ///< reversed_graph(g_), served via pasap_options::reversed
     std::string graph_text_;
     std::string lib_text_;
     std::vector<double> power_levels_; ///< sorted distinct module powers

@@ -172,6 +172,7 @@ std::string flow::fingerprint(const synthesis_constraints& c) const
     key_int(key, options_.lock_from_start ? 1 : 0);
     key_int(key, options_.allow_cheapest_rebind ? 1 : 0);
     key_int(key, options_.verify_result ? 1 : 0);
+    key_int(key, options_.max_merge_attempts);
     key_int(key, exact_.max_operations);
     key_int(key, exact_.node_limit);
     key_double(key, exact_.costs.register_area);

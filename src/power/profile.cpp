@@ -41,6 +41,16 @@ void power_profile::withdraw(int start, int duration, double power)
     }
 }
 
+void power_profile::overwrite(int start, const double* values, int count)
+{
+    check(start >= 0 && count >= 0 && start + count <= cycle_count(),
+          "power_profile::overwrite: interval outside the horizon");
+    for (int i = 0; i < count; ++i) {
+        check(values[i] >= 0.0, "power_profile::overwrite: negative value");
+        cycles_[static_cast<std::size_t>(start + i)] = values[i];
+    }
+}
+
 double power_profile::peak() const
 {
     double p = 0.0;

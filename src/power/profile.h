@@ -27,6 +27,12 @@ public:
     /// Removes a previous deposit (no shrinking; values may reach 0).
     void withdraw(int start, int duration, double power);
 
+    /// Overwrites [start, start+count) with previously captured values --
+    /// the bit-exact unwind of deposits over that interval (withdraw()
+    /// re-subtracts and can drift in the last ulp).  The interval must
+    /// lie within the current horizon.
+    void overwrite(int start, const double* values, int count);
+
     double peak() const;
     double average() const;
     /// Sum over cycles (energy in power-units * cycles).

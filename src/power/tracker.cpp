@@ -1,8 +1,46 @@
 #include "power/tracker.h"
 
+#include <algorithm>
+
 #include "support/errors.h"
 
 namespace phls {
+
+namespace {
+
+/// Rightmost leaf in [lo, hi) of the subtree `node` (covering
+/// [node_lo, node_hi)) whose value violates `value + power > limit`,
+/// or -1.  The subtree test is exact: the node holds the max of its
+/// leaves, that max is itself a leaf value, and IEEE rounding is
+/// monotone, so fl(max + power) > limit iff some leaf violates.
+int rightmost_violation(const std::vector<double>& tree, int node, int node_lo,
+                        int node_hi, int lo, int hi, double power, double limit)
+{
+    if (node_hi <= lo || hi <= node_lo) return -1;
+    if (!(tree[static_cast<std::size_t>(node)] + power > limit)) return -1;
+    if (node_lo + 1 == node_hi) return node_lo;
+    const int mid = node_lo + (node_hi - node_lo) / 2;
+    const int right =
+        rightmost_violation(tree, 2 * node + 1, mid, node_hi, lo, hi, power, limit);
+    if (right >= 0) return right;
+    return rightmost_violation(tree, 2 * node, node_lo, mid, lo, hi, power, limit);
+}
+
+/// Leftmost leaf >= lo whose value satisfies `value + power <= limit`,
+/// or -1; exact by the same monotonicity argument over the min tree.
+int leftmost_clean(const std::vector<double>& tree, int node, int node_lo, int node_hi,
+                   int lo, double power, double limit)
+{
+    if (node_hi <= lo) return -1;
+    if (tree[static_cast<std::size_t>(node)] + power > limit) return -1;
+    if (node_lo + 1 == node_hi) return node_lo;
+    const int mid = node_lo + (node_hi - node_lo) / 2;
+    const int left = leftmost_clean(tree, 2 * node, node_lo, mid, lo, power, limit);
+    if (left >= 0) return left;
+    return leftmost_clean(tree, 2 * node + 1, mid, node_hi, lo, power, limit);
+}
+
+} // namespace
 
 bool power_tracker::fits(int start, int duration, double power) const
 {
@@ -12,15 +50,134 @@ bool power_tracker::fits(int start, int duration, double power) const
     return true;
 }
 
+int power_tracker::next_fit(int start, int duration, double power) const
+{
+    check(start >= 0, "power_tracker::next_fit: negative start");
+    if (power > cap_ + tolerance) return -1;
+    if (duration <= 0) return start;
+    ensure_tree();
+    const int horizon = profile_.cycle_count();
+    int t = start;
+    while (t < horizon) {
+        // Cycles at or past the horizon hold 0 and cannot violate (power
+        // itself fits the cap), so only [t, min(t+d, horizon)) is probed.
+        const int c = last_violation(t, std::min(t + duration, horizon), power);
+        if (c < 0) return t;
+        // Every start in (t, c] still covers cycle c, and starts beyond
+        // it must begin on a cycle with headroom: leap the whole blocked
+        // stretch in one descent.
+        t = first_clean(c + 1, power);
+    }
+    return t;
+}
+
+int power_tracker::last_violation(int lo, int hi, double power) const
+{
+    if (leaves_ == 0 || hi <= lo) return -1;
+    return rightmost_violation(tree_max_, 1, 0, leaves_, lo, std::min(hi, leaves_), power,
+                               cap_ + tolerance);
+}
+
+int power_tracker::first_clean(int from, double power) const
+{
+    if (from >= leaves_) return from; // past the tree: free cycles
+    const int c =
+        leftmost_clean(tree_min_, 1, 0, leaves_, from, power, cap_ + tolerance);
+    return c >= 0 ? c : leaves_;
+}
+
+void power_tracker::ensure_tree() const
+{
+    const int n = profile_.cycle_count();
+    if (leaves_ > 0 || n == 0) return;
+    int cap = 64;
+    while (cap < n) cap *= 2;
+    leaves_ = cap;
+    tree_max_.assign(2 * static_cast<std::size_t>(leaves_), 0.0);
+    tree_min_.assign(2 * static_cast<std::size_t>(leaves_), 0.0);
+    const std::vector<double>& v = profile_.values();
+    for (int c = 0; c < n; ++c) {
+        tree_max_[static_cast<std::size_t>(leaves_ + c)] = v[c];
+        tree_min_[static_cast<std::size_t>(leaves_ + c)] = v[c];
+    }
+    for (int i = leaves_ - 1; i >= 1; --i) {
+        tree_max_[static_cast<std::size_t>(i)] =
+            std::max(tree_max_[static_cast<std::size_t>(2 * i)],
+                     tree_max_[static_cast<std::size_t>(2 * i + 1)]);
+        tree_min_[static_cast<std::size_t>(i)] =
+            std::min(tree_min_[static_cast<std::size_t>(2 * i)],
+                     tree_min_[static_cast<std::size_t>(2 * i + 1)]);
+    }
+}
+
+void power_tracker::sync_tree(int start, int end) const
+{
+    if (leaves_ == 0) return; // no tree yet: nothing to keep in sync
+    const int n = profile_.cycle_count();
+    end = std::min(end, n);
+    if (end <= start) return;
+    const std::vector<double>& v = profile_.values();
+    if (n > leaves_) {
+        // Grow to the next power of two and rebuild (amortised over the
+        // deposits that caused the growth).
+        leaves_ = 0;
+        ensure_tree();
+        return;
+    }
+    for (int c = start; c < end; ++c) {
+        tree_max_[static_cast<std::size_t>(leaves_ + c)] = v[c];
+        tree_min_[static_cast<std::size_t>(leaves_ + c)] = v[c];
+    }
+    int lo = (leaves_ + start) >> 1;
+    int hi = (leaves_ + end - 1) >> 1;
+    while (lo >= 1) {
+        for (int i = lo; i <= hi; ++i) {
+            tree_max_[static_cast<std::size_t>(i)] =
+                std::max(tree_max_[static_cast<std::size_t>(2 * i)],
+                         tree_max_[static_cast<std::size_t>(2 * i + 1)]);
+            tree_min_[static_cast<std::size_t>(i)] =
+                std::min(tree_min_[static_cast<std::size_t>(2 * i)],
+                         tree_min_[static_cast<std::size_t>(2 * i + 1)]);
+        }
+        lo >>= 1;
+        hi >>= 1;
+    }
+}
+
 void power_tracker::reserve(int start, int duration, double power)
 {
     check(fits(start, duration, power), "power_tracker::reserve would exceed the cap");
     profile_.deposit(start, duration, power);
+    sync_tree(start, start + duration);
 }
 
 void power_tracker::release(int start, int duration, double power)
 {
     profile_.withdraw(start, duration, power);
+    sync_tree(start, start + duration);
+}
+
+std::vector<double> power_tracker::interval_values(int start, int duration) const
+{
+    check(start >= 0 && duration >= 0, "power_tracker::interval_values: bad interval");
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(duration));
+    for (int c = start; c < start + duration; ++c) values.push_back(profile_.at(c));
+    return values;
+}
+
+void power_tracker::restore_interval(int start, const std::vector<double>& values)
+{
+    // Cycles captured past the horizon read as 0 and still do (a rolled
+    // back attempt may never have grown the profile that far); only the
+    // in-horizon prefix is written back.
+    const int in_horizon =
+        std::clamp(profile_.cycle_count() - start, 0, static_cast<int>(values.size()));
+    for (std::size_t i = static_cast<std::size_t>(in_horizon); i < values.size(); ++i)
+        check(values[i] == 0.0,
+              "power_tracker::restore_interval: non-zero value past the horizon");
+    if (in_horizon > 0) profile_.overwrite(start, values.data(), in_horizon);
+    sync_tree(start, start + in_horizon);
 }
 
 } // namespace phls

@@ -1,9 +1,11 @@
 #include "sched/pasap.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "power/tracker.h"
 #include "support/errors.h"
+#include "support/kernels.h"
 #include "support/strings.h"
 
 namespace phls {
@@ -100,20 +102,37 @@ pasap_result run_core(const core_inputs& in)
     // Places one operator: earliest data-ready time + smallest offset at
     // which the whole execution interval has power available (paper
     // step 3).  Returns false and sets `reason` on heuristic failure.
+    const bool skip_probe = kernel_knobs().skip_probe;
     const auto place = [&](node_id v) -> bool {
         int ready = 0;
         for (node_id p : in.g.preds(v))
             ready = std::max(ready, start[p.index()] + delay[p.index()]);
-        int offset = 0;
-        while (!tracker.fits(ready + offset, delay[v.index()], power[v.index()])) {
-            ++offset;
-            if (ready + offset > horizon) {
+        int t;
+        if (skip_probe) {
+            // Skip-ahead: jump directly past the last violating cycle of
+            // each failed interval instead of advancing one offset at a
+            // time.  Bit-identical to the linear probe below (every op's
+            // power fits the cap, so a feasible slot always exists; the
+            // horizon check reports the same overrun).
+            t = tracker.next_fit(ready, delay[v.index()], power[v.index()]);
+            if (t > horizon) {
                 result.reason = "internal: no power-feasible slot below horizon for '" +
                                 in.g.label(v) + "'";
                 return false;
             }
+        } else {
+            int offset = 0;
+            while (!tracker.fits(ready + offset, delay[v.index()], power[v.index()])) {
+                ++offset;
+                if (ready + offset > horizon) {
+                    result.reason =
+                        "internal: no power-feasible slot below horizon for '" +
+                        in.g.label(v) + "'";
+                    return false;
+                }
+            }
+            t = ready + offset;
         }
-        const int t = ready + offset;
         tracker.reserve(t, delay[v.index()], power[v.index()]);
         start[v.index()] = t;
         result.sched.set_start(v, t);
@@ -175,7 +194,9 @@ pasap_result run_core(const core_inputs& in)
     return result;
 }
 
-graph reversed(const graph& g)
+} // namespace
+
+graph reversed_graph(const graph& g)
 {
     graph r(g.name() + "_rev");
     for (node_id v : g.nodes()) r.add_node(g.kind(v), g.label(v));
@@ -183,8 +204,6 @@ graph reversed(const graph& g)
         for (node_id s : g.succs(v)) r.add_edge(s, v);
     return r;
 }
-
-} // namespace
 
 pasap_result pasap(const graph& g, const module_library& lib,
                    const module_assignment& assignment, double max_power,
@@ -227,7 +246,13 @@ pasap_result palap(const graph& g, const module_library& lib,
         }
     }
 
-    const graph rg = reversed(g);
+    // The reversed graph is a pure invariant of `g`; callers sweeping
+    // many points pass a pre-built copy through options.reversed
+    // (explore_cache keeps one per problem) instead of paying the
+    // rebuild on every palap call.
+    std::optional<graph> local_rev;
+    if (options.reversed == nullptr) local_rev.emplace(reversed_graph(g));
+    const graph& rg = options.reversed ? *options.reversed : *local_rev;
     pasap_result rres = run_core({rg, lib, assignment, max_power, options.order, rfixed});
     if (!rres.feasible) {
         result.reason = "reversed pasap: " + rres.reason;

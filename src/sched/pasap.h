@@ -43,6 +43,13 @@ struct pasap_options {
     pasap_order order = pasap_order::critical_path;
     /// Per-node fixed start times (-1 = free).  Empty = all free.
     std::vector<int> fixed_starts;
+    /// Optional pre-built reversed_graph() of the graph palap runs on --
+    /// a pure graph invariant that palap otherwise rebuilds on every
+    /// call.  Non-owning; must outlive the call and must equal
+    /// reversed_graph(g) exactly (explore_cache caches it per problem,
+    /// run_clique_partitioning hoists it per uncached partitioning).
+    /// Null = compute per call.  Ignored by pasap().
+    const graph* reversed = nullptr;
 };
 
 /// Outcome of pasap/palap.
@@ -65,5 +72,11 @@ pasap_result pasap(const graph& g, const module_library& lib,
 pasap_result palap(const graph& g, const module_library& lib,
                    const module_assignment& assignment, double max_power, int latency,
                    const pasap_options& options = {});
+
+/// The edge-reversed copy of `g` (same nodes/kinds/labels, every edge
+/// flipped) that palap schedules on.  Exposed so callers evaluating many
+/// points on one graph can build it once and pass it through
+/// pasap_options::reversed.
+graph reversed_graph(const graph& g);
 
 } // namespace phls

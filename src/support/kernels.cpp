@@ -1,0 +1,17 @@
+#include "support/kernels.h"
+
+namespace phls {
+
+kernel_tuning& kernel_knobs()
+{
+    static kernel_tuning knobs;
+    return knobs;
+}
+
+kernel_timers& kernel_timing()
+{
+    static kernel_timers timers;
+    return timers;
+}
+
+} // namespace phls

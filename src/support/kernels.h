@@ -1,0 +1,56 @@
+// Ablation knobs and region timers for the synthesis inner kernels.
+//
+// PR 5 optimised three inner loops -- power-feasibility probing
+// (power_tracker::next_fit), candidate enumeration across merge-loop
+// iterations (synth/candidates.h) and merge rollback (the undo log in
+// clique.cpp).  Every optimised path is gated byte-identical to the
+// reference implementation it replaced; the reference paths are retained
+// behind these knobs so tests and bench_kernels can compare results and
+// wall time (the same pattern as explore_cache::set_committed_memo /
+// set_report_memo for the memo levels).
+//
+// The knobs are process-global mutable state: set them *before* starting
+// any flow/batch work and leave them alone while synthesis runs (they
+// are read concurrently by worker threads, never written by the
+// library).  Results are byte-identical in every combination -- only
+// wall time and the kernel timers change.
+#pragma once
+
+namespace phls {
+
+/// Selects the optimised or the reference implementation per kernel.
+struct kernel_tuning {
+    /// power_tracker::next_fit skip-ahead probing in pasap and in the
+    /// compatibility graph's find_slot.  Off = the seed-era linear
+    /// `++offset` / `++t` probes.
+    bool skip_probe = true;
+    /// Incremental candidate maintenance across merge-loop iterations
+    /// (synth/candidates.h).  Off = full enumerate_candidates() per
+    /// iteration.
+    bool incremental_candidates = true;
+    /// O(changes) undo-log rollback of a failed merge decision.  Off =
+    /// the full `partition_state` deep copy per attempt.
+    bool undo_log = true;
+    /// Debug/testing: with incremental_candidates on, ALSO run the
+    /// reference enumeration every iteration and throw phls::error if
+    /// the two paths would pick different candidates.  Slow; tests only.
+    bool cross_check = false;
+};
+
+/// The process-global knob block (defaults: everything optimised).
+kernel_tuning& kernel_knobs();
+
+/// Wall-time accumulators for the kernel regions inside the merge loop,
+/// filled only while `collect` is true.  Single-threaded use only (the
+/// bench drives one partitioning at a time); reset() between runs.
+struct kernel_timers {
+    bool collect = false;
+    long long candidates_ns = 0; ///< enumeration / store maintenance + pick
+    long long rollback_ns = 0;   ///< state capture + restore (both paths)
+    void reset() { candidates_ns = rollback_ns = 0; }
+};
+
+/// The process-global timer block.
+kernel_timers& kernel_timing();
+
+} // namespace phls

@@ -1,0 +1,296 @@
+#include "synth/candidates.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace phls {
+
+std::uint64_t candidate_store::combo_key(bool is_pair, int x, int second, int module)
+{
+    return pack_candidate_key(is_pair, x, second, module);
+}
+
+candidate_store::pick_key candidate_store::key_of(const entry& e)
+{
+    pick_key k;
+    k.saving = e.score.cand.saving;
+    k.is_join = !e.is_pair;
+    k.a = e.score.cand.a.value();
+    k.b = e.is_pair ? e.score.cand.b.value() : -1;
+    k.tie = e.is_pair ? e.module.value() : e.instance;
+    return k;
+}
+
+void candidate_store::build_module_screen(const compat_inputs& in)
+{
+    screen_.assign(static_cast<std::size_t>(op_kind_count * op_kind_count), {});
+    for (const op_kind a : all_op_kinds()) {
+        for (const op_kind b : all_op_kinds()) {
+            std::vector<module_id>& mods =
+                screen_[static_cast<std::size_t>(op_kind_index(a) * op_kind_count +
+                                                 op_kind_index(b))];
+            for (int mi = 0; mi < in.lib->size(); ++mi) {
+                const fu_module& m = in.lib->module(module_id(mi));
+                // Exactly score_pair()'s static prechecks: modules that
+                // fail them can never yield a candidate and are skipped
+                // without touching the store.
+                if (!m.supports(a) || !m.supports(b)) continue;
+                if (m.power > in.max_power + power_tracker::tolerance) continue;
+                mods.push_back(module_id(mi));
+            }
+        }
+    }
+}
+
+const std::vector<module_id>& candidate_store::pair_modules(op_kind a, op_kind b) const
+{
+    return screen_[static_cast<std::size_t>(op_kind_index(a) * op_kind_count +
+                                            op_kind_index(b))];
+}
+
+void candidate_store::erase_at(std::size_t pos)
+{
+    order_.erase(key_of(pool_[pos]));
+    index_.erase(pool_[pos].key);
+    if (pos + 1 != pool_.size()) {
+        pool_[pos] = std::move(pool_.back());
+        index_[pool_[pos].key] = pos;
+    }
+    pool_.pop_back();
+}
+
+void candidate_store::store_entry(entry e)
+{
+    const auto [it, inserted] = index_.try_emplace(e.key, pool_.size());
+    if (inserted) {
+        order_.emplace(key_of(e), e.key);
+        pool_.push_back(std::move(e));
+        return;
+    }
+    entry& slot = pool_[it->second];
+    const pick_key before = key_of(slot);
+    const pick_key after = key_of(e);
+    if (before < after || after < before) {
+        order_.erase(before);
+        order_.emplace(after, e.key);
+    }
+    slot = std::move(e);
+}
+
+void candidate_store::score_pair_combo(const compat_inputs& in, node_id x, node_id y,
+                                       module_id m)
+{
+    const std::uint64_t key = combo_key(true, x.value(), y.value(), m.value());
+    const candidate_score s = score_pair(in, x, y, m);
+    if (!s.ok || s.cand.saving < 0.0) {
+        const auto it = index_.find(key);
+        if (it != index_.end()) erase_at(it->second);
+        return;
+    }
+    entry e;
+    e.key = key;
+    e.is_pair = true;
+    e.x = x;
+    e.y = y;
+    e.module = m;
+    e.score = s;
+    store_entry(std::move(e));
+}
+
+void candidate_store::score_join_combo(const compat_inputs& in, node_id x,
+                                       const fu_instance& inst)
+{
+    const std::uint64_t key = combo_key(false, x.value(), inst.index, inst.module.value());
+    const candidate_score s =
+        score_join(in, x, inst, busy_[static_cast<std::size_t>(inst.index)]);
+    if (!s.ok || s.cand.saving < 0.0) {
+        const auto it = index_.find(key);
+        if (it != index_.end()) erase_at(it->second);
+        return;
+    }
+    entry e;
+    e.key = key;
+    e.is_pair = false;
+    e.x = x;
+    e.instance = inst.index;
+    e.module = inst.module;
+    e.score = s;
+    store_entry(std::move(e));
+}
+
+void candidate_store::rebuild(const compat_inputs& in)
+{
+    check(in.g && in.lib && in.costs && in.reach && in.windows && in.fixed &&
+              in.committed && in.instances && in.committed_power && in.assignment,
+          "compat_inputs is incomplete");
+    pool_.clear();
+    index_.clear();
+    order_.clear();
+    build_module_screen(in);
+
+    busy_.clear();
+    busy_.reserve(in.instances->size());
+    for (const fu_instance& inst : *in.instances) busy_.push_back(busy_intervals(in, inst));
+
+    std::vector<node_id> free_ops;
+    for (node_id v : in.g->nodes())
+        if (!(*in.committed)[v.index()]) free_ops.push_back(v);
+
+    for (std::size_t i = 0; i < free_ops.size(); ++i) {
+        const op_kind ki = in.g->kind(free_ops[i]);
+        for (std::size_t j = i + 1; j < free_ops.size(); ++j)
+            for (const module_id m : pair_modules(ki, in.g->kind(free_ops[j])))
+                score_pair_combo(in, free_ops[i], free_ops[j], m);
+        for (const fu_instance& inst : *in.instances)
+            score_join_combo(in, free_ops[i], inst);
+    }
+    built_ = true;
+}
+
+const merge_candidate*
+candidate_store::best(const std::unordered_set<std::uint64_t>& blacklist) const
+{
+    for (const auto& [pick, key] : order_) {
+        const entry& e = pool_[index_.at(key)];
+        if (!blacklist.empty() && blacklist.count(e.score.cand.packed_key()) > 0) continue;
+        return &e.score.cand;
+    }
+    return nullptr;
+}
+
+void candidate_store::apply_accept(const compat_inputs& in, const merge_candidate& chosen,
+                                   const time_windows& before)
+{
+    const int n = in.g->node_count();
+    const bool pair = chosen.type == merge_candidate::merge_type::pair;
+    const int d = in.lib->module(chosen.module).latency;
+
+    // 1. Per-instance busy intervals, maintained on bind: a pair merge
+    // created one instance (the last one), a join extended an existing
+    // one.
+    const auto insert_sorted = [](std::vector<std::pair<int, int>>& busy, int t, int e) {
+        busy.insert(std::lower_bound(busy.begin(), busy.end(), std::make_pair(t, e)),
+                    {t, e});
+    };
+    int changed_instance = -1;
+    if (pair) {
+        check(!in.instances->empty(), "pair merge without a created instance");
+        changed_instance = in.instances->back().index;
+        std::vector<std::pair<int, int>> busy;
+        insert_sorted(busy, chosen.t_a, chosen.t_a + d);
+        insert_sorted(busy, chosen.t_b, chosen.t_b + d);
+        check(static_cast<int>(busy_.size()) == changed_instance,
+              "busy table out of sync with the instance list");
+        busy_.push_back(std::move(busy));
+    } else {
+        changed_instance = chosen.instance;
+        insert_sorted(busy_[static_cast<std::size_t>(changed_instance)], chosen.t_a,
+                      chosen.t_a + d);
+    }
+
+    // 2. Changed-node closure: the committed ops plus every operator
+    // whose window moved; a candidate reads at most its own ops and
+    // their direct neighbours, so `affected` (changed or adjacent to a
+    // change) is exactly the re-score trigger set.  After the backtrack
+    // lock every operator is pinned, windows stop moving and this set
+    // collapses to the merged ops' neighbourhood.
+    std::vector<char> touched(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v < n; ++v)
+        if (before.s_min[static_cast<std::size_t>(v)] !=
+                in.windows->s_min[static_cast<std::size_t>(v)] ||
+            before.s_max[static_cast<std::size_t>(v)] !=
+                in.windows->s_max[static_cast<std::size_t>(v)])
+            touched[static_cast<std::size_t>(v)] = 1;
+    touched[chosen.a.index()] = 1;
+    if (pair) touched[chosen.b.index()] = 1;
+    std::vector<char> affected(static_cast<std::size_t>(n), 0);
+    for (node_id v : in.g->nodes()) {
+        char hit = touched[v.index()];
+        if (!hit)
+            for (node_id p : in.g->preds(v))
+                if (touched[p.index()]) { hit = 1; break; }
+        if (!hit)
+            for (node_id s : in.g->succs(v))
+                if (touched[s.index()]) { hit = 1; break; }
+        affected[v.index()] = hit;
+    }
+
+    // 3. One linear sweep of the dense pool: drop candidates of the
+    // now-committed ops; revalidate survivors whose cached slots the new
+    // reservations overlap.  The revalidation is one fits() probe per
+    // cached slot, not a re-score: the profile only grows, so slots
+    // before a cached minimum stay infeasible, the losing pair order can
+    // only get worse, and a slot that still fits leaves the whole cached
+    // result unchanged.  Only broken slots go to the re-score list.
+    const std::pair<int, int> res_a{chosen.t_a, chosen.t_a + d};
+    const std::pair<int, int> res_b =
+        pair ? std::pair<int, int>{chosen.t_b, chosen.t_b + d} : std::pair<int, int>{0, 0};
+    const auto hits_interval = [&](int lo, int hi) {
+        if (lo < res_a.second && res_a.first < hi) return true;
+        return pair && lo < res_b.second && res_b.first < hi;
+    };
+    const auto generation_covers = [&](const entry& e) {
+        if (e.is_pair) return affected[e.x.index()] || affected[e.y.index()] ? true : false;
+        return (affected[e.x.index()] ? true : false) || e.instance == changed_instance;
+    };
+    std::vector<entry> broken;
+    for (std::size_t i = 0; i < pool_.size();) {
+        const entry& e = pool_[i];
+        if ((*in.committed)[e.x.index()] ||
+            (e.is_pair && (*in.committed)[e.y.index()])) {
+            erase_at(i); // swap-pop: the swapped-in entry is re-examined
+            continue;
+        }
+        if (!generation_covers(e)) {
+            const fu_module& m = in.lib->module(e.score.cand.module);
+            const bool hit_a = hits_interval(e.score.cand.t_a, e.score.cand.t_a + m.latency);
+            const bool hit_b = e.is_pair && hits_interval(e.score.cand.t_b,
+                                                          e.score.cand.t_b + m.latency);
+            if ((hit_a &&
+                 !in.committed_power->fits(e.score.cand.t_a, m.latency, m.power)) ||
+                (hit_b &&
+                 !in.committed_power->fits(e.score.cand.t_b, m.latency, m.power)))
+                broken.push_back(e);
+        }
+        ++i;
+    }
+
+    // 4. Generative re-score of everything touching an affected node or
+    // the changed instance -- including combos with no stored entry (a
+    // window move can make a previously infeasible candidate valid).
+    // O(|affected| * free), so a post-lock accept (affected = the merged
+    // ops' neighbourhood) costs a sliver of one full enumeration.
+    std::vector<node_id> free_ops;
+    for (node_id v : in.g->nodes())
+        if (!(*in.committed)[v.index()]) free_ops.push_back(v);
+    const fu_instance& changed =
+        (*in.instances)[static_cast<std::size_t>(changed_instance)];
+    for (const node_id u : free_ops) {
+        if (!affected[u.index()]) {
+            score_join_combo(in, u, changed);
+            continue;
+        }
+        for (const node_id w : free_ops) {
+            if (w == u) continue;
+            // A both-affected pair is handled once, by its smaller op.
+            if (affected[w.index()] && w < u) continue;
+            const node_id x = u < w ? u : w;
+            const node_id y = u < w ? w : u;
+            for (const module_id m : pair_modules(in.g->kind(x), in.g->kind(y)))
+                score_pair_combo(in, x, y, m);
+        }
+        for (const fu_instance& inst : *in.instances) score_join_combo(in, u, inst);
+    }
+
+    // 5. The broken-slot stragglers (disjoint from step 4 by construction).
+    for (const entry& e : broken) {
+        if (e.is_pair)
+            score_pair_combo(in, e.x, e.y, e.module);
+        else
+            score_join_combo(in, e.x,
+                             (*in.instances)[static_cast<std::size_t>(e.instance)]);
+    }
+}
+
+} // namespace phls

@@ -1,0 +1,141 @@
+// Incremental candidate maintenance for the greedy merge loop.
+//
+// The reference merge loop re-runs enumerate_candidates() -- every free
+// op pair x module plus every (free op, instance) join, each fully
+// re-timed and re-scored -- after every accepted merge.  Almost all of
+// that work is unchanged between iterations: an accepted merge commits
+// one or two operations, adds power reservations over their execution
+// intervals, and (through the window recompute) moves some operators'
+// pasap/palap windows.  A candidate's score is a pure function of
+//
+//   * the windows / fixed times / module assignment of its own ops and
+//     their direct graph neighbours,
+//   * (joins) the target instance's committed ops,
+//   * the committed power profile over the cycles its slots occupy --
+//     within one run the profile only grows, so a cached minimal slot
+//     stays minimal unless a new reservation lands on it,
+//
+// so after an accepted merge only candidates touching a changed node or
+// a changed instance are re-scored; candidates whose cached slots a new
+// reservation overlaps are revalidated with one fits() probe and
+// re-scored only when the slot actually broke.  candidate_store keeps
+// every currently valid candidate in a best-first map ordered exactly
+// like best_candidate() (saving desc, joins before pairs, smaller ops,
+// then enumeration order) and serves the next pick in O(log n).
+//
+// The win therefore scales with merge locality.  It is largest in the
+// locked regimes (after the paper's backtrack-and-lock, or under
+// lock_from_start), where windows stop moving altogether and an
+// accepted merge touches only the merged ops' neighbourhood; with free
+// windows under heavy power contention a commit can ripple through most
+// windows and the store degrades gracefully towards one reference
+// enumeration per accept.
+//
+// The store is an internal engine of run_clique_partitioning (knob:
+// kernel_knobs().incremental_candidates); results are bit-identical to
+// the reference enumeration, which tests assert via
+// kernel_tuning::cross_check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "synth/compat.h"
+
+namespace phls {
+
+/// Best-first store of the currently valid merge candidates.
+class candidate_store {
+public:
+    /// Discards everything and scores every candidate of the current
+    /// state (used initially and after backtrack-and-lock, which moves
+    /// every free operator's fixed time at once).
+    void rebuild(const compat_inputs& in);
+
+    bool built() const { return built_; }
+    void invalidate() { built_ = false; }
+
+    /// The candidate the reference pipeline -- enumerate_candidates(),
+    /// erase saving < 0 and blacklisted keys, best_candidate() -- would
+    /// choose now; nullptr when none.  `blacklist` holds packed_key()s
+    /// of rejected candidates (cleared by the caller on accept, exactly
+    /// like the reference loop).
+    const merge_candidate* best(const std::unordered_set<std::uint64_t>& blacklist) const;
+
+    /// Incremental update after `chosen` was committed (state mutated,
+    /// windows advanced from `before` to *in.windows): drops candidates
+    /// of the committed ops, re-scores candidates whose inputs changed,
+    /// and scores joins onto a pair's newly created instance.  Rejected
+    /// decisions need no call -- the rollback restores the scored state
+    /// bit-exactly.
+    void apply_accept(const compat_inputs& in, const merge_candidate& chosen,
+                      const time_windows& before);
+
+private:
+    struct entry {
+        std::uint64_t key = 0; ///< combo key (see combo_key)
+        bool is_pair = true;
+        node_id x, y;      ///< pair ops, x < y; joins use x only
+        int instance = -1; ///< join target
+        module_id module;  ///< pair module; joins: the instance module
+        candidate_score score;
+    };
+
+    /// Total order equal to best_candidate() + enumeration-order ties:
+    /// within equal (saving, type, a, b) the reference keeps the first
+    /// enumerated candidate, which is ascending module id for pairs and
+    /// ascending instance index for joins.
+    struct pick_key {
+        double saving = 0.0;
+        bool is_join = false;
+        int a = -1;
+        int b = -1;  ///< pairs: cand.b; joins: -1
+        int tie = 0; ///< pairs: module id; joins: instance index
+
+        bool operator<(const pick_key& o) const
+        {
+            if (saving != o.saving) return saving > o.saving;
+            if (is_join != o.is_join) return is_join;
+            if (a != o.a) return a < o.a;
+            if (b != o.b) return b < o.b;
+            return tie < o.tie;
+        }
+    };
+
+    /// Identity of a combo independent of the dependency-chosen op order
+    /// inside the scored candidate (packed_key() orders by (first,
+    /// second), which can flip when the state changes).
+    static std::uint64_t combo_key(bool is_pair, int x, int second, int module);
+
+    static pick_key key_of(const entry& e);
+
+    /// Modules that can execute both kinds under the cap -- the exact
+    /// static prechecks of score_pair(), hoisted so unsupported combos
+    /// cost nothing per iteration.
+    void build_module_screen(const compat_inputs& in);
+    const std::vector<module_id>& pair_modules(op_kind a, op_kind b) const;
+
+    /// Re-scores one combo against the current state and installs /
+    /// updates / removes its entry.
+    void score_pair_combo(const compat_inputs& in, node_id x, node_id y, module_id m);
+    void score_join_combo(const compat_inputs& in, node_id x, const fu_instance& inst);
+
+    void erase_at(std::size_t pos);
+    void store_entry(entry e);
+
+    bool built_ = false;
+    /// Dense entry pool (swap-pop erasure) + key index; contiguous so
+    /// the per-accept sweep is a linear scan, not a node-chasing walk.
+    std::vector<entry> pool_;
+    std::unordered_map<std::uint64_t, std::size_t> index_;
+    std::map<pick_key, std::uint64_t> order_; ///< best first
+    std::vector<std::vector<module_id>> screen_; ///< kind x kind module lists
+    /// Per-instance sorted busy intervals, maintained on bind instead of
+    /// rebuilt per candidate per iteration.
+    std::vector<std::vector<std::pair<int, int>>> busy_;
+};
+
+} // namespace phls

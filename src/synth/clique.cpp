@@ -1,15 +1,18 @@
 #include "synth/clique.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
-#include <set>
+#include <unordered_set>
 
 #include "cdfg/analysis.h"
 #include "flow/explore_cache.h"
 #include "sched/mobility.h"
 #include "support/errors.h"
+#include "support/kernels.h"
 #include "support/log.h"
 #include "support/strings.h"
+#include "synth/candidates.h"
 #include "synth/compat.h"
 
 namespace phls {
@@ -34,6 +37,94 @@ struct partition_state {
     explicit partition_state(double cap) : committed_power(cap) {}
 };
 
+/// Accumulates wall time into a kernel_timers field while timing is on.
+class scoped_ns {
+public:
+    explicit scoped_ns(long long* acc) : acc_(kernel_timing().collect ? acc : nullptr)
+    {
+        if (acc_) t0_ = std::chrono::steady_clock::now();
+    }
+    ~scoped_ns()
+    {
+        if (acc_)
+            *acc_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0_)
+                         .count();
+    }
+    scoped_ns(const scoped_ns&) = delete;
+    scoped_ns& operator=(const scoped_ns&) = delete;
+
+private:
+    long long* acc_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+/// O(changes) rollback of one merge attempt: the exact pre-attempt value
+/// of every field a commit touches, captured *before* the mutation.  The
+/// power profile slice is captured by value (release() re-subtracts and
+/// can drift in the last ulp; restoring the captured doubles is
+/// bit-exact, so decisions after a rollback are identical to the
+/// snapshot-copy reference path).
+struct op_undo {
+    node_id v;
+    module_id assignment;
+    int fixed = -1;
+    char committed = 0;
+    int instance_of = -1;
+    int sched_start = -1;
+    module_id sched_module;
+    int res_start = -1;
+    std::vector<double> res_values;
+};
+
+struct merge_undo {
+    std::vector<op_undo> ops;
+    bool added_instance = false;
+};
+
+op_undo capture_op(const partition_state& st, node_id v, int t, int duration)
+{
+    op_undo u;
+    u.v = v;
+    u.assignment = st.assignment[v.index()];
+    u.fixed = st.fixed[v.index()];
+    u.committed = st.committed[v.index()];
+    u.instance_of = st.dp.instance_of[v.index()];
+    u.sched_start = st.dp.sched.start(v);
+    u.sched_module = st.dp.sched.module_of(v);
+    u.res_start = t;
+    u.res_values = st.committed_power.interval_values(t, duration);
+    return u;
+}
+
+void unwind(partition_state& st, const merge_undo& undo)
+{
+    for (auto it = undo.ops.rbegin(); it != undo.ops.rend(); ++it) {
+        const op_undo& u = *it;
+        const int inst_now = st.dp.instance_of[u.v.index()];
+        if (inst_now != u.instance_of) {
+            // The op was bound during the attempt; it is the last one
+            // appended to its instance.
+            auto& ops = st.dp.instances[static_cast<std::size_t>(inst_now)].ops;
+            check(!ops.empty() && ops.back() == u.v,
+                  "undo: operation is not the last one bound to its instance");
+            ops.pop_back();
+            st.dp.instance_of[u.v.index()] = u.instance_of;
+        }
+        st.dp.sched.set_start(u.v, u.sched_start);
+        st.dp.sched.set_module(u.v, u.sched_module);
+        st.committed_power.restore_interval(u.res_start, u.res_values);
+        st.fixed[u.v.index()] = u.fixed;
+        st.assignment[u.v.index()] = u.assignment;
+        st.committed[u.v.index()] = u.committed;
+    }
+    if (undo.added_instance) {
+        check(!st.dp.instances.empty() && st.dp.instances.back().ops.empty(),
+              "undo: the added instance still has bound operations");
+        st.dp.instances.pop_back();
+    }
+}
+
 } // namespace
 
 synthesis_result run_clique_partitioning(const graph& g, const module_library& lib,
@@ -46,6 +137,14 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
     synthesis_result result;
     result.dp = datapath(design_name(g, constraints), n);
     check(constraints.latency >= 1, "latency constraint must be positive");
+    // Candidate identities (blacklist + incremental store) pack node,
+    // instance and module ids into fixed-width fields; oversized inputs
+    // must fail loudly, never collide silently.
+    check(n < (1 << packed_node_bits) && lib.size() < (1 << packed_module_bits),
+          "graph or library too large for packed candidate keys");
+
+    const kernel_tuning& knobs = kernel_knobs();
+    kernel_timers& timers = kernel_timing();
 
     // 1. Prospect modules under the power cap (one table per
     // admissible-module set when a batch cache is attached).
@@ -63,7 +162,12 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
     st.committed.assign(static_cast<std::size_t>(n), 0);
     st.dp = datapath(design_name(g, constraints), n);
 
-    const pasap_options sched_opts_base{options.order, {}};
+    // The reversed graph palap schedules on is a pure invariant: the
+    // cache serves its copy to every point; without a cache it is built
+    // once per partitioning instead of once per window recompute.
+    std::optional<graph> local_rev;
+    if (cache == nullptr) local_rev.emplace(reversed_graph(g));
+    pasap_options sched_opts_base{options.order, {}, cache ? nullptr : &*local_rev};
 
     // Committed-window recomputes are level-1 memoised when a batch cache
     // is attached: the key is the full scheduling state, so identical
@@ -104,9 +208,12 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
     const reachability& reach = cache ? cache->reach() : *local_reach;
     bool locked = false;
 
+    candidate_store store;
+
     // Locks every free operator to its current pasap start time (the
     // paper's backtrack remedy); the pasap schedule itself witnesses
-    // feasibility.
+    // feasibility.  Every window and fixed time moves at once, so the
+    // incremental store rebuilds from scratch afterwards.
     const auto lock_all = [&](partition_state& s) {
         for (node_id v : g.nodes())
             if (s.fixed[v.index()] < 0) s.fixed[v.index()] = s.windows.s_min[v.index()];
@@ -117,6 +224,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         const time_windows w = recompute_windows(s);
         check(w.feasible, "internal: locking to the pasap schedule failed: " + w.reason);
         s.windows = w;
+        store.invalidate();
     };
 
     if (options.lock_from_start) lock_all(st);
@@ -131,9 +239,44 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         s.dp.bind(v, inst, t);
     };
 
+    // One attempt's rollback state: an undo log of the fields the commit
+    // touches (knobs.undo_log), or the reference full deep copy.  Both
+    // the merge loop and the finalisation rebind go through this single
+    // capture/rollback pair so the two paths cannot drift apart.
+    struct rollback_point {
+        merge_undo undo;
+        std::optional<partition_state> snapshot;
+    };
+    const auto capture_state =
+        [&](std::initializer_list<std::pair<node_id, int>> ops, int duration,
+            bool adds_instance) {
+            rollback_point rp;
+            const scoped_ns timer(&timers.rollback_ns);
+            if (knobs.undo_log) {
+                rp.undo.ops.reserve(ops.size());
+                for (const auto& [v, t] : ops)
+                    rp.undo.ops.push_back(capture_op(st, v, t, duration));
+                rp.undo.added_instance = adds_instance;
+            } else {
+                rp.snapshot.emplace(st);
+            }
+            return rp;
+        };
+    const auto rollback_state = [&](rollback_point& rp) {
+        const scoped_ns timer(&timers.rollback_ns);
+        if (knobs.undo_log)
+            unwind(st, rp.undo);
+        else
+            st = std::move(*rp.snapshot);
+    };
+
     // 4. Greedy merge loop.
-    std::set<std::string> blacklist;
+    std::unordered_set<std::uint64_t> blacklist;
     while (true) {
+        if (options.max_merge_attempts >= 0 &&
+            result.stats.merges + result.stats.rejected >= options.max_merge_attempts)
+            break;
+
         compat_inputs in;
         in.g = &g;
         in.lib = &lib;
@@ -148,16 +291,60 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         in.assignment = &st.assignment;
         in.locked = locked;
 
-        std::vector<merge_candidate> candidates = enumerate_candidates(in);
-        std::erase_if(candidates, [&](const merge_candidate& c) {
-            return c.saving < 0.0 || blacklist.count(c.key()) > 0;
-        });
-        const int bi = best_candidate(candidates);
-        if (bi < 0) break;
-        const merge_candidate chosen = candidates[static_cast<std::size_t>(bi)];
+        // Pick the best candidate: either incrementally maintained
+        // across iterations, or the reference full re-enumeration.
+        merge_candidate chosen;
+        bool have = false;
+        if (knobs.incremental_candidates) {
+            const scoped_ns timer(&timers.candidates_ns);
+            if (!store.built()) store.rebuild(in);
+            const merge_candidate* c = store.best(blacklist);
+            if (c != nullptr) {
+                chosen = *c;
+                have = true;
+            }
+        } else {
+            const scoped_ns timer(&timers.candidates_ns);
+            std::vector<merge_candidate> candidates = enumerate_candidates(in);
+            std::erase_if(candidates, [&](const merge_candidate& c) {
+                return c.saving < 0.0 || blacklist.count(c.packed_key()) > 0;
+            });
+            const int bi = best_candidate(candidates);
+            if (bi >= 0) {
+                chosen = candidates[static_cast<std::size_t>(bi)];
+                have = true;
+            }
+        }
+        if (knobs.incremental_candidates && knobs.cross_check) {
+            // Testing aid: the reference pipeline must agree with the
+            // store, decision for decision.
+            std::vector<merge_candidate> candidates = enumerate_candidates(in);
+            std::erase_if(candidates, [&](const merge_candidate& c) {
+                return c.saving < 0.0 || blacklist.count(c.packed_key()) > 0;
+            });
+            const int bi = best_candidate(candidates);
+            check((bi >= 0) == have,
+                  "incremental candidate store disagrees with the reference "
+                  "enumeration about candidate existence");
+            if (have) {
+                const merge_candidate& ref = candidates[static_cast<std::size_t>(bi)];
+                check(ref.packed_key() == chosen.packed_key() && ref.t_a == chosen.t_a &&
+                          ref.t_b == chosen.t_b && ref.saving == chosen.saving,
+                      "incremental candidate store disagrees with the reference "
+                      "enumeration: " +
+                          ref.key() + " vs " + chosen.key());
+            }
+        }
+        if (!have) break;
 
-        partition_state snapshot = st;
-        if (chosen.type == merge_candidate::merge_type::pair) {
+        const int chosen_delay = lib.module(chosen.module).latency;
+        const bool is_pair = chosen.type == merge_candidate::merge_type::pair;
+        rollback_point rp =
+            is_pair ? capture_state({{chosen.a, chosen.t_a}, {chosen.b, chosen.t_b}},
+                                    chosen_delay, true)
+                    : capture_state({{chosen.a, chosen.t_a}}, chosen_delay, false);
+
+        if (is_pair) {
             const int inst = st.dp.add_instance(chosen.module);
             commit_op(st, chosen.a, inst, chosen.t_a);
             commit_op(st, chosen.b, inst, chosen.t_b);
@@ -167,13 +354,18 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
 
         const time_windows w2 = recompute_windows(st);
         if (w2.feasible) {
+            const time_windows previous = std::move(st.windows);
             st.windows = w2;
             ++result.stats.merges;
-            if (chosen.type == merge_candidate::merge_type::pair)
+            if (is_pair)
                 ++result.stats.pair_merges;
             else
                 ++result.stats.join_merges;
             blacklist.clear();
+            if (knobs.incremental_candidates && store.built()) {
+                const scoped_ns timer(&timers.candidates_ns);
+                store.apply_accept(in, chosen, previous);
+            }
             log_debug() << "accepted " << chosen.key() << " saving " << chosen.saving;
             continue;
         }
@@ -181,13 +373,13 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         // The decision deleted an unscheduled operator: backtrack one step
         // and (first time) lock the remaining operators to the last valid
         // pasap schedule.
-        st = std::move(snapshot);
+        rollback_state(rp);
         ++result.stats.rejected;
         log_debug() << "rejected " << chosen.key() << ": " << w2.reason;
         if (!locked && options.enable_backtrack_lock)
             lock_all(st);
         else
-            blacklist.insert(chosen.key());
+            blacklist.insert(chosen.packed_key());
     }
 
     // 5. Finalisation: leftover operators become singleton instances.
@@ -199,12 +391,12 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         if (!options.allow_cheapest_rebind) continue;
         const module_id cheap = *lib.cheapest_for(g.kind(v), cap);
         if (cheap == st.assignment[v.index()]) continue;
-        partition_state snapshot = st;
+        const int t = st.windows.s_min[v.index()];
+        rollback_point rp = capture_state({{v, t}}, lib.module(cheap).latency, true);
         const int inst = st.dp.add_instance(cheap);
         st.assignment[v.index()] = cheap;
-        const int t = st.windows.s_min[v.index()];
         if (!st.committed_power.fits(t, lib.module(cheap).latency, lib.module(cheap).power)) {
-            st = std::move(snapshot);
+            rollback_state(rp);
             ++result.stats.finalize_fallbacks;
             continue;
         }
@@ -217,7 +409,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
             st.windows = w2;
             ++result.stats.finalize_rebinds;
         } else {
-            st = std::move(snapshot);
+            rollback_state(rp);
             ++result.stats.finalize_fallbacks;
         }
     }

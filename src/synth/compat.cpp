@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "support/errors.h"
+#include "support/kernels.h"
 #include "support/strings.h"
 
 namespace phls {
@@ -13,6 +14,13 @@ std::string merge_candidate::key() const
     if (type == merge_type::pair)
         return strf("p:%d:%d:%d", a.value(), b.value(), module.value());
     return strf("j:%d:%d:%d", a.value(), instance, module.value());
+}
+
+std::uint64_t merge_candidate::packed_key() const
+{
+    const bool pair = type == merge_type::pair;
+    return pack_candidate_key(pair, a.value(), pair ? b.value() : instance,
+                              module.value());
 }
 
 double standalone_area(const compat_inputs& in, node_id v)
@@ -50,14 +58,12 @@ double mux_penalty(const fu_module& m, const cost_model& costs)
     return costs.mux_area_per_extra_input * ports;
 }
 
-namespace {
-
-/// Busy intervals [start, end) of the operations bound to `inst`.
 std::vector<std::pair<int, int>> busy_intervals(const compat_inputs& in,
                                                 const fu_instance& inst)
 {
     std::vector<std::pair<int, int>> busy;
     const int d = in.lib->module(inst.module).latency;
+    busy.reserve(inst.ops.size());
     for (node_id v : inst.ops) {
         const int t = (*in.fixed)[v.index()];
         check(t >= 0, "committed operation has no fixed time");
@@ -67,13 +73,15 @@ std::vector<std::pair<int, int>> busy_intervals(const compat_inputs& in,
     return busy;
 }
 
+namespace {
+
 bool overlaps(int s1, int e1, int s2, int e2) { return s1 < e2 && s2 < e1; }
 
-/// Smallest t in [lo, hi] such that [t, t+d) avoids `busy`, satisfies the
-/// dependency bounds [dep_lo, dep_hi] on start, and fits the committed
-/// power reservations; -1 if none.
-int find_slot(const compat_inputs& in, int lo, int hi, int d, double power,
-              const std::vector<std::pair<int, int>>& busy)
+/// Reference probe: smallest t in [lo, hi] such that [t, t+d) avoids
+/// `busy` and fits the committed power reservations; -1 if none.  The
+/// seed-era linear scan, retained for the skip_probe ablation.
+int find_slot_linear(const compat_inputs& in, int lo, int hi, int d, double power,
+                     const std::vector<std::pair<int, int>>& busy)
 {
     for (int t = lo; t <= hi; ++t) {
         bool clash = false;
@@ -90,6 +98,42 @@ int find_slot(const compat_inputs& in, int lo, int hi, int d, double power,
         return t;
     }
     return -1;
+}
+
+/// Skip-ahead probe: alternates between jumping past committed busy
+/// intervals (sorted, two-pointer) and power_tracker::next_fit, which
+/// jumps past the last violating power cycle.  Every skipped start
+/// provably clashes or violates, so the returned slot is the same
+/// minimal t the linear scan finds.
+int find_slot_skip(const compat_inputs& in, int lo, int hi, int d, double power,
+                   const std::vector<std::pair<int, int>>& busy)
+{
+    int t = lo;
+    std::size_t bi = 0;
+    while (t <= hi) {
+        while (bi < busy.size() && busy[bi].second <= t) ++bi;
+        if (bi < busy.size() && busy[bi].first < t + d) {
+            // [t, t+d) overlaps busy[bi]; no start before its end can
+            // clear it (starts are only probed forward).
+            t = busy[bi].second;
+            continue;
+        }
+        const int p = in.committed_power->next_fit(t, d, power);
+        if (p < 0) return -1; // power alone exceeds the cap: no t ever fits
+        if (p != t) {
+            t = p; // skipped past power violations; re-check busy intervals
+            continue;
+        }
+        return t;
+    }
+    return -1;
+}
+
+int find_slot(const compat_inputs& in, int lo, int hi, int d, double power,
+              const std::vector<std::pair<int, int>>& busy)
+{
+    if (kernel_knobs().skip_probe) return find_slot_skip(in, lo, hi, d, power, busy);
+    return find_slot_linear(in, lo, hi, d, power, busy);
 }
 
 /// Window of `v`: its pasap/palap range, or its pinned time when fixed.
@@ -124,46 +168,50 @@ std::pair<int, int> clamp_by_neighbors(const compat_inputs& in, node_id v, int d
     return {lo, hi};
 }
 
-/// Attempts to time a pair (first, second) sequentially on module m.
+/// Attempts to time (first, second) sequentially on a module of delay
+/// `d` and power `power`, given each op's already clamped start bounds.
 /// Returns {t_first, t_second} or {-1, -1}.
-std::pair<int, int> time_pair(const compat_inputs& in, node_id first, node_id second,
-                              const fu_module& m)
+std::pair<int, int> time_pair(const compat_inputs& in, int lo1, int hi1, int lo2raw,
+                              int hi2, int d, double power)
 {
-    const int d = m.latency;
-    auto [lo1, hi1] = window_of(in, first);
-    std::tie(lo1, hi1) = clamp_by_neighbors(in, first, d, lo1, hi1);
-    auto [lo2raw, hi2] = window_of(in, second);
-    std::tie(lo2raw, hi2) = clamp_by_neighbors(in, second, d, lo2raw, hi2);
     if (lo1 > hi1 || lo2raw > hi2) return {-1, -1};
-    const int t1 = find_slot(in, lo1, hi1, d, m.power, {});
+    const int t1 = find_slot(in, lo1, hi1, d, power, {});
     if (t1 < 0) return {-1, -1};
     const int lo2 = std::max(lo2raw, t1 + d);
     if (lo2 > hi2) return {-1, -1};
-    const int t2 = find_slot(in, lo2, hi2, d, m.power, {{t1, t1 + d}});
+    const int t2 = find_slot(in, lo2, hi2, d, power, {{t1, t1 + d}});
     if (t2 < 0) return {-1, -1};
     return {t1, t2};
 }
 
-void consider_pair(const compat_inputs& in, node_id a, node_id b, module_id mid,
-                   std::vector<merge_candidate>& out)
+} // namespace
+
+candidate_score score_pair(const compat_inputs& in, node_id a, node_id b, module_id mid)
 {
+    candidate_score out;
     const fu_module& m = in.lib->module(mid);
-    if (!m.supports(in.g->kind(a)) || !m.supports(in.g->kind(b))) return;
-    if (m.power > in.max_power + power_tracker::tolerance) return;
+    if (!m.supports(in.g->kind(a)) || !m.supports(in.g->kind(b))) return out;
+    if (m.power > in.max_power + power_tracker::tolerance) return out;
+
+    const int d = m.latency;
+    auto [la, ha] = window_of(in, a);
+    std::tie(la, ha) = clamp_by_neighbors(in, a, d, la, ha);
+    auto [lb, hb] = window_of(in, b);
+    std::tie(lb, hb) = clamp_by_neighbors(in, b, d, lb, hb);
 
     // Dependency forces the order; otherwise try both and keep the one
     // finishing earlier.
     std::pair<int, int> times{-1, -1};
     node_id first = a, second = b;
     if (in.reach->reaches(a, b)) {
-        times = time_pair(in, a, b, m);
+        times = time_pair(in, la, ha, lb, hb, d, m.power);
     } else if (in.reach->reaches(b, a)) {
         first = b;
         second = a;
-        times = time_pair(in, b, a, m);
+        times = time_pair(in, lb, hb, la, ha, d, m.power);
     } else {
-        const std::pair<int, int> ab = time_pair(in, a, b, m);
-        const std::pair<int, int> ba = time_pair(in, b, a, m);
+        const std::pair<int, int> ab = time_pair(in, la, ha, lb, hb, d, m.power);
+        const std::pair<int, int> ba = time_pair(in, lb, hb, la, ha, d, m.power);
         if (ab.first >= 0 && (ba.first < 0 || ab.second <= ba.second)) {
             times = ab;
         } else if (ba.first >= 0) {
@@ -172,7 +220,7 @@ void consider_pair(const compat_inputs& in, node_id a, node_id b, module_id mid,
             times = ba;
         }
     }
-    if (times.first < 0) return;
+    if (times.first < 0) return out;
 
     merge_candidate c;
     c.type = merge_candidate::merge_type::pair;
@@ -183,14 +231,17 @@ void consider_pair(const compat_inputs& in, node_id a, node_id b, module_id mid,
     c.t_b = times.second;
     c.saving = standalone_area(in, a) + standalone_area(in, b) - m.area -
                mux_penalty(m, *in.costs);
-    out.push_back(c);
+    out.cand = c;
+    out.ok = true;
+    return out;
 }
 
-void consider_join(const compat_inputs& in, node_id a, const fu_instance& inst,
-                   std::vector<merge_candidate>& out)
+candidate_score score_join(const compat_inputs& in, node_id a, const fu_instance& inst,
+                           const std::vector<std::pair<int, int>>& busy)
 {
+    candidate_score out;
     const fu_module& m = in.lib->module(inst.module);
-    if (!m.supports(in.g->kind(a))) return;
+    if (!m.supports(in.g->kind(a))) return out;
 
     // Dependency bounds: direct fixed neighbours (the window assumed the
     // prospect delay) plus transitive ordering against the instance's
@@ -202,9 +253,9 @@ void consider_join(const compat_inputs& in, node_id a, const fu_instance& inst,
         if (in.reach->reaches(o, a)) lo = std::max(lo, to + m.latency);
         if (in.reach->reaches(a, o)) hi = std::min(hi, to - m.latency);
     }
-    if (lo > hi) return;
-    const int t = find_slot(in, lo, hi, m.latency, m.power, busy_intervals(in, inst));
-    if (t < 0) return;
+    if (lo > hi) return out;
+    const int t = find_slot(in, lo, hi, m.latency, m.power, busy);
+    if (t < 0) return out;
 
     merge_candidate c;
     c.type = merge_candidate::merge_type::join;
@@ -213,10 +264,10 @@ void consider_join(const compat_inputs& in, node_id a, const fu_instance& inst,
     c.module = inst.module;
     c.t_a = t;
     c.saving = standalone_area(in, a) - mux_penalty(m, *in.costs);
-    out.push_back(c);
+    out.cand = c;
+    out.ok = true;
+    return out;
 }
-
-} // namespace
 
 std::vector<merge_candidate> enumerate_candidates(const compat_inputs& in)
 {
@@ -229,12 +280,25 @@ std::vector<merge_candidate> enumerate_candidates(const compat_inputs& in)
     for (node_id v : in.g->nodes())
         if (!(*in.committed)[v.index()]) free_ops.push_back(v);
 
+    // Busy intervals are a function of the instance alone: build each
+    // once per call instead of once per (op, instance) candidate.
+    std::vector<std::vector<std::pair<int, int>>> busy;
+    busy.reserve(in.instances->size());
+    for (const fu_instance& inst : *in.instances) busy.push_back(busy_intervals(in, inst));
+
     for (std::size_t i = 0; i < free_ops.size(); ++i) {
         for (std::size_t j = i + 1; j < free_ops.size(); ++j) {
-            for (int mi = 0; mi < in.lib->size(); ++mi)
-                consider_pair(in, free_ops[i], free_ops[j], module_id(mi), out);
+            for (int mi = 0; mi < in.lib->size(); ++mi) {
+                const candidate_score s =
+                    score_pair(in, free_ops[i], free_ops[j], module_id(mi));
+                if (s.ok) out.push_back(s.cand);
+            }
         }
-        for (const fu_instance& inst : *in.instances) consider_join(in, free_ops[i], inst, out);
+        for (const fu_instance& inst : *in.instances) {
+            const candidate_score s =
+                score_join(in, free_ops[i], inst, busy[static_cast<std::size_t>(inst.index)]);
+            if (s.ok) out.push_back(s.cand);
+        }
     }
     return out;
 }

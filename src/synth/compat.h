@@ -14,7 +14,9 @@
 // partitioner (clique.h) picks the best one.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cdfg/analysis.h"
@@ -24,6 +26,27 @@
 #include "synth/datapath.h"
 
 namespace phls {
+
+/// Field widths of the packed candidate identity used by the merge
+/// loop's blacklist and the incremental candidate store:
+/// [pair-bit | a | b-or-instance | module].  run_clique_partitioning
+/// rejects problems that do not fit these widths, so packed keys never
+/// collide silently.
+inline constexpr int packed_node_bits = 24;
+inline constexpr int packed_module_bits = 15;
+
+/// Packs one candidate identity.  `second` is the b node for pairs and
+/// the instance index for joins.
+constexpr std::uint64_t pack_candidate_key(bool is_pair, int a, int second, int module)
+{
+    constexpr std::uint64_t node_mask = (1ull << packed_node_bits) - 1;
+    constexpr std::uint64_t module_mask = (1ull << packed_module_bits) - 1;
+    return (static_cast<std::uint64_t>(is_pair ? 1 : 0) << 63) |
+           ((static_cast<std::uint64_t>(a) & node_mask)
+            << (packed_node_bits + packed_module_bits)) |
+           ((static_cast<std::uint64_t>(second) & node_mask) << packed_module_bits) |
+           (static_cast<std::uint64_t>(module) & module_mask);
+}
 
 /// One synthesis decision in the compatibility graph.
 struct merge_candidate {
@@ -38,8 +61,12 @@ struct merge_candidate {
     int t_a = -1;       ///< committed start time for a
     int t_b = -1;       ///< committed start time for b (pair only)
 
-    /// Stable identity for blacklist bookkeeping.
+    /// Stable identity, human-readable (used by debug logging).
     std::string key() const;
+
+    /// Stable identity packed into one integer (pack_candidate_key over
+    /// the dependency-ordered (a, b) / (a, instance) fields).
+    std::uint64_t packed_key() const;
 };
 
 /// State the enumeration works from (owned by the partitioner).
@@ -69,6 +96,33 @@ double standalone_area(const compat_inputs& in, node_id v);
 /// Mux-penalty estimate for adding one more operation to an instance of
 /// module `m`: one extra source per data port.
 double mux_penalty(const fu_module& m, const cost_model& costs);
+
+/// Busy intervals [start, end) of the operations bound to `inst`, sorted.
+/// The incremental candidate store maintains these per instance on bind;
+/// enumerate_candidates rebuilds them once per instance per call.
+std::vector<std::pair<int, int>> busy_intervals(const compat_inputs& in,
+                                                const fu_instance& inst);
+
+/// One scored decision.  The incremental store's power-dirtiness test
+/// needs no extra footprint: within one partitioning run the committed
+/// power profile only grows, so a cached candidate's minimal slots can
+/// only move later -- its score changes iff a new reservation overlaps
+/// the execution intervals of its cached start times (candidates that
+/// failed to time stay failed until a window / neighbour / instance
+/// change re-scores them anyway).
+struct candidate_score {
+    bool ok = false; ///< a timed candidate exists (saving may still be < 0)
+    merge_candidate cand;
+};
+
+/// Scores the pair decision (a, b, module) exactly as enumerate_candidates
+/// would (a must be the smaller node id, matching enumeration order).
+candidate_score score_pair(const compat_inputs& in, node_id a, node_id b, module_id m);
+
+/// Scores joining `a` onto `inst`; `busy` must equal
+/// busy_intervals(in, inst).
+candidate_score score_join(const compat_inputs& in, node_id a, const fu_instance& inst,
+                           const std::vector<std::pair<int, int>>& busy);
 
 /// Enumerates all currently valid decisions, each with concrete times and
 /// saving.  Deterministic order.

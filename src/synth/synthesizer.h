@@ -44,6 +44,12 @@ struct synthesis_options {
     bool allow_cheapest_rebind = true;
     /// Run the independent verifier on the result (throws on violation).
     bool verify_result = true;
+    /// Benchmark/ablation: stop the greedy merge loop after this many
+    /// attempted decisions (accepted + rejected); -1 = unlimited (the
+    /// paper's algorithm).  bench_kernels uses it to compare the
+    /// reference and optimised candidate kernels over an identical
+    /// bounded prefix of large synthetic runs.
+    int max_merge_attempts = -1;
 };
 
 /// Counters describing what the heuristic did.

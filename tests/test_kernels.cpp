@@ -1,0 +1,217 @@
+// Byte-identity of the optimised synthesis kernels (PR 5) against the
+// retained reference implementations, across the kernel_knobs()
+// ablation matrix: skip-ahead power probing, incremental candidate
+// maintenance, and undo-log rollback must change wall time only --
+// never a schedule, a datapath, a counter or a diagnostic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "cdfg/benchmarks.h"
+#include "cdfg/random_dag.h"
+#include "flow/flow.h"
+#include "support/kernels.h"
+#include "support/strings.h"
+#include "synth/synthesizer.h"
+
+namespace phls {
+namespace {
+
+const module_library& lib()
+{
+    static const module_library l = table1_library();
+    return l;
+}
+
+/// Restores the global knobs on scope exit so tests cannot leak state.
+struct knob_guard {
+    kernel_tuning saved = kernel_knobs();
+    ~knob_guard() { kernel_knobs() = saved; }
+};
+
+kernel_tuning all_reference()
+{
+    kernel_tuning k;
+    k.skip_probe = false;
+    k.incremental_candidates = false;
+    k.undo_log = false;
+    return k;
+}
+
+/// Canonical rendering of a synthesis result: the full datapath report
+/// (instances, binding, times, area) plus every heuristic counter.
+std::string render(const graph& g, const synthesis_result& r)
+{
+    std::string out = r.feasible ? "feasible\n" : "infeasible: " + r.reason + '\n';
+    if (r.feasible) out += r.dp.report(g, lib());
+    out += strf("merges=%d pair=%d join=%d rejected=%d recomputes=%d locked=%d "
+                "lock_at=%d rebinds=%d fallbacks=%d\n",
+                r.stats.merges, r.stats.pair_merges, r.stats.join_merges,
+                r.stats.rejected, r.stats.window_recomputes, r.stats.locked ? 1 : 0,
+                r.stats.merges_before_lock, r.stats.finalize_rebinds,
+                r.stats.finalize_fallbacks);
+    return out;
+}
+
+std::string run_with(const kernel_tuning& knobs, const graph& g,
+                     const synthesis_constraints& c, const synthesis_options& o = {})
+{
+    const knob_guard guard;
+    kernel_knobs() = knobs;
+    return render(g, synthesize(g, lib(), c, o));
+}
+
+TEST(kernels, paper_benchmarks_identical_across_every_knob)
+{
+    for (const auto& [name, T] : {std::pair<const char*, int>{"hal", 17},
+                                  {"cosine", 15}, {"elliptic", 22}}) {
+        const graph g = benchmark_by_name(name);
+        // From generous to infeasibly tight, crossing the backtrack-lock
+        // and rejection regimes.
+        for (const double cap : {unbounded_power, 40.0, 12.0, 7.1, 5.0, 2.3}) {
+            const synthesis_constraints c{T, cap};
+            const std::string reference = run_with(all_reference(), g, c);
+            EXPECT_EQ(run_with(kernel_tuning{}, g, c), reference)
+                << name << " cap " << cap << ": all-optimised diverges";
+            for (int knob = 0; knob < 3; ++knob) {
+                kernel_tuning k; // one optimisation off at a time
+                if (knob == 0) k.skip_probe = false;
+                if (knob == 1) k.incremental_candidates = false;
+                if (knob == 2) k.undo_log = false;
+                EXPECT_EQ(run_with(k, g, c), reference)
+                    << name << " cap " << cap << ": knob " << knob << " diverges";
+            }
+        }
+    }
+}
+
+TEST(kernels, option_variants_identical_across_knobs)
+{
+    const graph g = make_cosine();
+    std::vector<synthesis_options> variants(4);
+    variants[1].lock_from_start = true;
+    variants[2].enable_backtrack_lock = false;
+    variants[3].allow_cheapest_rebind = false;
+    variants[3].order = pasap_order::topological;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        for (const double cap : {9.0, 5.5, 3.0}) {
+            const synthesis_constraints c{16, cap};
+            EXPECT_EQ(run_with(kernel_tuning{}, g, c, variants[i]),
+                      run_with(all_reference(), g, c, variants[i]))
+                << "variant " << i << " cap " << cap;
+        }
+    }
+}
+
+TEST(kernels, cross_check_validates_incremental_store_on_random_dags)
+{
+    // cross_check makes the merge loop run BOTH candidate paths and
+    // throw on any divergence, decision for decision -- a much finer
+    // probe than comparing final outputs.
+    const knob_guard guard;
+    kernel_knobs() = kernel_tuning{};
+    kernel_knobs().cross_check = true;
+
+    for (const std::uint64_t seed : {1ull, 7ull, 23ull, 101ull}) {
+        random_dag_params params;
+        params.operations = 26;
+        params.inputs = 4;
+        const graph g = random_dag(params, seed);
+        const module_assignment fast = fastest_assignment(g, lib(), unbounded_power);
+        const int cp = critical_path_length(
+            g, [&](node_id v) { return lib().module(fast[v.index()]).latency; });
+
+        const synthesis_result probe = synthesize(g, lib(), {cp + 6, unbounded_power});
+        ASSERT_TRUE(probe.feasible) << probe.reason;
+        for (const double scale : {1.0, 0.7, 0.45}) {
+            const double cap = scale * probe.dp.peak_power(lib());
+            const synthesis_result r = synthesize(g, lib(), {cp + 6, cap});
+            if (r.feasible) {
+                EXPECT_GE(r.stats.merges, 0);
+            }
+        }
+    }
+}
+
+TEST(kernels, random_dags_identical_across_knobs)
+{
+    for (const std::uint64_t seed : {3ull, 12ull, 64ull}) {
+        random_dag_params params;
+        params.operations = 32;
+        params.inputs = 5;
+        params.layers = 6;
+        const graph g = random_dag(params, seed);
+        const module_assignment fast = fastest_assignment(g, lib(), unbounded_power);
+        const int cp = critical_path_length(
+            g, [&](node_id v) { return lib().module(fast[v.index()]).latency; });
+        for (const double cap : {30.0, 11.0, 6.0}) {
+            const synthesis_constraints c{cp + 5, cap};
+            EXPECT_EQ(run_with(kernel_tuning{}, g, c), run_with(all_reference(), g, c))
+                << "seed " << seed << " cap " << cap;
+        }
+    }
+}
+
+TEST(kernels, truncated_merge_loop_identical_across_knobs)
+{
+    // bench_kernels compares the kernels over an attempt-bounded prefix;
+    // that prefix must itself be byte-identical between the paths.
+    const graph g = make_elliptic();
+    synthesis_options o;
+    o.verify_result = false; // a truncated loop may miss the area target
+    for (const int attempts : {0, 1, 4, 9}) {
+        o.max_merge_attempts = attempts;
+        EXPECT_EQ(run_with(kernel_tuning{}, g, {22, 20.0}, o),
+                  run_with(all_reference(), g, {22, 20.0}, o))
+            << "attempt cap " << attempts;
+    }
+}
+
+TEST(kernels, eight_thread_batch_identical_across_knobs)
+{
+    const graph g = make_hal();
+    const flow f = flow::on(g).with_library(lib()).latency(17);
+    std::vector<synthesis_constraints> grid;
+    for (const double cap : f.power_grid(16)) grid.push_back({17, cap});
+
+    const knob_guard guard;
+    kernel_knobs() = all_reference();
+    const std::vector<flow_report> reference = f.run_batch(grid, 1);
+
+    for (const bool cached : {true, false}) {
+        for (const int threads : {1, 8}) {
+            kernel_knobs() = kernel_tuning{};
+            const flow fo =
+                flow::on(g).with_library(lib()).latency(17).caching(cached);
+            const std::vector<flow_report> reports = fo.run_batch(grid, threads);
+            ASSERT_EQ(reports.size(), reference.size());
+            for (std::size_t i = 0; i < reports.size(); ++i)
+                EXPECT_EQ(reports[i].to_string(), reference[i].to_string())
+                    << "cached " << cached << " threads " << threads << " point " << i;
+        }
+    }
+}
+
+TEST(kernels, two_step_strategy_identical_across_knobs)
+{
+    const graph g = make_cosine();
+    const knob_guard guard;
+    std::vector<std::string> outputs;
+    for (const bool optimised : {false, true}) {
+        kernel_knobs() = optimised ? kernel_tuning{} : all_reference();
+        outputs.push_back(flow::on(g)
+                              .with_library(lib())
+                              .latency(15)
+                              .power_cap(20.0)
+                              .synthesizer("two_step")
+                              .run()
+                              .to_string());
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+} // namespace
+} // namespace phls

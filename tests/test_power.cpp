@@ -1,6 +1,10 @@
 // Tests for the power substrate: profiles and the availability tracker.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <tuple>
+#include <vector>
+
 #include "power/profile.h"
 #include "power/tracker.h"
 #include "support/errors.h"
@@ -124,6 +128,136 @@ TEST(tracker, overlapping_reservations_stack)
     EXPECT_DOUBLE_EQ(t.used(2), 6.0);
     EXPECT_FALSE(t.fits(2, 1, 4.5));
     EXPECT_TRUE(t.fits(4, 1, 7.0));
+}
+
+// --------------------------------------------------- next_fit (skip-ahead)
+
+/// The seed-era linear probe: the definition next_fit must reproduce.
+int linear_next_fit(const power_tracker& t, int start, int duration, double power)
+{
+    int s = start;
+    while (!t.fits(s, duration, power)) ++s;
+    return s;
+}
+
+TEST(tracker, next_fit_skips_past_violations)
+{
+    power_tracker t(10.0);
+    t.reserve(0, 5, 8.0);
+    t.reserve(7, 2, 8.0);
+    // 3 units fit nowhere before cycle 9 for a 3-cycle op.
+    EXPECT_EQ(t.next_fit(0, 3, 3.0), linear_next_fit(t, 0, 3, 3.0));
+    EXPECT_EQ(t.next_fit(0, 3, 3.0), 9);
+    // 3 units fit only in the gap [5, 7).
+    EXPECT_EQ(t.next_fit(0, 2, 3.0), 5);
+    EXPECT_EQ(t.next_fit(6, 2, 3.0), linear_next_fit(t, 6, 2, 3.0));
+}
+
+TEST(tracker, next_fit_edge_cases)
+{
+    power_tracker t(5.0);
+    t.reserve(0, 3, 5.0);
+    // Zero duration always fits in place (like fits()).
+    EXPECT_EQ(t.next_fit(1, 0, 4.0), 1);
+    // Power above the cap never fits anywhere.
+    EXPECT_EQ(t.next_fit(0, 1, 5.5), -1);
+    EXPECT_EQ(t.next_fit(0, 0, 5.5), -1);
+    // A start past the horizon is free.
+    EXPECT_EQ(t.next_fit(100, 4, 5.0), 100);
+
+    power_tracker unbounded(unbounded_power);
+    unbounded.reserve(0, 2, 1e12);
+    EXPECT_EQ(unbounded.next_fit(0, 2, 1e12), 0);
+}
+
+TEST(tracker, next_fit_tolerance_boundary_sums)
+{
+    // Table-1-style decimals: sums that land exactly on the cap must fit
+    // (within the tracker tolerance), one ulp-scale step above must not,
+    // in both probe implementations.
+    power_tracker t(7.7);
+    t.reserve(0, 2, 2.5);
+    t.reserve(0, 2, 2.5);
+    EXPECT_EQ(t.next_fit(0, 2, 2.7), linear_next_fit(t, 0, 2, 2.7));
+    EXPECT_EQ(t.next_fit(0, 2, 2.7), 0);
+    EXPECT_EQ(t.next_fit(0, 2, 2.7000001), linear_next_fit(t, 0, 2, 2.7000001));
+    EXPECT_EQ(t.next_fit(0, 2, 2.7000001), 2);
+}
+
+TEST(tracker, next_fit_release_then_refit)
+{
+    power_tracker t(6.0);
+    t.reserve(0, 10, 4.0);
+    EXPECT_EQ(t.next_fit(0, 2, 3.0), 10);
+    t.release(2, 3, 4.0); // punch a hole
+    EXPECT_EQ(t.next_fit(0, 2, 3.0), linear_next_fit(t, 0, 2, 3.0));
+    EXPECT_EQ(t.next_fit(0, 2, 3.0), 2);
+    t.reserve(2, 3, 4.0); // and close it again
+    EXPECT_EQ(t.next_fit(0, 2, 3.0), 10);
+}
+
+TEST(tracker, next_fit_matches_linear_probe_on_random_ledgers)
+{
+    std::mt19937_64 rng(20260730);
+    for (int trial = 0; trial < 20; ++trial) {
+        const double cap = 4.0 + 0.5 * static_cast<double>(trial % 9);
+        power_tracker t(cap);
+        std::vector<std::tuple<int, int, double>> held;
+
+        std::uniform_int_distribution<int> start_d(0, 60);
+        std::uniform_int_distribution<int> dur_d(0, 5);
+        std::uniform_real_distribution<double> pow_d(0.1, cap);
+        for (int step = 0; step < 120; ++step) {
+            const int duration = dur_d(rng);
+            const double power = pow_d(rng);
+            if (!held.empty() && step % 5 == 4) {
+                // Release a random reservation, then refit into the hole.
+                std::uniform_int_distribution<std::size_t> pick(0, held.size() - 1);
+                const std::size_t i = pick(rng);
+                const auto [s, d, p] = held[i];
+                t.release(s, d, p);
+                held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+            }
+            const int from = start_d(rng);
+            const int slot = t.next_fit(from, duration, power);
+            ASSERT_EQ(slot, linear_next_fit(t, from, duration, power))
+                << "trial " << trial << " step " << step;
+            if (duration > 0 && step % 2 == 0) {
+                t.reserve(slot, duration, power);
+                held.emplace_back(slot, duration, power);
+            }
+        }
+    }
+}
+
+TEST(tracker, restore_interval_unwinds_reserve_bit_exactly)
+{
+    power_tracker t(9.0);
+    t.reserve(0, 4, 1.1);
+    t.reserve(2, 3, 2.3);
+    const std::vector<double> before = t.profile().values();
+
+    const std::vector<double> saved = t.interval_values(1, 6);
+    t.reserve(1, 6, 3.7);
+    ASSERT_NE(t.profile().values(), before);
+    t.restore_interval(1, saved);
+    EXPECT_EQ(t.profile().values().size(), 7u); // horizon never shrinks
+    for (int c = 0; c < t.profile().cycle_count(); ++c)
+        EXPECT_EQ(t.used(c), c < static_cast<int>(before.size()) ? before[c] : 0.0);
+    // The skip-ahead structure must see the restored values too.
+    EXPECT_EQ(t.next_fit(0, 3, 6.0), linear_next_fit(t, 0, 3, 6.0));
+}
+
+TEST(tracker, restore_interval_tolerates_captured_cycles_past_horizon)
+{
+    power_tracker t(5.0);
+    t.reserve(0, 2, 2.0);
+    // Capture reaches past the horizon; those cycles read as zero and
+    // restoring them (without any intervening growth) is a no-op.
+    const std::vector<double> saved = t.interval_values(1, 5);
+    t.restore_interval(1, saved);
+    EXPECT_DOUBLE_EQ(t.used(1), 2.0);
+    EXPECT_EQ(t.profile().cycle_count(), 2);
 }
 
 } // namespace
