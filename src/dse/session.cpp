@@ -12,26 +12,6 @@ namespace phls::dse {
 
 namespace {
 
-/// A metric record turned back into a (metric-only) flow_report: status
-/// and achieved metrics are exact, the datapath/netlist/stats are empty.
-flow_report to_metric_report(const metric_record& m)
-{
-    flow_report r;
-    r.st = m.st;
-    r.strategy = m.strategy;
-    r.constraints = m.constraints;
-    r.has_design = m.has_design;
-    r.optimal = m.optimal;
-    r.note = m.note;
-    r.area = m.area;
-    r.peak = m.peak;
-    r.latency = m.latency;
-    r.has_lifetime = m.has_lifetime;
-    r.lifetime_seconds = m.lifetime_seconds;
-    r.battery_alpha = m.battery_alpha;
-    return r;
-}
-
 /// The Pareto-region signature refine() compares across cell corners:
 /// the outcome class and the achieved metrics, canonically encoded.
 /// The constraint point itself and diagnostic text (which embeds the
@@ -122,7 +102,7 @@ void session::evaluate(const space& s, const std::vector<std::size_t>& indices,
             if (try_metrics) {
                 metric_record m;
                 if (cache_->metric_lookup(fp, &m)) {
-                    state.deliver(index, to_metric_report(m), true);
+                    state.deliver(index, metric_report(m), true);
                     continue;
                 }
             }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <list>
 #include <sstream>
+#include <vector>
 
 #include "cdfg/textio.h"
 #include "flow/flow.h"
@@ -44,9 +46,11 @@ metric_record project(const flow_report& r)
     return m;
 }
 
-/// Cache-file identity and integrity framing.
+/// Cache-file identity and integrity framing.  Version 2 declares the
+/// body length in the (unchecksummed) header, so a torn tail is
+/// reported as `truncated` while a flipped byte is `corrupt`.
 constexpr const char* cache_file_magic = "phls-explore-cache";
-constexpr long cache_file_version = 1;
+constexpr long cache_file_version = 2;
 
 std::uint64_t fnv1a(const std::string& bytes)
 {
@@ -58,7 +62,254 @@ std::uint64_t fnv1a(const std::string& bytes)
     return h;
 }
 
+/// One record of each table, in file order.
+struct parsed_cache_file {
+    std::string graph_text;
+    std::string lib_text;
+    std::vector<std::pair<std::string, time_windows>> committed;
+    std::vector<std::pair<std::string, metric_record>> metrics;
+};
+
+void append_committed_record(std::string& body, const std::string& key,
+                             const time_windows& w)
+{
+    key_str(body, key);
+    key_int(body, w.feasible ? 1 : 0);
+    key_str(body, w.reason);
+    key_int(body, static_cast<long>(w.s_min.size()));
+    for (const int t : w.s_min) key_int(body, t);
+    key_int(body, static_cast<long>(w.s_max.size()));
+    for (const int t : w.s_max) key_int(body, t);
+}
+
+void append_metric_record(std::string& body, const std::string& fp,
+                          const metric_record& m)
+{
+    key_str(body, fp);
+    key_int(body, static_cast<long>(m.st.code));
+    key_str(body, m.st.message);
+    key_str(body, m.strategy);
+    key_int(body, m.constraints.latency);
+    key_double(body, m.constraints.max_power);
+    key_int(body, m.has_design ? 1 : 0);
+    key_int(body, m.optimal ? 1 : 0);
+    key_str(body, m.note);
+    key_double(body, m.area);
+    key_double(body, m.peak);
+    key_int(body, m.latency);
+    key_int(body, m.has_lifetime ? 1 : 0);
+    key_double(body, m.lifetime_seconds);
+    key_double(body, m.battery_alpha);
+}
+
+/// Serialises and atomically writes one cache file: the bytes go to
+/// `path + ".tmp"` in the same directory, then rename() — which POSIX
+/// guarantees atomic — replaces `path`, so a reader (or a crash) never
+/// sees a torn file.
+void write_cache_file(const std::string& path, const std::string& graph_text,
+                      const std::string& lib_text,
+                      const std::vector<std::pair<std::string, time_windows>>& committed,
+                      const std::vector<std::pair<std::string, metric_record>>& metrics)
+{
+    std::string body;
+    key_str(body, graph_text);
+    key_str(body, lib_text);
+    key_int(body, static_cast<long>(committed.size()));
+    for (const auto& [key, w] : committed) append_committed_record(body, key, w);
+    key_int(body, static_cast<long>(metrics.size()));
+    for (const auto& [fp, m] : metrics) append_metric_record(body, fp, m);
+
+    std::string payload;
+    key_str(payload, cache_file_magic);
+    key_int(payload, cache_file_version);
+    key_int(payload, static_cast<long>(body.size()));
+    payload += body;
+    // The checksum frame is a fixed 8-byte field on both sides (not
+    // key_int, whose width is sizeof(long) and ABI-dependent).
+    const std::uint64_t sum = fnv1a(body);
+    char sum_bytes[sizeof sum];
+    std::memcpy(sum_bytes, &sum, sizeof sum);
+    payload.append(sum_bytes, sizeof sum);
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) throw cache_file_error(cache_file_error::failure::io, path,
+                                        "cannot write temporary file '" + tmp + "'");
+        os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+        os.flush();
+        if (!os) {
+            os.close();
+            std::remove(tmp.c_str());
+            throw cache_file_error(cache_file_error::failure::io, path,
+                                   "failed writing temporary file '" + tmp + "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw cache_file_error(cache_file_error::failure::io, path,
+                               "cannot rename '" + tmp + "' into place");
+    }
+}
+
+/// Reads and fully validates one cache file, classifying every way it
+/// can be unusable (see cache_file_error::failure).  The identity check
+/// against a particular (graph, library) is the caller's.
+parsed_cache_file parse_cache_file(const std::string& path)
+{
+    using failure = cache_file_error::failure;
+
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw cache_file_error(failure::missing, path, "cannot open cache file");
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const std::string content = buffer.str();
+
+    // Header: magic, version and the declared body length are outside
+    // the checksum, so they classify a damaged file precisely.
+    key_reader header(content);
+    std::string magic;
+    long version = 0;
+    long body_size = 0;
+    try {
+        magic = header.read_str();
+    } catch (const error&) {
+        throw cache_file_error(failure::truncated, path,
+                               "shorter than the cache-file header");
+    }
+    if (magic != cache_file_magic)
+        throw cache_file_error(failure::corrupt, path, "not a phls cache file");
+    try {
+        version = header.read_int();
+        body_size = header.read_int();
+    } catch (const error&) {
+        throw cache_file_error(failure::truncated, path,
+                               "shorter than the cache-file header");
+    }
+    if (version != cache_file_version)
+        throw cache_file_error(failure::version_mismatch, path,
+                               "format version " + std::to_string(version) +
+                                   " (this build reads version " +
+                                   std::to_string(cache_file_version) + ")");
+    if (body_size < 0)
+        throw cache_file_error(failure::corrupt, path, "negative body length");
+    const std::size_t body_bytes = static_cast<std::size_t>(body_size);
+    if (header.remaining() < body_bytes + sizeof(std::uint64_t))
+        throw cache_file_error(failure::truncated, path,
+                               "body cut short (declared " +
+                                   std::to_string(body_bytes) + " bytes, " +
+                                   std::to_string(header.remaining()) + " remain)");
+    if (header.remaining() > body_bytes + sizeof(std::uint64_t))
+        throw cache_file_error(failure::corrupt, path, "trailing bytes after the body");
+
+    const std::string body =
+        content.substr(content.size() - header.remaining(), body_bytes);
+    std::uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, content.data() + content.size() - sizeof stored_sum,
+                sizeof stored_sum);
+    if (stored_sum != fnv1a(body))
+        throw cache_file_error(failure::corrupt, path, "checksum mismatch");
+
+    // The checksum held, so any decode failure below is real corruption
+    // (or an encoder bug), never mere truncation.
+    try {
+        parsed_cache_file parsed;
+        key_reader r(body);
+        parsed.graph_text = r.read_str();
+        parsed.lib_text = r.read_str();
+        const long n_committed = r.read_int();
+        check(n_committed >= 0, "negative table size");
+        parsed.committed.reserve(static_cast<std::size_t>(n_committed));
+        for (long i = 0; i < n_committed; ++i) {
+            std::string key = r.read_str();
+            time_windows w;
+            w.feasible = r.read_int() != 0;
+            w.reason = r.read_str();
+            const long n_min = r.read_int();
+            check(n_min >= 0, "negative window size");
+            w.s_min.reserve(static_cast<std::size_t>(n_min));
+            for (long j = 0; j < n_min; ++j)
+                w.s_min.push_back(static_cast<int>(r.read_int()));
+            const long n_max = r.read_int();
+            check(n_max >= 0, "negative window size");
+            w.s_max.reserve(static_cast<std::size_t>(n_max));
+            for (long j = 0; j < n_max; ++j)
+                w.s_max.push_back(static_cast<int>(r.read_int()));
+            parsed.committed.emplace_back(std::move(key), std::move(w));
+        }
+        const long n_metrics = r.read_int();
+        check(n_metrics >= 0, "negative table size");
+        parsed.metrics.reserve(static_cast<std::size_t>(n_metrics));
+        for (long i = 0; i < n_metrics; ++i) {
+            std::string fp = r.read_str();
+            metric_record m;
+            m.st.code = static_cast<status_code>(r.read_int());
+            m.st.message = r.read_str();
+            m.strategy = r.read_str();
+            m.constraints.latency = static_cast<int>(r.read_int());
+            m.constraints.max_power = r.read_double();
+            m.has_design = r.read_int() != 0;
+            m.optimal = r.read_int() != 0;
+            m.note = r.read_str();
+            m.area = r.read_double();
+            m.peak = r.read_double();
+            m.latency = static_cast<int>(r.read_int());
+            m.has_lifetime = r.read_int() != 0;
+            m.lifetime_seconds = r.read_double();
+            m.battery_alpha = r.read_double();
+            parsed.metrics.emplace_back(std::move(fp), std::move(m));
+        }
+        check(r.remaining() == 0, "trailing bytes inside the body");
+        return parsed;
+    } catch (const cache_file_error&) {
+        throw;
+    } catch (const error& e) {
+        throw cache_file_error(failure::corrupt, path, e.what());
+    }
+}
+
 } // namespace
+
+cache_file_error::cache_file_error(failure kind, std::string path,
+                                   const std::string& detail)
+    : error("cache file '" + path + "': " + detail + " [" + kind_name(kind) + "]"),
+      kind_(kind), path_(std::move(path))
+{
+}
+
+const char* cache_file_error::kind_name(failure kind)
+{
+    switch (kind) {
+    case failure::missing: return "missing";
+    case failure::truncated: return "truncated";
+    case failure::corrupt: return "corrupt";
+    case failure::version_mismatch: return "version-mismatch";
+    case failure::problem_mismatch: return "problem-mismatch";
+    case failure::io: return "io";
+    }
+    return "unknown";
+}
+
+flow_report metric_report(const metric_record& m)
+{
+    flow_report r;
+    r.st = m.st;
+    r.strategy = m.strategy;
+    r.constraints = m.constraints;
+    r.has_design = m.has_design;
+    r.optimal = m.optimal;
+    r.note = m.note;
+    r.area = m.area;
+    r.peak = m.peak;
+    r.latency = m.latency;
+    r.has_lifetime = m.has_lifetime;
+    r.lifetime_seconds = m.lifetime_seconds;
+    r.battery_alpha = m.battery_alpha;
+    return r;
+}
+
+metric_record metric_of(const flow_report& r) { return project(r); }
 
 /// Level-2 store.  Lives behind a pimpl so explore_cache.h does not pull
 /// in flow.h (the flow layer sits above this one).  It has its own lock:
@@ -340,151 +591,103 @@ std::size_t explore_cache::report_metric_size() const
 
 std::size_t explore_cache::save(const std::string& path) const
 {
-    std::string payload;
-    key_str(payload, cache_file_magic);
-    key_int(payload, cache_file_version);
-    key_str(payload, graph_text_);
-    key_str(payload, lib_text_);
-    std::size_t records = 0;
-
+    std::vector<std::pair<std::string, time_windows>> committed;
+    std::vector<std::pair<std::string, metric_record>> metrics;
     {
         // Level 1: the committed-window table, exact values — a warm run
         // serves the partitioner's recomputes without re-deriving them.
         const std::lock_guard<std::mutex> lock(mutex_);
-        key_int(payload, static_cast<long>(committed_.size()));
-        records += committed_.size();
-        for (const auto& [key, w] : committed_) {
-            key_str(payload, key);
-            key_int(payload, w.feasible ? 1 : 0);
-            key_str(payload, w.reason);
-            key_int(payload, static_cast<long>(w.s_min.size()));
-            for (const int t : w.s_min) key_int(payload, t);
-            key_int(payload, static_cast<long>(w.s_max.size()));
-            for (const int t : w.s_max) key_int(payload, t);
-        }
+        committed.assign(committed_.begin(), committed_.end());
     }
     {
         // Level 2: every entry's metric record (full datapaths and
         // netlists are deliberately not persisted — a warm start answers
         // metric queries instantly and recomputes designs on demand).
         const std::lock_guard<std::mutex> lock(reports_->mutex);
-        key_int(payload, static_cast<long>(reports_->entries.size()));
-        records += reports_->entries.size();
-        for (const auto& [fp, e] : reports_->entries) {
-            key_str(payload, fp);
-            const metric_record& m = e.metrics;
-            key_int(payload, static_cast<long>(m.st.code));
-            key_str(payload, m.st.message);
-            key_str(payload, m.strategy);
-            key_int(payload, m.constraints.latency);
-            key_double(payload, m.constraints.max_power);
-            key_int(payload, m.has_design ? 1 : 0);
-            key_int(payload, m.optimal ? 1 : 0);
-            key_str(payload, m.note);
-            key_double(payload, m.area);
-            key_double(payload, m.peak);
-            key_int(payload, m.latency);
-            key_int(payload, m.has_lifetime ? 1 : 0);
-            key_double(payload, m.lifetime_seconds);
-            key_double(payload, m.battery_alpha);
-        }
+        metrics.reserve(reports_->entries.size());
+        for (const auto& [fp, e] : reports_->entries) metrics.emplace_back(fp, e.metrics);
     }
-
-    // The checksum frame is a fixed 8-byte field on both sides (not
-    // key_int, whose width is sizeof(long) and ABI-dependent).
-    const std::uint64_t sum = fnv1a(payload);
-    char sum_bytes[sizeof sum];
-    std::memcpy(sum_bytes, &sum, sizeof sum);
-    payload.append(sum_bytes, sizeof sum);
-
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    check(static_cast<bool>(os), "cannot write cache file '" + path + "'");
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    os.flush();
-    check(static_cast<bool>(os), "failed writing cache file '" + path + "'");
-    return records;
+    write_cache_file(path, graph_text_, lib_text_, committed, metrics);
+    return committed.size() + metrics.size();
 }
 
 std::size_t explore_cache::load(const std::string& path)
 {
-    std::ifstream is(path, std::ios::binary);
-    check(static_cast<bool>(is), "cannot open cache file '" + path + "'");
-    std::ostringstream buffer;
-    buffer << is.rdbuf();
-    const std::string content = buffer.str();
-
-    check(content.size() >= sizeof(std::uint64_t),
-          "cache file '" + path + "' is truncated");
-    const std::string payload =
-        content.substr(0, content.size() - sizeof(std::uint64_t));
-    std::uint64_t stored_sum = 0;
-    std::memcpy(&stored_sum, content.data() + payload.size(), sizeof stored_sum);
-    check(stored_sum == fnv1a(payload),
-          "cache file '" + path + "' is corrupt (checksum mismatch)");
-
-    key_reader r(payload);
-    check(r.read_str() == cache_file_magic,
-          "'" + path + "' is not a phls cache file");
-    check(r.read_int() == cache_file_version,
-          "cache file '" + path + "' has an unsupported version");
-    check(r.read_str() == graph_text_ && r.read_str() == lib_text_,
-          "cache file '" + path + "' was saved for a different graph or library");
+    const parsed_cache_file parsed = parse_cache_file(path);
+    if (parsed.graph_text != graph_text_ || parsed.lib_text != lib_text_)
+        throw cache_file_error(cache_file_error::failure::problem_mismatch, path,
+                               "saved for a different graph or library");
 
     std::size_t loaded = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        const long n = r.read_int();
-        check(n >= 0, "cache file '" + path + "' is corrupt (negative table size)");
-        for (long i = 0; i < n; ++i) {
-            std::string key = r.read_str();
-            time_windows w;
-            w.feasible = r.read_int() != 0;
-            w.reason = r.read_str();
-            const long n_min = r.read_int();
-            check(n_min >= 0, "cache file '" + path + "' is corrupt");
-            w.s_min.reserve(static_cast<std::size_t>(n_min));
-            for (long j = 0; j < n_min; ++j)
-                w.s_min.push_back(static_cast<int>(r.read_int()));
-            const long n_max = r.read_int();
-            check(n_max >= 0, "cache file '" + path + "' is corrupt");
-            w.s_max.reserve(static_cast<std::size_t>(n_max));
-            for (long j = 0; j < n_max; ++j)
-                w.s_max.push_back(static_cast<int>(r.read_int()));
-            loaded += committed_.emplace(std::move(key), std::move(w)).second ? 1 : 0;
-        }
+        for (const auto& [key, w] : parsed.committed)
+            loaded += committed_.emplace(key, w).second ? 1 : 0;
     }
     {
         const std::lock_guard<std::mutex> lock(reports_->mutex);
-        const long n = r.read_int();
-        check(n >= 0, "cache file '" + path + "' is corrupt (negative table size)");
-        for (long i = 0; i < n; ++i) {
-            std::string fp = r.read_str();
-            metric_record m;
-            m.st.code = static_cast<status_code>(r.read_int());
-            m.st.message = r.read_str();
-            m.strategy = r.read_str();
-            m.constraints.latency = static_cast<int>(r.read_int());
-            m.constraints.max_power = r.read_double();
-            m.has_design = r.read_int() != 0;
-            m.optimal = r.read_int() != 0;
-            m.note = r.read_str();
-            m.area = r.read_double();
-            m.peak = r.read_double();
-            m.latency = static_cast<int>(r.read_int());
-            m.has_lifetime = r.read_int() != 0;
-            m.lifetime_seconds = r.read_double();
-            m.battery_alpha = r.read_double();
+        for (const auto& [fp, m] : parsed.metrics) {
             // Existing entries win: a live full report is strictly more
             // informative than a loaded metric record.
-            const auto [it, inserted] = reports_->entries.try_emplace(std::move(fp));
+            const auto [it, inserted] = reports_->entries.try_emplace(fp);
             if (!inserted) continue;
-            it->second.metrics = std::move(m);
+            it->second.metrics = m;
             ++loaded;
         }
     }
-    check(r.remaining() == 0,
-          "cache file '" + path + "' is corrupt (trailing bytes)");
     return loaded;
+}
+
+std::size_t explore_cache::merge(const std::string& path)
+{
+    // load() already has union semantics (present keys win, novel keys
+    // insert); merge() is the documented name for doing that to a warm
+    // cache.
+    return load(path);
+}
+
+cache_merge_stats explore_cache::merge_files(const std::string& out,
+                                             const std::vector<std::string>& inputs)
+{
+    check(!inputs.empty(), "cache merge needs at least one input file");
+
+    cache_merge_stats stats;
+    std::string graph_text;
+    std::string lib_text;
+    // std::map keeps the merged tables in sorted key order, the same
+    // order save() writes, so merged files are deterministic whatever
+    // the input order (only first-wins value choice depends on it).
+    std::map<std::string, time_windows> committed;
+    std::map<std::string, metric_record> metrics;
+
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const parsed_cache_file parsed = parse_cache_file(inputs[i]);
+        if (i == 0) {
+            graph_text = parsed.graph_text;
+            lib_text = parsed.lib_text;
+        } else if (parsed.graph_text != graph_text || parsed.lib_text != lib_text) {
+            throw cache_file_error(cache_file_error::failure::problem_mismatch,
+                                   inputs[i],
+                                   "saved for a different graph or library than '" +
+                                       inputs[0] + "'");
+        }
+        cache_merge_stats::input in;
+        in.path = inputs[i];
+        in.committed = parsed.committed.size();
+        in.metrics = parsed.metrics.size();
+        for (const auto& [key, w] : parsed.committed)
+            in.new_committed += committed.emplace(key, w).second ? 1 : 0;
+        for (const auto& [fp, m] : parsed.metrics)
+            in.new_metrics += metrics.emplace(fp, m).second ? 1 : 0;
+        stats.inputs.push_back(std::move(in));
+    }
+
+    write_cache_file(out, graph_text, lib_text,
+                     {committed.begin(), committed.end()},
+                     {metrics.begin(), metrics.end()});
+    stats.committed_total = committed.size();
+    stats.metric_total = metrics.size();
+    return stats;
 }
 
 } // namespace phls

@@ -40,12 +40,43 @@
 #include "cdfg/analysis.h"
 #include "flow/status.h"
 #include "sched/mobility.h"
+#include "support/errors.h"
 #include "synth/prospect.h"
 #include "synth/synthesizer.h"
 
 namespace phls {
 
 struct flow_report;
+
+/// Thrown by explore_cache::load/merge/merge_files when a cache file
+/// cannot be used.  Carries the offending path and a machine-readable
+/// failure kind, so callers (and tests) can distinguish a missing file
+/// (the normal first cold run) from a genuinely damaged one.
+class cache_file_error : public error {
+public:
+    /// Why the file was rejected.
+    enum class failure {
+        missing,          ///< the file does not exist / cannot be opened
+        truncated,        ///< shorter than its own framing declares
+        corrupt,          ///< bad magic, failed checksum or trailing bytes
+        version_mismatch, ///< written by an incompatible format version
+        problem_mismatch, ///< saved for a different (graph, library)
+        io,               ///< the file cannot be written/renamed
+    };
+
+    cache_file_error(failure kind, std::string path, const std::string& detail);
+
+    /// The machine-readable failure class.
+    failure kind() const { return kind_; }
+    /// The file the failure is about.
+    const std::string& path() const { return path_; }
+    /// Short stable name of a failure kind ("missing", "corrupt", ...).
+    static const char* kind_name(failure kind);
+
+private:
+    failure kind_;
+    std::string path_;
+};
 
 /// The metric projection of one memoised flow_report: everything a sweep
 /// table, Pareto front or Figure-2 envelope reads — status, achieved
@@ -68,6 +99,35 @@ struct metric_record {
     bool has_lifetime = false;         ///< the lifetime stage ran
     double lifetime_seconds = 0.0;     ///< battery lifetime of the design
     double battery_alpha = 0.0;        ///< battery capacity used by the model
+};
+
+/// A metric record turned back into a (metric-only) flow_report: status
+/// and achieved metrics are exact, the datapath/netlist/stats are empty.
+/// This is the shape dse::session serves warm points in and the shape
+/// the serve layer streams over the wire.
+flow_report metric_report(const metric_record& m);
+
+/// The metric projection of a finished report — the inverse direction:
+/// exactly the fields a metric_record (and therefore a cache file or a
+/// wire report frame) carries.  metric_report(metric_of(r)) preserves
+/// status and every achieved metric of `r`.
+metric_record metric_of(const flow_report& r);
+
+/// What one cache-file merge did, per input and in total — the
+/// `phls cache merge` summary table renders this.
+struct cache_merge_stats {
+    /// Per-input record counts, in merge order (first occurrence of a
+    /// key wins, so later inputs contribute only their novel records).
+    struct input {
+        std::string path;              ///< the merged file
+        std::size_t committed = 0;     ///< committed-window records in the file
+        std::size_t metrics = 0;       ///< metric records in the file
+        std::size_t new_committed = 0; ///< committed records not seen before
+        std::size_t new_metrics = 0;   ///< metric records not seen before
+    };
+    std::vector<input> inputs;
+    std::size_t committed_total = 0; ///< committed records in the merged file
+    std::size_t metric_total = 0;    ///< metric records in the merged file
 };
 
 /// Memoised per-(graph, library) invariants of design-space exploration.
@@ -197,16 +257,44 @@ public:
     /// Cache files inherit the in-memory key encoding and are therefore
     /// host-ABI-specific (sizeof(long) field widths); a file from a
     /// different ABI fails load() loudly, it is never misread.
-    /// @throws phls::error when the file cannot be written.
+    /// The write is atomic: the bytes go to a temporary file in the same
+    /// directory which is then renamed over `path`, so a killed process
+    /// can never leave a torn file that load() rejects — readers see the
+    /// old complete file or the new complete file, nothing in between.
+    /// @throws cache_file_error (kind io) when the file cannot be
+    /// written or renamed.
     std::size_t save(const std::string& path) const;
 
     /// Warm-starts the memo tables from a file written by save().
-    /// Returns the number of records loaded.  @throws phls::error when
-    /// the file is missing, truncated, corrupt (checksum mismatch), of an
-    /// unknown version, or was saved for a different (graph, library) —
-    /// a bad cache file never silently degrades to wrong answers.
-    /// Not thread-safe: call before sharing the cache.
+    /// Returns the number of records loaded.  @throws cache_file_error
+    /// carrying the path and the failure kind when the file is missing,
+    /// truncated, corrupt (bad magic, checksum mismatch or trailing
+    /// bytes), of an unknown version, or was saved for a different
+    /// (graph, library) — a bad cache file never silently degrades to
+    /// wrong answers.  Not thread-safe: call before sharing the cache.
     std::size_t load(const std::string& path);
+
+    /// Unions the tables of a save()d file into this (possibly warm)
+    /// cache: keys already present keep their in-memory value (a live
+    /// full report is strictly more informative than a loaded metric
+    /// record, and committed windows are deterministic so first-wins is
+    /// value-neutral), novel keys are inserted.  Returns the number of
+    /// records that were new.  This is how per-shard caches combine into
+    /// one warm cache.  @throws cache_file_error like load().
+    /// Not thread-safe: call between explorations, not during one.
+    std::size_t merge(const std::string& path);
+
+    /// File-level merge, no cache instance needed: reads every input
+    /// (each fully validated like load()), requires them all to be for
+    /// the same (graph, library), unions their committed-window and
+    /// metric tables (first occurrence of a key wins, inputs processed
+    /// in order) and atomically writes the union to `out` in the same
+    /// format — loading the merged file behaves like loading every input
+    /// in order.  @throws cache_file_error on an unreadable/invalid
+    /// input, mismatched problems or an unwritable output; phls::error
+    /// when `inputs` is empty.
+    static cache_merge_stats merge_files(const std::string& out,
+                                         const std::vector<std::string>& inputs);
 
     /// Benchmark/ablation knobs: selectively disable the deeper memo
     /// levels to reproduce the initial-windows-only (PR 2) cache.

@@ -215,13 +215,28 @@ public:
     /// grid.
     std::vector<double> power_grid(int points) const;
 
-    // Accessors (used by reporting and the CLI).
+    // Accessors (used by reporting, the CLI and the serve layer, which
+    // serialises a configured flow into a wire job request).
     /// The graph this flow was built on.
     const graph& design() const { return graph_; }
     /// The module library in use.
     const module_library& library() const { return lib_; }
     /// The configured (T, Pmax) point.
     const synthesis_constraints& point() const { return constraints_; }
+    /// The selected synthesis strategy name.
+    const std::string& synthesizer_name() const { return synth_name_; }
+    /// The selected scheduler strategy name.
+    const std::string& scheduler_name() const { return sched_name_; }
+    /// The heuristic knobs forwarded to the synthesis strategy.
+    const synthesis_options& synthesis_opts() const { return options_; }
+    /// The "exact" strategy's search budget.
+    const exact_options& exact_opts() const { return exact_; }
+    /// True iff the RTL netlist stage is enabled.
+    bool wants_netlist() const { return want_netlist_; }
+    /// True iff the battery-lifetime stage is enabled.
+    bool wants_lifetime() const { return want_lifetime_; }
+    /// The battery-lifetime stage parameters.
+    const lifetime_spec& lifetime() const { return lifetime_; }
 
 private:
     explicit flow(const graph& g);

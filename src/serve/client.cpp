@@ -1,0 +1,104 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace phls::serve {
+
+channel connect_unix(const std::string& path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+        throw wire_error("unix socket path too long: " + path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw wire_error(std::string("cannot create socket: ") + std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        throw wire_error("cannot connect to '" + path + "': " + why);
+    }
+    return channel(fd, fd);
+}
+
+channel connect_tcp(const std::string& host, int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw wire_error(std::string("cannot create socket: ") + std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        // Not a dotted quad: resolve it (covers "localhost").
+        addrinfo hints{};
+        hints.ai_family = AF_INET;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo* found = nullptr;
+        if (::getaddrinfo(host.c_str(), nullptr, &hints, &found) != 0 || !found) {
+            ::close(fd);
+            throw wire_error("cannot resolve host '" + host + "'");
+        }
+        addr.sin_addr = reinterpret_cast<sockaddr_in*>(found->ai_addr)->sin_addr;
+        ::freeaddrinfo(found);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        throw wire_error("cannot connect to " + host + ":" + std::to_string(port) +
+                         ": " + why);
+    }
+    return channel(fd, fd);
+}
+
+client::client(channel ch) : ch_(std::move(ch))
+{
+    send_hello(ch_);
+    expect_hello(ch_);
+}
+
+done_frame client::explore(const job_request& job, const dse::sink& sk)
+{
+    ch_.send(frame_type::job, encode_job(job));
+    while (const std::optional<channel::frame> f = ch_.recv()) {
+        switch (f->type) {
+        case frame_type::report: {
+            const report_frame r = decode_report(f->payload);
+            if (sk.on_result)
+                sk.on_result(static_cast<std::size_t>(r.index),
+                             metric_report(r.metrics));
+            break;
+        }
+        case frame_type::front: {
+            const front_delta d = decode_front(f->payload);
+            if (sk.on_front) sk.on_front(d);
+            break;
+        }
+        case frame_type::done:
+            return decode_done(f->payload);
+        case frame_type::reject:
+            throw error("server rejected job: " + decode_reject(f->payload).message);
+        default:
+            throw wire_error(std::string("protocol violation: unexpected ") +
+                             frame_type_name(f->type) + " frame during a job");
+        }
+    }
+    throw wire_error("server closed the connection mid-job");
+}
+
+void client::bye()
+{
+    if (!ch_.open()) return;
+    ch_.send(frame_type::bye, "");
+    ch_.close();
+}
+
+} // namespace phls::serve

@@ -1,0 +1,55 @@
+// Client side of the distributed exploration service.
+//
+// A serve::client speaks the wire protocol to a running `phls serve`
+// (or any serve_connection() endpoint) and exposes the same delivery
+// shape as a local dse::session: per-point reports and Pareto front
+// deltas stream into a dse::sink while the remote sweep runs, and the
+// final summary arrives as the done frame.  Remote reports are
+// metric-only (status + achieved metrics, no datapath) — exactly what a
+// warm local session serves, so sweep tables, fronts and exports built
+// from them are byte-identical to local ones.
+//
+//   serve::client c(serve::connect_unix("/tmp/phls.sock"));
+//   const serve::done_frame done =
+//       c.explore(serve::make_job(prototype, space), {.on_result = ...});
+//   c.bye();
+#pragma once
+
+#include <string>
+
+#include "dse/session.h"
+#include "serve/wire.h"
+
+namespace phls::serve {
+
+/// Connects to a unix-domain serve socket.  @throws wire_error on
+/// failure (no server, refused, path too long).
+channel connect_unix(const std::string& path);
+
+/// Connects to a TCP serve port.  @throws wire_error on failure.
+channel connect_tcp(const std::string& host, int port);
+
+/// One protocol conversation: handshakes on construction, then runs any
+/// number of jobs.  Not thread-safe (one conversation, one thread).
+class client {
+public:
+    /// Takes the channel and performs the version handshake.
+    /// @throws wire_error on a non-hello answer or a version mismatch.
+    explicit client(channel ch);
+
+    /// Submits `job` and streams the results into `sk` as they arrive:
+    /// on_result gets each evaluated point as a metric-only flow_report,
+    /// on_front each front_delta.  Returns the done summary (whose front
+    /// equals the deltas replayed in order).  @throws phls::error with
+    /// the server's message when the job is rejected; wire_error when
+    /// the connection breaks mid-job.
+    done_frame explore(const job_request& job, const dse::sink& sk = {});
+
+    /// Ends the conversation politely and closes the channel.
+    void bye();
+
+private:
+    channel ch_;
+};
+
+} // namespace phls::serve

@@ -1,0 +1,273 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "flow/strategy.h"
+#include "support/errors.h"
+
+namespace phls::serve {
+
+namespace {
+
+/// The pool key: the canonical job encoding with the per-call fields
+/// (space, threads, cache path) neutralised, so two jobs collide iff
+/// they describe the same problem + configuration.
+std::string config_key(const job_request& job)
+{
+    job_request stripped = job;
+    stripped.space = dse::list({});
+    stripped.threads = 0;
+    stripped.save_cache_path.clear();
+    return encode_job(stripped);
+}
+
+} // namespace
+
+std::shared_ptr<session_pool::slot> session_pool::acquire(const job_request& job,
+                                                          std::size_t memo_limit)
+{
+    const std::string key = config_key(job);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots_.find(key);
+        if (it != slots_.end()) return it->second;
+    }
+    // Build the session outside the pool lock: parsing the graph and
+    // building the cache is heavy, and a malformed job must not stall
+    // other clients.  A racing duplicate builds twice and the first
+    // insert wins — wasteful but correct, like the memo stores.
+    dse::session_options opts;
+    opts.memo_limit = memo_limit;
+    auto fresh = std::make_shared<slot>(job_flow(job), opts);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = slots_.emplace(key, std::move(fresh));
+    (void)inserted;
+    return it->second;
+}
+
+std::size_t session_pool::sessions_created() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+bool run_job(channel& ch, const job_request& job, session_pool& pool,
+             const serve_limits& limits, serve_stats* stats)
+{
+    std::shared_ptr<session_pool::slot> slot;
+    try {
+        // Strategy names degrade to per-point unsupported reports in a
+        // local flow; a served job with an unknown name is a client
+        // mistake and is refused whole instead of burning a sweep.
+        if (strategy_registry::instance().synthesizer(job.synthesizer) == nullptr)
+            throw error("unknown synthesizer strategy '" + job.synthesizer + "'");
+        if (strategy_registry::instance().scheduler(job.scheduler) == nullptr)
+            throw error("unknown scheduler strategy '" + job.scheduler + "'");
+        slot = pool.acquire(job, limits.memo_limit);
+    } catch (const std::exception& e) {
+        if (stats) stats->rejects.fetch_add(1);
+        ch.send(frame_type::reject, encode_reject(e.what()));
+        return false;
+    }
+
+    std::lock_guard<std::mutex> run(slot->run);
+    dse::sink sk;
+    sk.on_result = [&ch](std::size_t index, const flow_report& r) {
+        ch.send(frame_type::report, encode_report(index, metric_of(r)));
+    };
+    sk.on_front = [&ch](const front_delta& d) {
+        ch.send(frame_type::front, encode_front(d));
+    };
+    const int threads = job.threads > 0 ? job.threads : limits.threads;
+    const dse::explore_summary sum = slot->session.explore(job.space, sk, threads);
+    if (limits.allow_cache_save && !job.save_cache_path.empty())
+        slot->session.save(job.save_cache_path);
+
+    done_frame done;
+    done.space_size = sum.space_size;
+    done.evaluated = sum.evaluated;
+    done.feasible = sum.feasible;
+    done.metric_served = sum.metric_served;
+    done.counters = slot->session.cache()->stats();
+    done.front = sum.front;
+    // Count the job before the done frame ships: a client holding its
+    // summary must already see itself in the server's stats.
+    if (stats) stats->jobs.fetch_add(1);
+    ch.send(frame_type::done, encode_done(done));
+    return true;
+}
+
+void serve_connection(channel& ch, session_pool& pool, const serve_limits& limits,
+                      serve_stats* stats)
+{
+    send_hello(ch);
+    expect_hello(ch);
+    while (const std::optional<channel::frame> f = ch.recv()) {
+        if (f->type == frame_type::bye) return;
+        if (f->type != frame_type::job)
+            throw wire_error(std::string("protocol violation: expected job, got ") +
+                             frame_type_name(f->type));
+        run_job(ch, decode_job(f->payload), pool, limits, stats);
+    }
+}
+
+// --------------------------------------------------------------- server
+
+server::server(const server_options& opts) : opts_(opts)
+{
+    if (!opts_.socket_path.empty()) {
+        check(opts_.socket_path.size() < sizeof(sockaddr_un{}.sun_path),
+              "unix socket path too long: " + opts_.socket_path);
+        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        check(listen_fd_ >= 0, "cannot create unix socket");
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+                     sizeof addr.sun_path - 1);
+        ::unlink(opts_.socket_path.c_str()); // a stale path from a dead server
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            const std::string why = std::strerror(errno);
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            throw error("cannot bind unix socket '" + opts_.socket_path + "': " + why);
+        }
+    } else if (opts_.port >= 0) {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        check(listen_fd_ >= 0, "cannot create TCP socket");
+        const int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // never a public listener
+        addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            const std::string why = std::strerror(errno);
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            throw error("cannot bind loopback port " + std::to_string(opts_.port) +
+                        ": " + why);
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+        port_ = static_cast<int>(ntohs(bound.sin_port));
+    } else {
+        throw error("server needs a unix socket path or a TCP port");
+    }
+    if (::listen(listen_fd_, 16) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw error("cannot listen: " + why);
+    }
+}
+
+server::~server() { stop(); }
+
+void server::run() { accept_loop(); }
+
+void server::start()
+{
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void server::accept_loop()
+{
+    while (!stop_.load()) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        // A short poll bounds the latency of noticing a stop request
+        // (including one from a signal handler via request_stop()).
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (ready == 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            break; // listener closed under us (stop())
+        }
+        if (opts_.client_timeout_ms > 0) {
+            timeval tv{};
+            tv.tv_sec = opts_.client_timeout_ms / 1000;
+            tv.tv_usec = (opts_.client_timeout_ms % 1000) * 1000;
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        }
+        clients_.fetch_add(1);
+        std::lock_guard<std::mutex> lock(clients_mutex_);
+        client_fds_.insert(fd);
+        client_threads_.emplace_back([this, fd] { client_loop(fd); });
+    }
+}
+
+void server::client_loop(int fd)
+{
+    channel ch(fd, fd);
+    try {
+        serve_connection(ch, pool_, opts_.limits, &serve_stats_);
+    } catch (const wire_error& e) {
+        // One bad client must not take the process down: answer with a
+        // best-effort reject (the peer may already be gone) and close
+        // only this connection.
+        protocol_errors_.fetch_add(1);
+        try {
+            ch.send(frame_type::reject, encode_reject(e.what()));
+        } catch (...) {
+        }
+    } catch (const std::exception&) {
+        protocol_errors_.fetch_add(1);
+    }
+    // Deregister and close under the lock so stop() never shuts down a
+    // recycled descriptor.
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    client_fds_.erase(fd);
+    ch.close();
+}
+
+void server::stop()
+{
+    if (stopped_) return;
+    stopped_ = true;
+    stop_.store(true);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    {
+        // Wake clients blocked in recv() so their threads can finish.
+        std::lock_guard<std::mutex> lock(clients_mutex_);
+        for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    // client_threads_ only grows under clients_mutex_ from the accept
+    // loop, which is already joined — safe to walk unlocked.
+    for (std::thread& t : client_threads_) {
+        if (t.joinable()) t.join();
+    }
+    client_threads_.clear();
+    if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+}
+
+server::stats_snapshot server::stats() const
+{
+    stats_snapshot s;
+    s.clients = clients_.load();
+    s.jobs = serve_stats_.jobs.load();
+    s.rejects = serve_stats_.rejects.load();
+    s.protocol_errors = protocol_errors_.load();
+    s.sessions = pool_.sessions_created();
+    return s;
+}
+
+} // namespace phls::serve

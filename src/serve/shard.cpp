@@ -1,0 +1,286 @@
+#include "serve/shard.h"
+
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/server.h"
+#include "support/errors.h"
+
+namespace phls::serve {
+
+namespace {
+
+/// One shard's contiguous slice of the global index range.
+struct index_range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool empty() const { return begin >= end; }
+};
+
+std::vector<index_range> split(std::size_t size, int shards)
+{
+    std::vector<index_range> ranges(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i) {
+        ranges[static_cast<std::size_t>(i)].begin =
+            size * static_cast<std::size_t>(i) / static_cast<std::size_t>(shards);
+        ranges[static_cast<std::size_t>(i)].end =
+            size * static_cast<std::size_t>(i + 1) / static_cast<std::size_t>(shards);
+    }
+    return ranges;
+}
+
+/// The shard's slice as an explicit point list; its local index `li`
+/// is global index `range.begin + li`.
+dse::space sub_space(const dse::space& s, const index_range& r)
+{
+    std::vector<synthesis_constraints> points;
+    points.reserve(r.end - r.begin);
+    for (std::size_t j = r.begin; j < r.end; ++j) points.push_back(s.at(j));
+    return dse::list(std::move(points));
+}
+
+std::string shard_cache_path(const std::string& dir, int shard)
+{
+    return dir + "/shard" + std::to_string(shard) + ".phlscache";
+}
+
+/// The global fold: every shard's reports land here under one lock, are
+/// folded into one pareto_stream by *global* index, and fan out to the
+/// caller's sink.  Folding is order-independent, so the final front
+/// does not depend on shard interleaving.
+struct merge_state {
+    std::mutex mutex;
+    pareto_stream front;
+    shard_summary summary;
+    const dse::sink* sk = nullptr;
+
+    void deliver(std::size_t global_index, const flow_report& report)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++summary.evaluated;
+        if (report.st.ok()) ++summary.feasible;
+        front_delta delta;
+        front.add(global_index, report, &delta);
+        if (sk->on_result) sk->on_result(global_index, report);
+        if (delta.changed() && sk->on_front) sk->on_front(delta);
+    }
+
+    void add_metric_served(std::size_t n)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        summary.metric_served += n;
+    }
+};
+
+void run_shards_threads(const flow& prototype, const dse::space& s,
+                        const std::vector<index_range>& ranges,
+                        const shard_options& opts, merge_state& state)
+{
+    struct worker {
+        index_range range;
+        dse::space sub = dse::list({});
+        std::unique_ptr<dse::session> session;
+        std::string cache_path;
+        std::exception_ptr failure;
+    };
+    // Sessions (and their caches) are built up front on this thread, so
+    // construction errors surface before anything runs.
+    std::vector<worker> workers;
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        if (ranges[i].empty()) continue;
+        worker w;
+        w.range = ranges[i];
+        w.sub = sub_space(s, ranges[i]);
+        dse::session_options so;
+        so.memo_limit = opts.memo_limit;
+        w.session = std::make_unique<dse::session>(prototype, so);
+        if (!opts.cache_dir.empty())
+            w.cache_path = shard_cache_path(opts.cache_dir, static_cast<int>(i));
+        workers.push_back(std::move(w));
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers.size());
+    for (worker& w : workers) {
+        threads.emplace_back([&w, &opts, &state] {
+            try {
+                dse::sink local;
+                local.on_result = [&w, &state](std::size_t li, const flow_report& r) {
+                    state.deliver(w.range.begin + li, r);
+                };
+                const dse::explore_summary sum =
+                    w.session->explore(w.sub, local, opts.threads_per_shard);
+                state.add_metric_served(sum.metric_served);
+                if (!w.cache_path.empty()) w.session->save(w.cache_path);
+            } catch (...) {
+                w.failure = std::current_exception();
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    for (worker& w : workers) {
+        if (w.failure) std::rethrow_exception(w.failure);
+        if (!w.cache_path.empty()) state.summary.cache_files.push_back(w.cache_path);
+    }
+}
+
+void run_shards_processes(const flow& prototype, const dse::space& s,
+                          const std::vector<index_range>& ranges,
+                          const shard_options& opts, merge_state& state)
+{
+    struct worker {
+        index_range range;
+        int shard = 0;
+        pid_t pid = -1;
+        int job_write = -1;   ///< parent -> child
+        int stream_read = -1; ///< child -> parent
+        std::string cache_path;
+        std::exception_ptr failure;
+    };
+    std::vector<worker> workers;
+
+    // Fork every worker from this (single-threaded at this point)
+    // process first; reader threads only start once all children exist,
+    // so no child is ever forked while another thread holds a lock.
+    std::vector<int> parent_fds; // earlier workers' ends, closed in later children
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        if (ranges[i].empty()) continue;
+        int to_child[2];
+        int to_parent[2];
+        check(::pipe(to_child) == 0 && ::pipe(to_parent) == 0,
+              "cannot create shard worker pipes");
+        const pid_t pid = ::fork();
+        check(pid >= 0, "cannot fork shard worker");
+        if (pid == 0) {
+            // Child: drop the parent-side ends -- ours and every earlier
+            // sibling's, so a sibling's EOF is decided by the parent
+            // alone -- and serve the pipe until the parent says bye.
+            ::close(to_child[1]);
+            ::close(to_parent[0]);
+            for (const int fd : parent_fds) ::close(fd);
+            int code = 0;
+            try {
+                channel ch(to_child[0], to_parent[1]);
+                session_pool pool;
+                serve_limits limits;
+                limits.threads = opts.threads_per_shard;
+                limits.memo_limit = opts.memo_limit;
+                limits.allow_cache_save = true; // shard cache files
+                serve_connection(ch, pool, limits);
+            } catch (...) {
+                code = 1;
+            }
+            ::_exit(code);
+        }
+        ::close(to_child[0]);
+        ::close(to_parent[1]);
+        worker w;
+        w.range = ranges[i];
+        w.shard = static_cast<int>(i);
+        w.pid = pid;
+        w.job_write = to_child[1];
+        w.stream_read = to_parent[0];
+        if (!opts.cache_dir.empty())
+            w.cache_path = shard_cache_path(opts.cache_dir, w.shard);
+        parent_fds.push_back(w.job_write);
+        parent_fds.push_back(w.stream_read);
+        workers.push_back(std::move(w));
+    }
+
+    // One reader thread per worker: submit the shard's job, fold every
+    // streamed report into the global front as it arrives.
+    std::vector<std::thread> readers;
+    readers.reserve(workers.size());
+    for (worker& w : workers) {
+        readers.emplace_back([&w, &prototype, &s, &opts, &state] {
+            try {
+                channel ch(w.stream_read, w.job_write);
+                w.stream_read = -1; // the channel owns them now
+                w.job_write = -1;
+                send_hello(ch);
+                expect_hello(ch);
+                job_request job = make_job(prototype, sub_space(s, w.range));
+                job.threads = opts.threads_per_shard;
+                job.save_cache_path = w.cache_path;
+                ch.send(frame_type::job, encode_job(job));
+                while (const std::optional<channel::frame> f = ch.recv()) {
+                    if (f->type == frame_type::report) {
+                        const report_frame r = decode_report(f->payload);
+                        state.deliver(w.range.begin + static_cast<std::size_t>(r.index),
+                                      metric_report(r.metrics));
+                        continue;
+                    }
+                    if (f->type == frame_type::front) continue; // folded globally
+                    if (f->type == frame_type::done) {
+                        const done_frame done = decode_done(f->payload);
+                        state.add_metric_served(done.metric_served);
+                        ch.send(frame_type::bye, "");
+                        return;
+                    }
+                    if (f->type == frame_type::reject)
+                        throw error("shard worker rejected its job: " +
+                                    decode_reject(f->payload).message);
+                    throw wire_error(std::string("protocol violation: unexpected ") +
+                                     frame_type_name(f->type) +
+                                     " frame from a shard worker");
+                }
+                throw wire_error("shard worker closed its pipe mid-job");
+            } catch (...) {
+                w.failure = std::current_exception();
+            }
+        });
+    }
+    for (std::thread& t : readers) t.join();
+
+    // Reap every child before reporting failures, so no worker outlives
+    // the call whatever happened.
+    std::exception_ptr first_failure;
+    for (worker& w : workers) {
+        int wstatus = 0;
+        ::waitpid(w.pid, &wstatus, 0);
+        if (w.failure && !first_failure) first_failure = w.failure;
+        if (!first_failure && (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0))
+            first_failure = std::make_exception_ptr(
+                wire_error("shard worker " + std::to_string(w.shard) +
+                           " exited abnormally"));
+    }
+    if (first_failure) std::rethrow_exception(first_failure);
+    for (const worker& w : workers)
+        if (!w.cache_path.empty()) state.summary.cache_files.push_back(w.cache_path);
+}
+
+} // namespace
+
+shard_summary explore_sharded(const flow& prototype, const dse::space& s,
+                              const shard_options& opts, const dse::sink& sk)
+{
+    check(opts.shards >= 1, "shard count must be >= 1");
+    check(!s.adaptive(),
+          "adaptive (refine) spaces cannot be sharded: subdivision decisions "
+          "span the whole lattice -- evaluate them in one session");
+    const auto started = std::chrono::steady_clock::now();
+
+    merge_state state;
+    state.sk = &sk;
+    state.summary.space_size = s.size();
+    const std::vector<index_range> ranges = split(s.size(), opts.shards);
+    if (opts.processes)
+        run_shards_processes(prototype, s, ranges, opts, state);
+    else
+        run_shards_threads(prototype, s, ranges, opts, state);
+
+    state.summary.front = state.front.front();
+    state.summary.wall_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - started)
+                                .count();
+    return state.summary;
+}
+
+} // namespace phls::serve

@@ -1,0 +1,76 @@
+// Space sharding: one sweep, many workers, one deterministic front.
+//
+// explore_sharded() splits a dse::space into contiguous index ranges,
+// evaluates each range on its own worker — an in-process dse::session
+// per shard, or a forked subprocess speaking the wire protocol over
+// pipes — and folds every delivered report into ONE global
+// pareto_stream keyed by the point's global space index.  Because the
+// incremental front is order-independent (the fold after the last
+// report equals the post-hoc front whatever the completion order), the
+// merged front is IDENTICAL to what a single-process
+// dse::session::explore() over the whole space produces: same points,
+// same indices, same order.
+//
+// Each shard owns its own explore_cache; with a cache_dir configured
+// every shard persists its cache file, and the per-shard files union
+// (explore_cache::merge_files, `phls cache merge`) into one cache whose
+// replay behaviour matches the single warm cache.
+//
+// Adaptive (refine) spaces are rejected: their evaluation order is
+// data-dependent across the whole lattice, so cutting the lattice into
+// index ranges would change which points are evaluated at all.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dse/session.h"
+#include "serve/wire.h"
+
+namespace phls::serve {
+
+/// How to split and run one sharded sweep.
+struct shard_options {
+    /// Number of contiguous index-range shards; must be >= 1.  Shards
+    /// beyond the space size are left empty (a 3-point space on 8
+    /// shards runs 3 workers).
+    int shards = 1;
+    /// Evaluate each shard in a forked subprocess speaking the wire
+    /// protocol over pipes, instead of an in-process session per shard.
+    bool processes = false;
+    /// Worker threads inside each shard's evaluation (0 = hardware).
+    int threads_per_shard = 1;
+    /// Full-report LRU bound per shard session (0 = unbounded).
+    std::size_t memo_limit = 0;
+    /// When non-empty, each non-empty shard saves its cache to
+    /// `<cache_dir>/shard<i>.phlscache` (the directory must exist).
+    std::string cache_dir;
+};
+
+/// Outcome of one sharded sweep — the same counters as a session's
+/// explore_summary, plus where the per-shard cache files went.
+struct shard_summary {
+    std::size_t space_size = 0;     ///< points the space describes
+    std::size_t evaluated = 0;      ///< points delivered across all shards
+    std::size_t feasible = 0;       ///< delivered points with an ok status
+    std::size_t metric_served = 0;  ///< points answered from warm metrics
+    std::vector<front_point> front; ///< global front == single-process front
+    std::vector<std::string> cache_files; ///< saved per-shard caches, in shard order
+    double wall_ms = 0.0;                 ///< wall-clock time of the sweep
+};
+
+/// Evaluates `s` under `prototype`'s configuration across
+/// `opts.shards` workers and merges the streamed results.  `sk`
+/// receives every report with its *global* space index and every change
+/// of the *global* front (calls serialised, like a session sink).
+/// In processes mode the reports delivered are metric-only (they
+/// crossed the wire); in threads mode they are whatever the shard
+/// session computed.  Either way the returned front is byte-identical
+/// to single-process explore().
+/// @throws phls::error on invalid options or an adaptive space;
+/// wire_error when a subprocess worker misbehaves.
+shard_summary explore_sharded(const flow& prototype, const dse::space& s,
+                              const shard_options& opts, const dse::sink& sk = {});
+
+} // namespace phls::serve

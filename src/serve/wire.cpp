@@ -1,0 +1,671 @@
+#include "serve/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "cdfg/textio.h"
+#include "library/library.h"
+#include "support/memo_key.h"
+
+namespace phls::serve {
+
+namespace {
+
+// "PHLS" when the four bytes are written little-endian.
+constexpr std::uint32_t frame_magic = 0x534C4850u;
+// Frames larger than this are rejected before allocation: no real
+// payload (the largest is a job carrying a materialised point list)
+// comes close, so a bigger length is garbage, not data.
+constexpr std::uint32_t max_payload = 1u << 30;
+constexpr std::size_t header_size = 4 + 1 + 4; // magic + type + length
+constexpr std::size_t checksum_size = 8;
+
+std::uint64_t fnv1a(const std::string& bytes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+bool known_frame_type(std::uint8_t t)
+{
+    return t >= static_cast<std::uint8_t>(frame_type::hello) &&
+           t <= static_cast<std::uint8_t>(frame_type::bye);
+}
+
+/// Decodes a wire bool strictly: anything but 0/1 is a malformed frame
+/// (this is what makes random bytes fail loudly instead of becoming a
+/// plausible job).
+bool wire_bool(wire_reader& r)
+{
+    const std::uint8_t v = r.u8();
+    if (v > 1) throw wire_error("malformed frame: boolean field is " + std::to_string(v));
+    return v == 1;
+}
+
+void put_point(wire_writer& w, const front_point& p)
+{
+    w.u64(p.index);
+    w.i32(p.latency_bound);
+    w.f64(p.cap);
+    w.f64(p.area);
+    w.f64(p.peak);
+    w.i32(p.latency);
+    w.u8(p.has_lifetime ? 1 : 0);
+    w.f64(p.lifetime_seconds);
+}
+
+front_point get_point(wire_reader& r)
+{
+    front_point p;
+    p.index = static_cast<std::size_t>(r.u64());
+    p.latency_bound = r.i32();
+    p.cap = r.f64();
+    p.area = r.f64();
+    p.peak = r.f64();
+    p.latency = r.i32();
+    p.has_lifetime = wire_bool(r);
+    p.lifetime_seconds = r.f64();
+    return p;
+}
+
+void put_points(wire_writer& w, const std::vector<front_point>& points)
+{
+    w.u32(static_cast<std::uint32_t>(points.size()));
+    for (const front_point& p : points) put_point(w, p);
+}
+
+std::vector<front_point> get_points(wire_reader& r)
+{
+    const std::uint32_t n = r.u32();
+    // Each point costs >= 40 payload bytes; a count the payload cannot
+    // hold is garbage, and checking first keeps the allocation bounded.
+    if (static_cast<std::uint64_t>(n) * 40 > r.remaining())
+        throw wire_error("malformed frame: point count exceeds payload");
+    std::vector<front_point> points;
+    points.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) points.push_back(get_point(r));
+    return points;
+}
+
+void put_metrics(wire_writer& w, const metric_record& m)
+{
+    w.u8(static_cast<std::uint8_t>(m.st.code));
+    w.str(m.st.message);
+    w.str(m.strategy);
+    w.i32(m.constraints.latency);
+    w.f64(m.constraints.max_power);
+    w.u8(m.has_design ? 1 : 0);
+    w.u8(m.optimal ? 1 : 0);
+    w.str(m.note);
+    w.f64(m.area);
+    w.f64(m.peak);
+    w.i32(m.latency);
+    w.u8(m.has_lifetime ? 1 : 0);
+    w.f64(m.lifetime_seconds);
+    w.f64(m.battery_alpha);
+}
+
+metric_record get_metrics(wire_reader& r)
+{
+    metric_record m;
+    const std::uint8_t code = r.u8();
+    if (code > static_cast<std::uint8_t>(status_code::internal))
+        throw wire_error("malformed frame: unknown status code " + std::to_string(code));
+    m.st.code = static_cast<status_code>(code);
+    m.st.message = r.str();
+    m.strategy = r.str();
+    m.constraints.latency = r.i32();
+    m.constraints.max_power = r.f64();
+    m.has_design = wire_bool(r);
+    m.optimal = wire_bool(r);
+    m.note = r.str();
+    m.area = r.f64();
+    m.peak = r.f64();
+    m.latency = r.i32();
+    m.has_lifetime = wire_bool(r);
+    m.lifetime_seconds = r.f64();
+    m.battery_alpha = r.f64();
+    return m;
+}
+
+// Space payload: a list ships its points, a lattice its axes (plus the
+// adaptive flag, so a refine() space survives the round trip as one).
+constexpr std::uint8_t space_kind_list = 0;
+constexpr std::uint8_t space_kind_lattice = 1;
+
+void put_space(wire_writer& w, const dse::space& s)
+{
+    if (s.is_lattice()) {
+        w.u8(space_kind_lattice);
+        w.u8(s.adaptive() ? 1 : 0);
+        const std::vector<int>& ts = s.latencies();
+        const std::vector<double>& ps = s.caps();
+        w.u32(static_cast<std::uint32_t>(ts.size()));
+        for (const int t : ts) w.i32(t);
+        w.u32(static_cast<std::uint32_t>(ps.size()));
+        for (const double p : ps) w.f64(p);
+        return;
+    }
+    // Lists and concatenations travel as an explicit point vector (a
+    // concat of lazy lattices is materialised -- the wire cannot carry
+    // an arbitrary composition tree, and jobs are finite by definition).
+    w.u8(space_kind_list);
+    const std::vector<synthesis_constraints> points = s.materialize();
+    w.u32(static_cast<std::uint32_t>(points.size()));
+    for (const synthesis_constraints& c : points) {
+        w.i32(c.latency);
+        w.f64(c.max_power);
+    }
+}
+
+dse::space get_space(wire_reader& r)
+{
+    const std::uint8_t kind = r.u8();
+    if (kind == space_kind_list) {
+        const std::uint32_t n = r.u32();
+        if (static_cast<std::uint64_t>(n) * 12 > r.remaining())
+            throw wire_error("malformed frame: space point count exceeds payload");
+        std::vector<synthesis_constraints> points;
+        points.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            synthesis_constraints c;
+            c.latency = r.i32();
+            c.max_power = r.f64();
+            points.push_back(c);
+        }
+        return dse::list(std::move(points));
+    }
+    if (kind == space_kind_lattice) {
+        const bool adaptive = wire_bool(r);
+        const std::uint32_t nt = r.u32();
+        if (static_cast<std::uint64_t>(nt) * 4 > r.remaining())
+            throw wire_error("malformed frame: latency axis exceeds payload");
+        std::vector<int> ts;
+        ts.reserve(nt);
+        for (std::uint32_t i = 0; i < nt; ++i) ts.push_back(r.i32());
+        const std::uint32_t np = r.u32();
+        if (static_cast<std::uint64_t>(np) * 8 > r.remaining())
+            throw wire_error("malformed frame: cap axis exceeds payload");
+        std::vector<double> ps;
+        ps.reserve(np);
+        for (std::uint32_t i = 0; i < np; ++i) ps.push_back(r.f64());
+        if (ts.empty() || ps.empty())
+            throw wire_error("malformed frame: empty lattice axis");
+        return adaptive ? dse::refine(std::move(ts), std::move(ps))
+                        : dse::cross(std::move(ts), std::move(ps));
+    }
+    throw wire_error("malformed frame: unknown space kind " + std::to_string(kind));
+}
+
+} // namespace
+
+const char* frame_type_name(frame_type t)
+{
+    switch (t) {
+    case frame_type::hello: return "hello";
+    case frame_type::job: return "job";
+    case frame_type::report: return "report";
+    case frame_type::front: return "front";
+    case frame_type::done: return "done";
+    case frame_type::reject: return "reject";
+    case frame_type::bye: return "bye";
+    }
+    return "unknown";
+}
+
+// ------------------------------------------------------------- encoding
+
+void wire_writer::u32(std::uint32_t v)
+{
+    char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    bytes_.append(b, sizeof b);
+}
+
+void wire_writer::u64(std::uint64_t v)
+{
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    bytes_.append(b, sizeof b);
+}
+
+void wire_writer::f64(double v) { u64(key_double_bits(v)); }
+
+void wire_writer::str(const std::string& s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_ += s;
+}
+
+std::uint8_t wire_reader::u8()
+{
+    if (remaining() < 1) throw wire_error("malformed frame: payload truncated");
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t wire_reader::u32()
+{
+    if (remaining() < 4) throw wire_error("malformed frame: payload truncated");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t wire_reader::u64()
+{
+    if (remaining() < 8) throw wire_error("malformed frame: payload truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double wire_reader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+std::string wire_reader::str()
+{
+    const std::uint32_t n = u32();
+    if (n > remaining()) throw wire_error("malformed frame: string runs past the end");
+    std::string s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+}
+
+void wire_reader::expect_end() const
+{
+    if (remaining() != 0)
+        throw wire_error("malformed frame: " + std::to_string(remaining()) +
+                         " trailing payload bytes");
+}
+
+// -------------------------------------------------------------- framing
+
+std::string encode_frame(frame_type t, const std::string& payload)
+{
+    check(payload.size() <= max_payload, "wire payload too large");
+    wire_writer w;
+    w.u32(frame_magic);
+    w.u8(static_cast<std::uint8_t>(t));
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    std::string frame = w.take();
+    frame += payload;
+    wire_writer tail;
+    tail.u64(fnv1a(payload));
+    frame += tail.bytes();
+    return frame;
+}
+
+channel::channel(int read_fd, int write_fd) : read_fd_(read_fd), write_fd_(write_fd) {}
+
+channel::channel(channel&& other) noexcept
+    : read_fd_(other.read_fd_), write_fd_(other.write_fd_)
+{
+    other.read_fd_ = -1;
+    other.write_fd_ = -1;
+}
+
+channel& channel::operator=(channel&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        read_fd_ = other.read_fd_;
+        write_fd_ = other.write_fd_;
+        other.read_fd_ = -1;
+        other.write_fd_ = -1;
+    }
+    return *this;
+}
+
+channel::~channel() { close(); }
+
+void channel::close()
+{
+    if (read_fd_ >= 0) ::close(read_fd_);
+    if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+    read_fd_ = -1;
+    write_fd_ = -1;
+}
+
+void channel::send_raw(const std::string& bytes)
+{
+    if (write_fd_ < 0) throw wire_error("send on a closed channel");
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::write(write_fd_, bytes.data() + sent, bytes.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw wire_error(std::string("wire send failed: ") + std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void channel::send(frame_type t, const std::string& payload)
+{
+    send_raw(encode_frame(t, payload));
+}
+
+namespace {
+
+/// Reads exactly `n` bytes into `out`.  Returns the bytes read, which is
+/// short only at EOF; throws wire_error on errors and timeouts.
+std::size_t read_exact(int fd, std::string& out, std::size_t n)
+{
+    out.resize(n);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, out.data() + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                throw wire_error("wire receive timed out");
+            throw wire_error(std::string("wire receive failed: ") +
+                             std::strerror(errno));
+        }
+        if (r == 0) break; // EOF
+        got += static_cast<std::size_t>(r);
+    }
+    out.resize(got);
+    return got;
+}
+
+} // namespace
+
+std::optional<channel::frame> channel::recv()
+{
+    if (read_fd_ < 0) throw wire_error("receive on a closed channel");
+    std::string header;
+    const std::size_t got = read_exact(read_fd_, header, header_size);
+    if (got == 0) return std::nullopt; // clean EOF at a frame boundary
+    if (got < header_size) throw wire_error("truncated frame: EOF inside the header");
+
+    wire_reader h(header);
+    if (h.u32() != frame_magic) throw wire_error("malformed frame: bad magic");
+    const std::uint8_t type = h.u8();
+    if (!known_frame_type(type))
+        throw wire_error("malformed frame: unknown type " + std::to_string(type));
+    const std::uint32_t length = h.u32();
+    if (length > max_payload)
+        throw wire_error("malformed frame: declared payload of " +
+                         std::to_string(length) + " bytes");
+
+    std::string body;
+    if (read_exact(read_fd_, body, length + checksum_size) != length + checksum_size)
+        throw wire_error("truncated frame: EOF inside the payload");
+    frame f;
+    f.type = static_cast<frame_type>(type);
+    f.payload = body.substr(0, length);
+    const std::string tail = body.substr(length);
+    wire_reader cks(tail);
+    if (cks.u64() != fnv1a(f.payload))
+        throw wire_error("malformed frame: checksum mismatch");
+    return f;
+}
+
+void send_hello(channel& ch)
+{
+    ch.send(frame_type::hello, encode_hello(wire_protocol_version));
+}
+
+std::uint32_t expect_hello(channel& ch)
+{
+    const std::optional<channel::frame> f = ch.recv();
+    if (!f) throw wire_error("peer closed the connection before the handshake");
+    if (f->type != frame_type::hello)
+        throw wire_error(std::string("protocol violation: expected hello, got ") +
+                         frame_type_name(f->type));
+    const std::uint32_t version = decode_hello(f->payload);
+    if (version != wire_protocol_version)
+        throw wire_error("protocol version mismatch: peer speaks v" +
+                         std::to_string(version) + ", this build speaks v" +
+                         std::to_string(wire_protocol_version));
+    return version;
+}
+
+// ------------------------------------------------------------- payloads
+
+std::string encode_hello(std::uint32_t version)
+{
+    wire_writer w;
+    w.u32(version);
+    return w.take();
+}
+
+std::uint32_t decode_hello(const std::string& payload)
+{
+    wire_reader r(payload);
+    const std::uint32_t version = r.u32();
+    r.expect_end();
+    return version;
+}
+
+job_request make_job(const flow& prototype, const dse::space& s)
+{
+    job_request job;
+    job.graph_text = write_cdfg_string(prototype.design());
+    job.library_text = write_library_string(prototype.library());
+    job.synthesizer = prototype.synthesizer_name();
+    job.scheduler = prototype.scheduler_name();
+    job.options = prototype.synthesis_opts();
+    job.exact = prototype.exact_opts();
+    job.want_netlist = prototype.wants_netlist();
+    job.want_lifetime = prototype.wants_lifetime();
+    job.lifetime = prototype.lifetime();
+    job.space = s;
+    return job;
+}
+
+flow job_flow(const job_request& job)
+{
+    flow f = flow::on(parse_cdfg_string(job.graph_text));
+    f.with_library(parse_library_string(job.library_text));
+    f.synthesizer(job.synthesizer);
+    f.scheduler(job.scheduler);
+    f.options(job.options);
+    f.exact_budget(job.exact);
+    if (job.want_netlist) f.emit_netlist();
+    if (job.want_lifetime) f.estimate_lifetime(job.lifetime);
+    return f;
+}
+
+std::string encode_job(const job_request& job)
+{
+    wire_writer w;
+    w.str(job.graph_text);
+    w.str(job.library_text);
+    w.str(job.synthesizer);
+    w.str(job.scheduler);
+    const synthesis_options& o = job.options;
+    w.u8(static_cast<std::uint8_t>(o.policy));
+    w.u8(o.try_both_prospects ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(o.order));
+    w.f64(o.costs.register_area);
+    w.f64(o.costs.mux_area_per_extra_input);
+    w.u8(o.costs.include_interconnect ? 1 : 0);
+    w.u8(o.enable_backtrack_lock ? 1 : 0);
+    w.u8(o.lock_from_start ? 1 : 0);
+    w.u8(o.allow_cheapest_rebind ? 1 : 0);
+    w.u8(o.verify_result ? 1 : 0);
+    w.i32(o.max_merge_attempts);
+    const exact_options& e = job.exact;
+    w.i32(e.max_operations);
+    w.i64(e.node_limit);
+    w.f64(e.costs.register_area);
+    w.f64(e.costs.mux_area_per_extra_input);
+    w.u8(e.costs.include_interconnect ? 1 : 0);
+    w.u8(job.want_netlist ? 1 : 0);
+    w.u8(job.want_lifetime ? 1 : 0);
+    const lifetime_spec& l = job.lifetime;
+    w.f64(l.voltage);
+    w.f64(l.cycle_seconds);
+    w.i32(l.idle_cycles);
+    w.f64(l.beta);
+    w.f64(l.alpha);
+    w.f64(l.max_seconds);
+    put_space(w, job.space);
+    w.i32(job.threads);
+    w.str(job.save_cache_path);
+    return w.take();
+}
+
+job_request decode_job(const std::string& payload)
+{
+    wire_reader r(payload);
+    job_request job;
+    job.graph_text = r.str();
+    job.library_text = r.str();
+    job.synthesizer = r.str();
+    job.scheduler = r.str();
+    synthesis_options& o = job.options;
+    const std::uint8_t policy = r.u8();
+    if (policy > static_cast<std::uint8_t>(prospect_policy::cheapest_fit))
+        throw wire_error("malformed frame: unknown prospect policy " +
+                         std::to_string(policy));
+    o.policy = static_cast<prospect_policy>(policy);
+    o.try_both_prospects = wire_bool(r);
+    const std::uint8_t order = r.u8();
+    if (order > static_cast<std::uint8_t>(pasap_order::critical_path))
+        throw wire_error("malformed frame: unknown pasap order " +
+                         std::to_string(order));
+    o.order = static_cast<pasap_order>(order);
+    o.costs.register_area = r.f64();
+    o.costs.mux_area_per_extra_input = r.f64();
+    o.costs.include_interconnect = wire_bool(r);
+    o.enable_backtrack_lock = wire_bool(r);
+    o.lock_from_start = wire_bool(r);
+    o.allow_cheapest_rebind = wire_bool(r);
+    o.verify_result = wire_bool(r);
+    o.max_merge_attempts = r.i32();
+    exact_options& e = job.exact;
+    e.max_operations = r.i32();
+    e.node_limit = static_cast<long>(r.i64());
+    e.costs.register_area = r.f64();
+    e.costs.mux_area_per_extra_input = r.f64();
+    e.costs.include_interconnect = wire_bool(r);
+    job.want_netlist = wire_bool(r);
+    job.want_lifetime = wire_bool(r);
+    lifetime_spec& l = job.lifetime;
+    l.voltage = r.f64();
+    l.cycle_seconds = r.f64();
+    l.idle_cycles = r.i32();
+    l.beta = r.f64();
+    l.alpha = r.f64();
+    l.max_seconds = r.f64();
+    job.space = get_space(r);
+    job.threads = r.i32();
+    job.save_cache_path = r.str();
+    r.expect_end();
+    return job;
+}
+
+std::string encode_report(std::uint64_t index, const metric_record& metrics)
+{
+    wire_writer w;
+    w.u64(index);
+    put_metrics(w, metrics);
+    return w.take();
+}
+
+report_frame decode_report(const std::string& payload)
+{
+    wire_reader r(payload);
+    report_frame f;
+    f.index = r.u64();
+    f.metrics = get_metrics(r);
+    r.expect_end();
+    return f;
+}
+
+std::string encode_front(const front_delta& delta)
+{
+    wire_writer w;
+    w.u64(delta.index);
+    put_points(w, delta.entered);
+    put_points(w, delta.left);
+    return w.take();
+}
+
+front_delta decode_front(const std::string& payload)
+{
+    wire_reader r(payload);
+    front_delta delta;
+    delta.index = static_cast<std::size_t>(r.u64());
+    delta.entered = get_points(r);
+    delta.left = get_points(r);
+    r.expect_end();
+    return delta;
+}
+
+std::string encode_done(const done_frame& done)
+{
+    wire_writer w;
+    w.u64(done.space_size);
+    w.u64(done.evaluated);
+    w.u64(done.feasible);
+    w.u64(done.metric_served);
+    w.i64(done.counters.hits);
+    w.i64(done.counters.misses);
+    w.i64(done.counters.committed_hits);
+    w.i64(done.counters.committed_misses);
+    w.i64(done.counters.report_hits);
+    w.i64(done.counters.report_misses);
+    w.i64(done.counters.metric_hits);
+    put_points(w, done.front);
+    return w.take();
+}
+
+done_frame decode_done(const std::string& payload)
+{
+    wire_reader r(payload);
+    done_frame done;
+    done.space_size = r.u64();
+    done.evaluated = r.u64();
+    done.feasible = r.u64();
+    done.metric_served = r.u64();
+    done.counters.hits = static_cast<long>(r.i64());
+    done.counters.misses = static_cast<long>(r.i64());
+    done.counters.committed_hits = static_cast<long>(r.i64());
+    done.counters.committed_misses = static_cast<long>(r.i64());
+    done.counters.report_hits = static_cast<long>(r.i64());
+    done.counters.report_misses = static_cast<long>(r.i64());
+    done.counters.metric_hits = static_cast<long>(r.i64());
+    done.front = get_points(r);
+    r.expect_end();
+    return done;
+}
+
+std::string encode_reject(const std::string& message)
+{
+    wire_writer w;
+    w.str(message);
+    return w.take();
+}
+
+reject_frame decode_reject(const std::string& payload)
+{
+    wire_reader r(payload);
+    reject_frame f;
+    f.message = r.str();
+    r.expect_end();
+    return f;
+}
+
+} // namespace phls::serve

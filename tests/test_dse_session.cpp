@@ -357,5 +357,226 @@ TEST(dse_session, session_cache_is_shareable_with_plain_flows)
     EXPECT_GT(session.cache()->stats().report_hits, 0);
 }
 
+// ------------------------------------------------- typed cache errors
+
+/// Saves a small warm cache to `path` and returns its raw bytes.
+std::string saved_cache_bytes(const std::string& path)
+{
+    dse::session cold(hal17());
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(3)) grid.push_back({17, cap});
+    cold.explore(dse::list(grid), {}, 1);
+    cold.save(path);
+    std::ifstream is(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(is)), {});
+}
+
+void overwrite(const std::string& path, const std::string& bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Loads `path` into a fresh session and returns the typed error it
+/// must throw.
+cache_file_error expect_load_failure(const std::string& path)
+{
+    dse::session victim(hal17());
+    try {
+        victim.load(path);
+    } catch (const cache_file_error& e) {
+        return e;
+    }
+    ADD_FAILURE() << "load('" << path << "') did not throw cache_file_error";
+    return cache_file_error(cache_file_error::failure::io, path, "did not throw");
+}
+
+TEST(dse_session, load_error_reports_a_missing_file)
+{
+    const std::string path = scratch("session_err_missing.phlscache");
+    std::remove(path.c_str());
+    const cache_file_error e = expect_load_failure(path);
+    EXPECT_EQ(e.kind(), cache_file_error::failure::missing);
+    EXPECT_EQ(e.path(), path);
+    // The message names the file, so a failed warm start is actionable.
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+}
+
+TEST(dse_session, load_error_reports_truncation)
+{
+    const std::string path = scratch("session_err_trunc.phlscache");
+    const std::string bytes = saved_cache_bytes(path);
+
+    overwrite(path, bytes.substr(0, bytes.size() / 2)); // body cut short
+    EXPECT_EQ(expect_load_failure(path).kind(), cache_file_error::failure::truncated);
+
+    overwrite(path, bytes.substr(0, 10)); // even the header is incomplete
+    EXPECT_EQ(expect_load_failure(path).kind(), cache_file_error::failure::truncated);
+
+    overwrite(path, bytes.substr(0, bytes.size() - 3)); // checksum cut short
+    EXPECT_EQ(expect_load_failure(path).kind(), cache_file_error::failure::truncated);
+    std::remove(path.c_str());
+}
+
+TEST(dse_session, load_error_reports_corruption)
+{
+    const std::string path = scratch("session_err_corrupt.phlscache");
+    const std::string bytes = saved_cache_bytes(path);
+
+    // A flipped body byte fails the checksum.
+    std::string evil = bytes;
+    evil[evil.size() / 2] = static_cast<char>(evil[evil.size() / 2] ^ 0x5a);
+    overwrite(path, evil);
+    EXPECT_EQ(expect_load_failure(path).kind(), cache_file_error::failure::corrupt);
+
+    // Trailing garbage after a checksum-clean file is corruption too.
+    overwrite(path, bytes + "x");
+    EXPECT_EQ(expect_load_failure(path).kind(), cache_file_error::failure::corrupt);
+
+    // A wrong magic string is not a cache file at all.
+    evil = bytes;
+    evil[sizeof(long)] = 'X'; // first magic character, after its length
+    overwrite(path, evil);
+    EXPECT_EQ(expect_load_failure(path).kind(), cache_file_error::failure::corrupt);
+    std::remove(path.c_str());
+}
+
+TEST(dse_session, load_error_reports_a_version_mismatch)
+{
+    const std::string path = scratch("session_err_version.phlscache");
+    std::string bytes = saved_cache_bytes(path);
+
+    // The format version lives right after the length-prefixed magic
+    // string, outside the checksummed body — bump its low byte and the
+    // file reads as a valid cache from a different format generation.
+    const std::size_t version_at = sizeof(long) + std::string("phls-explore-cache").size();
+    ASSERT_LT(version_at, bytes.size());
+    bytes[version_at] = static_cast<char>(bytes[version_at] + 1);
+    overwrite(path, bytes);
+
+    const cache_file_error e = expect_load_failure(path);
+    EXPECT_EQ(e.kind(), cache_file_error::failure::version_mismatch);
+    EXPECT_EQ(e.path(), path);
+    std::remove(path.c_str());
+}
+
+TEST(dse_session, load_error_reports_a_problem_mismatch)
+{
+    const std::string path = scratch("session_err_problem.phlscache");
+    saved_cache_bytes(path); // a valid hal cache
+
+    dse::session cosine_session(flow::on(make_cosine()).with_library(lib()).latency(15));
+    try {
+        cosine_session.load(path);
+        ADD_FAILURE() << "cosine session accepted a hal cache file";
+    } catch (const cache_file_error& e) {
+        EXPECT_EQ(e.kind(), cache_file_error::failure::problem_mismatch);
+        EXPECT_EQ(e.path(), path);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(dse_session, save_is_atomic_and_leaves_no_temp_file)
+{
+    const std::string path = scratch("session_atomic.phlscache");
+    const std::string bytes = saved_cache_bytes(path);
+    // The write goes through `<path>.tmp` + rename, so a reader never
+    // observes a half-written cache and no temp file survives success.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+
+    // Re-saving over an existing file replaces it atomically too.
+    dse::session again(hal17());
+    again.load(path);
+    again.save(path);
+    std::ifstream is(path, std::ios::binary);
+    const std::string rewritten((std::istreambuf_iterator<char>(is)), {});
+    EXPECT_EQ(rewritten, bytes);
+    std::ifstream tmp2(path + ".tmp");
+    EXPECT_FALSE(tmp2.good());
+    std::remove(path.c_str());
+}
+
+TEST(dse_session, save_into_a_missing_directory_fails_loudly)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "no_such_dir/never.phlscache";
+    dse::session session(hal17());
+    session.explore(dse::list({{17, 7.5}}), {}, 1);
+    try {
+        session.save(path);
+        ADD_FAILURE() << "save into a missing directory succeeded";
+    } catch (const cache_file_error& e) {
+        EXPECT_EQ(e.kind(), cache_file_error::failure::io);
+        EXPECT_EQ(e.path(), path);
+    }
+}
+
+// -------------------------------------------------------- cache merge
+
+TEST(dse_session, merge_unions_disjoint_cache_files)
+{
+    // Two sessions each compute one half of the grid and save; a fresh
+    // session that merges both files replays the WHOLE grid at the
+    // metric level, like one cache that had computed everything.
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(6)) grid.push_back({17, cap});
+    const std::vector<synthesis_constraints> lo(grid.begin(), grid.begin() + 3);
+    const std::vector<synthesis_constraints> hi(grid.begin() + 3, grid.end());
+
+    const std::string lo_path = scratch("session_merge_lo.phlscache");
+    const std::string hi_path = scratch("session_merge_hi.phlscache");
+    {
+        dse::session a(hal17());
+        a.explore(dse::list(lo), {}, 1);
+        a.save(lo_path);
+        dse::session b(hal17());
+        b.explore(dse::list(hi), {}, 1);
+        b.save(hi_path);
+    }
+
+    dse::session merged(hal17());
+    const std::size_t from_lo = merged.merge(lo_path);
+    const std::size_t from_hi = merged.merge(hi_path);
+    EXPECT_GT(from_lo, 0u);
+    EXPECT_GT(from_hi, 0u);
+    // Merging the same file again contributes nothing.
+    EXPECT_EQ(merged.merge(lo_path), 0u);
+
+    const dse::explore_summary replay = merged.explore(dse::list(grid), {}, 1);
+    EXPECT_EQ(replay.metric_served, grid.size());
+
+    // And the replayed metrics match a cold evaluation exactly.
+    const std::vector<flow_report> reference = hal17().run_batch(grid, 1);
+    std::vector<flow_report> got;
+    dse::session check(hal17());
+    check.merge(lo_path);
+    check.merge(hi_path);
+    check.explore(dse::list(grid), collector(got), 1);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].st.code, reference[i].st.code) << i;
+        EXPECT_EQ(got[i].area, reference[i].area) << i;
+        EXPECT_EQ(got[i].peak, reference[i].peak) << i;
+        EXPECT_EQ(got[i].latency, reference[i].latency) << i;
+    }
+    std::remove(lo_path.c_str());
+    std::remove(hi_path.c_str());
+}
+
+TEST(dse_session, merge_rejects_a_foreign_problem)
+{
+    const std::string path = scratch("session_merge_foreign.phlscache");
+    saved_cache_bytes(path);
+    dse::session cosine_session(flow::on(make_cosine()).with_library(lib()).latency(15));
+    try {
+        cosine_session.merge(path);
+        ADD_FAILURE() << "merge accepted a cache for a different problem";
+    } catch (const cache_file_error& e) {
+        EXPECT_EQ(e.kind(), cache_file_error::failure::problem_mismatch);
+    }
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace phls

@@ -8,14 +8,25 @@
 //   phls sweep <bench|file.cdfg> -T 17 [--points 20] [--threads N] [--csv out.csv]
 //         [--cache-file sweep.phlscache] [--memo-limit N] [--refine]
 //         [--out front.csv|front.json]
+//         [--server unix:PATH|HOST:PORT]       run the sweep on a phls serve
+//         [--shards N [--shard-procs] [--shard-cache-dir DIR]]
 //   phls schedule <bench|file.cdfg> -T 17 -P 7 [--alg asap|alap|pasap|palap|fds]
 //   phls lifetime <bench|file.cdfg> -T 17 [--beta 0.1]
+//   phls serve --socket PATH | --port N | --stdio
+//         [--threads N] [--memo-limit N] [--timeout-ms N] [--allow-cache-save]
+//   phls cache merge <out.phlscache> <in.phlscache...>
+//
+// The distributed modes produce byte-identical sweep output: a --server
+// or --shards sweep prints the same table, front and exports as the
+// local session (see docs/SERVE.md).
 //
 // A positional that names a file ending in .cdfg is parsed from disk;
 // anything else must be a built-in benchmark name.  Output options
 // dispatch on extension: --csv wants .csv, --dot wants .dot, --verilog
 // wants .v, --out wants .csv or .json.
 #include <algorithm>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -29,6 +40,9 @@
 #include "dse/session.h"
 #include "flow/flow.h"
 #include "flow/pareto_stream.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/shard.h"
 #include "support/argparse.h"
 #include "support/errors.h"
 #include "support/csv.h"
@@ -264,6 +278,21 @@ void write_front_export(const std::string& path, const std::vector<export_row>& 
     check(static_cast<bool>(os), "failed writing '" + path + "'");
 }
 
+/// Opens a client channel from a --server spec: "unix:PATH" or
+/// "HOST:PORT".
+serve::channel connect_server(const std::string& spec)
+{
+    if (spec.rfind("unix:", 0) == 0) return serve::connect_unix(spec.substr(5));
+    const std::size_t colon = spec.rfind(':');
+    check(colon != std::string::npos && colon + 1 < spec.size(),
+          "--server expects unix:PATH or HOST:PORT, got '" + spec + "'");
+    char* end = nullptr;
+    const long port = std::strtol(spec.c_str() + colon + 1, &end, 10);
+    check(end && *end == '\0' && port > 0 && port < 65536,
+          "--server has a malformed port in '" + spec + "'");
+    return serve::connect_tcp(spec.substr(0, colon), static_cast<int>(port));
+}
+
 int cmd_sweep(const arg_parser& args)
 {
     const graph g = load_graph(args.positionals().at(1));
@@ -283,6 +312,29 @@ int cmd_sweep(const arg_parser& args)
                   "'");
     }
 
+    // Distribution modes.  All of them produce byte-identical stdout to
+    // the local session sweep: the table, envelope, front and exports
+    // only read metric projections, which survive the wire exactly.
+    const std::string server_spec = args.has("--server") ? args.get("--server") : "";
+    const int shards = args.get_int("--shards");
+    check(shards >= 1, "--shards must be >= 1");
+    const bool shard_procs = args.has("--shard-procs");
+    const std::string shard_dir =
+        args.has("--shard-cache-dir") ? args.get("--shard-cache-dir") : "";
+    const bool sharded = shards != 1 || shard_procs || !shard_dir.empty();
+    check(server_spec.empty() || !sharded,
+          "--server and --shards are different distribution modes; pick one");
+    if (!server_spec.empty())
+        check(!args.has("--cache-file"),
+              "--cache-file is a local option; a phls serve owns its own caches");
+    if (sharded) {
+        check(!args.has("--refine"),
+              "--refine (adaptive) sweeps cannot be sharded; drop one of the two");
+        check(!args.has("--cache-file"),
+              "--cache-file is for single-session sweeps; use --shard-cache-dir "
+              "and 'phls cache merge'");
+    }
+
     // The sweep runs as a dse::session: one bounded two-level cache owns
     // every memo, --cache-file persists it across processes (a repeated
     // sweep warm-starts and serves metric answers instead of
@@ -294,7 +346,9 @@ int cmd_sweep(const arg_parser& args)
         check(limit >= 0, "--memo-limit must be >= 0 (0 = unbounded)");
         opts.memo_limit = static_cast<std::size_t>(limit);
     }
-    dse::session session(proto, opts);
+    const bool local = server_spec.empty() && !sharded;
+    std::unique_ptr<dse::session> session;
+    if (local) session = std::make_unique<dse::session>(proto, opts);
 
     // A missing cache file is the normal first (cold) run; anything else
     // that prevents loading — unreadable file, a directory, corruption —
@@ -307,16 +361,18 @@ int cmd_sweep(const arg_parser& args)
         check(!probe_ec, "cannot probe cache file '" + cache_path +
                              "': " + probe_ec.message());
         if (present) {
-            const std::size_t loaded = session.load(cache_path);
+            const std::size_t loaded = session->load(cache_path);
             std::cerr << "loaded " << loaded << " memo records from " << cache_path
                       << '\n';
         }
     }
 
-    // The grid probe shares the session cache (warm runs serve its
-    // committed windows instead of re-deriving the problem from cold).
+    // The grid probe shares the session cache when there is one (warm
+    // runs serve its committed windows instead of re-deriving the
+    // problem from cold); distributed sweeps probe cold — the grid is a
+    // pure function of the problem, so the caps are identical.
     flow probe = proto;
-    probe.reuse(session.cache());
+    if (session) probe.reuse(session->cache());
     const std::vector<double> caps = probe.power_grid(points);
 
     const dse::space sp = args.has("--refine") ? dse::refine({T}, caps)
@@ -349,7 +405,33 @@ int cmd_sweep(const arg_parser& args)
                               d.entered.size(), d.left.size(), front_size,
                               front_size == 1 ? "" : "s");
     };
-    const dse::explore_summary sum = session.explore(sp, sink, threads);
+    std::vector<front_point> front;
+    std::size_t evaluated = 0;
+    if (!server_spec.empty()) {
+        serve::client client(connect_server(server_spec));
+        serve::job_request job = serve::make_job(proto, sp);
+        job.threads = threads;
+        const serve::done_frame done = client.explore(job, sink);
+        client.bye();
+        front = done.front;
+        evaluated = static_cast<std::size_t>(done.evaluated);
+    } else if (sharded) {
+        serve::shard_options so;
+        so.shards = shards;
+        so.processes = shard_procs;
+        so.threads_per_shard = threads;
+        so.memo_limit = opts.memo_limit;
+        so.cache_dir = shard_dir;
+        const serve::shard_summary sum = serve::explore_sharded(proto, sp, so, sink);
+        front = sum.front;
+        evaluated = sum.evaluated;
+        for (const std::string& path : sum.cache_files)
+            std::cerr << "saved shard cache " << path << '\n';
+    } else {
+        const dse::explore_summary sum = session->explore(sp, sink, threads);
+        front = sum.front;
+        evaluated = sum.evaluated;
+    }
 
     // Input-ordered rows whatever the completion order; with --refine
     // only the evaluated subset exists, which is exactly what the
@@ -373,18 +455,18 @@ int cmd_sweep(const arg_parser& args)
     }
     t.print(std::cout);
     if (args.has("--refine"))
-        std::cout << strf("refined: %zu of %zu lattice points evaluated\n",
-                          sum.evaluated, sum.space_size);
+        std::cout << strf("refined: %zu of %zu lattice points evaluated\n", evaluated,
+                          sp.size());
     if (!csv_path.empty()) {
         csv.save(csv_path);
         std::cout << "wrote " << csv_path << '\n';
     }
     if (!out_path.empty()) {
-        write_front_export(out_path, rows, sum.front);
+        write_front_export(out_path, rows, front);
         std::cout << "wrote " << out_path << '\n';
     }
     if (!cache_path.empty()) {
-        const std::size_t saved = session.save(cache_path);
+        const std::size_t saved = session->save(cache_path);
         std::cerr << "saved " << saved << " memo records to " << cache_path << '\n';
     }
     return 0;
@@ -471,10 +553,92 @@ int cmd_lifetime(const arg_parser& args)
     return 0;
 }
 
+/// The running server, for the SIGTERM/SIGINT handler.  A plain pointer
+/// store/load: the handler only calls request_stop(), which is one
+/// lock-free atomic store.
+serve::server* g_server = nullptr;
+
+void handle_stop_signal(int)
+{
+    if (g_server) g_server->request_stop();
+}
+
+int cmd_serve(const arg_parser& args)
+{
+    serve::serve_limits limits;
+    limits.threads = args.get_int("--threads");
+    check(limits.threads >= 0, "--threads must be >= 0 (0 = all cores)");
+    if (args.has("--memo-limit")) {
+        const int limit = args.get_int("--memo-limit");
+        check(limit >= 0, "--memo-limit must be >= 0 (0 = unbounded)");
+        limits.memo_limit = static_cast<std::size_t>(limit);
+    }
+    limits.allow_cache_save = args.has("--allow-cache-save");
+
+    if (args.has("--stdio")) {
+        // Protocol over stdin/stdout (logs keep to stderr): the shape a
+        // pipe supervisor or an ssh-launched worker wants.
+        serve::channel ch(0, 1);
+        serve::session_pool pool;
+        serve::serve_connection(ch, pool, limits);
+        return 0;
+    }
+
+    check(args.has("--socket") || args.has("--port"),
+          "serve needs --socket PATH, --port N or --stdio");
+    serve::server_options opts;
+    if (args.has("--socket")) opts.socket_path = args.get("--socket");
+    else opts.port = args.get_int("--port");
+    opts.client_timeout_ms = args.get_int("--timeout-ms");
+    check(opts.client_timeout_ms >= 0, "--timeout-ms must be >= 0 (0 = no timeout)");
+    opts.limits = limits;
+
+    serve::server srv(opts);
+    g_server = &srv;
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    // The "serving on" line is the readiness signal scripts wait for.
+    if (!opts.socket_path.empty())
+        std::cout << "serving on unix:" << opts.socket_path << std::endl;
+    else
+        std::cout << "serving on 127.0.0.1:" << srv.port() << std::endl;
+    srv.run();
+    srv.stop();
+    g_server = nullptr;
+    const serve::server::stats_snapshot st = srv.stats();
+    std::cout << strf("served %zu client(s): %zu job(s), %zu rejected, "
+                      "%zu protocol error(s), %zu session(s)\n",
+                      st.clients, st.jobs, st.rejects, st.protocol_errors,
+                      st.sessions);
+    return 0;
+}
+
+int cmd_cache(const arg_parser& args)
+{
+    const std::vector<std::string>& pos = args.positionals();
+    check(pos.size() >= 2 && pos[1] == "merge",
+          "usage: phls cache merge <out.phlscache> <in.phlscache...>");
+    check(pos.size() >= 4, "cache merge needs an output file and at least one input");
+    const std::string out = pos[2];
+    const std::vector<std::string> inputs(pos.begin() + 3, pos.end());
+
+    const cache_merge_stats stats = explore_cache::merge_files(out, inputs);
+    ascii_table t({"input", "committed", "metrics", "new committed", "new metrics"});
+    t.set_align(0, align::left);
+    for (const cache_merge_stats::input& in : stats.inputs)
+        t.add_row({in.path, std::to_string(in.committed), std::to_string(in.metrics),
+                   std::to_string(in.new_committed), std::to_string(in.new_metrics)});
+    t.add_row({"= " + out, std::to_string(stats.committed_total),
+               std::to_string(stats.metric_total), "", ""});
+    t.print(std::cout);
+    return 0;
+}
+
 int run(const std::vector<std::string>& argv)
 {
     arg_parser args(
-        "phls <list|strategies|show|synth|sweep|schedule|lifetime> [graph]");
+        "phls <list|strategies|show|synth|sweep|schedule|lifetime|serve|cache> "
+        "[graph]");
     args.add_option("--latency", "-T", "latency constraint in cycles");
     args.add_option("--power", "-P", "max power per clock cycle");
     args.add_option("--library", "-L", "module library file (default: Table 1)");
@@ -494,6 +658,21 @@ int run(const std::vector<std::string>& argv)
                     "(warm-starts repeated sweeps)");
     args.add_option("--memo-limit", "",
                     "max full reports held by the level-2 memo (0 = unbounded)");
+    args.add_option("--server", "",
+                    "run the sweep on a phls serve (unix:PATH or HOST:PORT)");
+    args.add_option("--shards", "",
+                    "split the sweep into N contiguous shards, merge the fronts", "1");
+    args.add_option("--shard-cache-dir", "",
+                    "save each shard's cache to DIR/shard<i>.phlscache");
+    args.add_option("--socket", "", "unix socket path for 'serve'");
+    args.add_option("--port", "", "loopback TCP port for 'serve' (0 = ephemeral)");
+    args.add_option("--timeout-ms", "",
+                    "per-client receive timeout for 'serve' (0 = none)", "30000");
+    args.add_flag("--shard-procs", "",
+                  "run each shard in a forked subprocess over the wire protocol");
+    args.add_flag("--stdio", "", "serve the wire protocol on stdin/stdout");
+    args.add_flag("--allow-cache-save", "",
+                  "let jobs ask the server to save session caches to disk");
     args.add_flag("--refine", "",
                   "evaluate the sweep grid adaptively (subdivide only where "
                   "the front changes)");
@@ -515,6 +694,8 @@ int run(const std::vector<std::string>& argv)
     const std::string& command = args.positionals().front();
     if (command == "list") return cmd_list();
     if (command == "strategies") return cmd_strategies();
+    if (command == "serve") return cmd_serve(args);
+    if (command == "cache") return cmd_cache(args);
     check(args.positionals().size() >= 2, "command '" + command + "' needs a graph");
     if (command == "show") return cmd_show(args);
     if (command == "synth") return cmd_synth(args);
