@@ -32,7 +32,11 @@
 //     the cold wall time; a memo-bounded session never holds more full
 //     reports than its capacity while still serving evicted duplicates
 //     as metric records; dse::refine evaluates a subset of the lattice
-//     yet lands on the same final front as the eager grid.
+//     yet lands on the same final front as the eager grid;
+//   * guided exploration -- explore_guided over a 10^4-point (T, Pmax)
+//     plane must land on the EXACT eager front while evaluating at most
+//     25% of the plane, its counters must partition the space, and the
+//     guided walk must beat the eager walk on wall time.
 //
 // The machine-readable summary (points/sec, per-level hit rates, warm
 // vs cold wall time, gate results) is written to BENCH_batch_sweep.json
@@ -350,6 +354,56 @@ int main()
                       ms_warm > 0.0 ? ms_cold / ms_warm : 0.0, refine_sum.evaluated,
                       refine_sum.space_size);
 
+    // ---- surrogate-guided exploration on a 10^4-point (T, Pmax) plane ----
+    //
+    // The headline guided workload: 20 latency bounds x 500 caps over
+    // hal.  Hard gates: the guided front must EQUAL the eager front
+    // point-for-point (the surrogate steers, never decides), the
+    // counters must partition the space, and at most 25% of the plane
+    // may be evaluated exactly.
+    std::cout << "=== surrogate-guided exploration on a 10^4-point plane ===\n";
+    std::vector<int> plane_lat;
+    for (int T = 17; T < 37; ++T) plane_lat.push_back(T);
+    std::vector<double> plane_caps;
+    for (int i = 0; i < 500; ++i)
+        plane_caps.push_back(2.0 + 18.0 * static_cast<double>(i) / 499.0);
+    const dse::space plane = dse::cross(plane_lat, plane_caps);
+
+    dse::session plane_eager(flow::on(g2).with_library(lib));
+    dse::explore_summary plane_eager_sum;
+    const double ms_plane_eager =
+        run_ms([&] { plane_eager_sum = plane_eager.explore(plane, {}, 0); });
+
+    dse::session plane_guided(flow::on(g2).with_library(lib));
+    dse::guided_summary plane_guided_sum;
+    const double ms_plane_guided = run_ms(
+        [&] { plane_guided_sum = plane_guided.explore_guided(plane, {}, {}, 0); });
+
+    const double guided_fraction =
+        static_cast<double>(plane_guided_sum.computed + plane_guided_sum.memo_served) /
+        static_cast<double>(plane_guided_sum.space_size);
+    const bool guided_identical = plane_guided_sum.front == plane_eager_sum.front;
+    const bool guided_partition =
+        plane_guided_sum.computed + plane_guided_sum.memo_served +
+            plane_guided_sum.skipped ==
+        plane_guided_sum.space_size;
+    const bool guided_frugal = guided_fraction <= 0.25;
+    const bool guided_faster = ms_plane_guided < ms_plane_eager;
+
+    ascii_table t4({"plane walk", "wall (ms)", "computed", "skipped", "fraction"});
+    t4.add_row({"eager", strf("%.1f", ms_plane_eager),
+                std::to_string(plane_eager_sum.evaluated), "0", "1.000"});
+    t4.add_row({"guided", strf("%.1f", ms_plane_guided),
+                std::to_string(plane_guided_sum.computed),
+                std::to_string(plane_guided_sum.skipped),
+                strf("%.3f", guided_fraction)});
+    t4.print(std::cout);
+    std::cout << strf("guided: %zu rounds, %zu trained rows, %zu verified, front %zu "
+                      "points; speedup vs eager %.1fx\n\n",
+                      plane_guided_sum.rounds, plane_guided_sum.trained_rows,
+                      plane_guided_sum.verified, plane_guided_sum.front.size(),
+                      ms_plane_guided > 0.0 ? ms_plane_eager / ms_plane_guided : 0.0);
+
     // ------------------------------------------------------------ gates
     //
     // The two wall-clock gates are deliberately hard (per ROADMAP) but
@@ -387,13 +441,22 @@ int main()
               << (bounded_ok ? "YES" : "NO") << '\n';
     std::cout << "refine lands on the eager grid's front: "
               << (refine_ok ? "YES" : "NO") << '\n';
+    std::cout << "guided front equals the eager front on the 10^4-point plane: "
+              << (guided_identical ? "YES" : "NO") << '\n';
+    std::cout << "guided counters partition the plane: "
+              << (guided_partition ? "YES" : "NO") << '\n';
+    std::cout << strf("guided evaluated fraction: %.3f (gate <= 0.25)\n",
+                      guided_fraction);
+    std::cout << "guided walk beats the eager walk on wall time: "
+              << (guided_faster ? "YES" : "NO") << '\n';
     std::cout << strf("elliptic speedup at 4 threads: %.2fx (gate %s)\n", speedup_at_4,
                       hard_scaling ? ">= 2x, hard" : "soft: fewer than 4 cores");
 
     const bool ok = all_identical && grid_identical && all_hit && committed_hit &&
                     report_hit && beats_l0 && pareto_matches && scaling_ok &&
                     session_identical && deltas_ok && warm_matches && warm_faster &&
-                    bounded_ok && refine_ok;
+                    bounded_ok && refine_ok && guided_identical && guided_partition &&
+                    guided_frugal && guided_faster;
 
     // Machine-readable trajectory: one flat JSON object per run, stable
     // keys, so successive PRs can be diffed/plotted without parsing the
@@ -433,6 +496,14 @@ int main()
         json << strf("  \"refine_wall_ms\": %.3f,\n", ms_refine);
         json << strf("  \"eager_wall_ms\": %.3f,\n", ms_eager);
         json << strf("  \"speedup_at_4_threads\": %.2f,\n", speedup_at_4);
+        json << strf("  \"guided_space\": %zu,\n", plane_guided_sum.space_size);
+        json << strf("  \"guided_computed\": %zu,\n", plane_guided_sum.computed);
+        json << strf("  \"guided_memo_served\": %zu,\n", plane_guided_sum.memo_served);
+        json << strf("  \"guided_skipped\": %zu,\n", plane_guided_sum.skipped);
+        json << strf("  \"guided_verified\": %zu,\n", plane_guided_sum.verified);
+        json << strf("  \"guided_evaluated_fraction\": %.4f,\n", guided_fraction);
+        json << strf("  \"guided_wall_ms\": %.3f,\n", ms_plane_guided);
+        json << strf("  \"guided_eager_wall_ms\": %.3f,\n", ms_plane_eager);
         json << strf("  \"gates_passed\": %s\n", ok ? "true" : "false");
         json << "}\n";
         std::cout << "wrote BENCH_batch_sweep.json\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -37,6 +38,84 @@ double elapsed_ms(std::chrono::steady_clock::time_point since)
     return std::chrono::duration<double, std::milli>(now - since).count();
 }
 
+/// Where a delivered report came from — the guided walk's counters tell
+/// exact computations and memo serves apart.
+enum class delivery_source { computed, memo_report, memo_metric };
+
+/// The surrogate may skip a point only while it is predicted infeasible
+/// by `margin` sigmas, or while its *optimistic* estimate (every
+/// objective shifted `margin` sigmas in the point's favour) is still
+/// dominated by the running exact front.  Anything less clear-cut lands
+/// in the exact-verify band and is evaluated.
+bool prunable(const estimate& e, std::size_t index, const synthesis_constraints& c,
+              const std::vector<front_point>& front, bool want_lifetime,
+              double margin)
+{
+    if (!e.ready) return false;
+    if (e.feasible.mean + margin * e.feasible.sigma < 0.5) return true;
+    if (!e.metrics_ready) return false;
+    front_point cand;
+    cand.index = index;
+    cand.latency_bound = c.latency;
+    cand.cap = c.max_power;
+    cand.peak = e.peak.mean - margin * e.peak.sigma;
+    cand.area = e.area.mean - margin * e.area.sigma;
+    cand.latency = c.latency;
+    cand.has_lifetime = want_lifetime;
+    cand.lifetime_seconds = e.lifetime.mean + margin * e.lifetime.sigma;
+    for (const front_point& a : front)
+        if (front_dominates(a, cand)) return true;
+    return false;
+}
+
+/// Region signatures of the evaluated points, addressable along both
+/// constraint axes: latency bound -> cap -> signature and its
+/// transpose.  This is what lets the guided walk prune the interiors of
+/// constant-outcome runs a regression band can never rule out.
+struct signature_grid {
+    std::map<int, std::map<double, std::string>> by_latency;
+    std::map<double, std::map<int, std::string>> by_cap;
+
+    void record(const flow_report& r)
+    {
+        const std::string sig = region_signature(r);
+        by_latency[r.constraints.latency][r.constraints.max_power] = sig;
+        by_cap[r.constraints.max_power][r.constraints.latency] = sig;
+    }
+
+    /// True when the nearest evaluated points strictly either side of
+    /// `key` in `row` landed on the same Pareto region.
+    template <typename Map, typename Key>
+    static bool run_interior(const Map& row, Key key)
+    {
+        const auto hi = row.upper_bound(key); // first strictly above
+        if (hi == row.end()) return false;
+        auto lo = row.lower_bound(key); // first not-below
+        if (lo == row.begin()) return false;
+        --lo; // largest strictly below
+        return lo->second == hi->second;
+    }
+
+    /// A metric plateau's interior cannot change the front: whichever
+    /// exact-tie representative survives the front's index collapse
+    /// sits on a run *boundary* (its lower neighbour differs), so the
+    /// interior points are skippable.  The 1-D analogue of refine's
+    /// uniform-cell rule: a heuristic (a pocket strictly between two
+    /// same-signature evaluations would be missed, like refine's
+    /// interior pockets), enforced byte-identical by the test and bench
+    /// gates.  Exact-duplicate points are deliberately NOT treated as
+    /// brackets — they are served from the memo instead, keeping the
+    /// lowest-index representative exact.
+    bool bracketed(const synthesis_constraints& c) const
+    {
+        const auto row = by_latency.find(c.latency);
+        if (row != by_latency.end() && run_interior(row->second, c.max_power))
+            return true;
+        const auto col = by_cap.find(c.max_power);
+        return col != by_cap.end() && run_interior(col->second, c.latency);
+    }
+};
+
 } // namespace
 
 /// Per-explore() mutable state: the incremental front, the summary under
@@ -47,19 +126,51 @@ struct session::delivery_state {
     explore_summary summary;
     bool want_signatures = false;
     std::unordered_map<std::size_t, std::string> signatures; ///< space index -> region
+    surrogate* model = nullptr;   ///< set only by explore_guided
+    signature_grid* grid = nullptr; ///< set only by the guided walk
+    std::size_t computed = 0;     ///< deliveries from the executor
+    std::size_t memo_served = 0;  ///< deliveries from the level-2 memo scan
+    std::size_t trained_rows = 0; ///< rows folded into the surrogate
+    /// Freshly delivered rows awaiting training, drained by train_fresh().
+    std::vector<std::pair<std::size_t, metric_record>> fresh;
 
     /// Folds one finished report in and fans it out to the sink.  Called
     /// serialised (scan loop or the executor's serialised callback).
-    void deliver(std::size_t index, const flow_report& report, bool metric)
+    void deliver(std::size_t index, const flow_report& report, delivery_source src)
     {
         ++summary.evaluated;
         if (report.st.ok()) ++summary.feasible;
-        if (metric) ++summary.metric_served;
+        if (src == delivery_source::memo_metric) ++summary.metric_served;
+        if (src == delivery_source::computed)
+            ++computed;
+        else
+            ++memo_served;
+        if (model != nullptr) fresh.emplace_back(index, metric_of(report));
+        if (grid != nullptr) grid->record(report);
         if (want_signatures) signatures.emplace(index, region_signature(report));
         front_delta delta;
         front.add(index, report, &delta);
         if (sk->on_result) sk->on_result(index, report);
         if (delta.changed() && sk->on_front) sk->on_front(delta);
+    }
+
+    /// Trains the pending fresh rows in *space-index* order, so the
+    /// model state (and therefore every prune decision downstream) is
+    /// independent of worker-completion order and thread count.
+    void train_fresh()
+    {
+        if (model == nullptr) {
+            fresh.clear();
+            return;
+        }
+        std::sort(fresh.begin(), fresh.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [index, m] : fresh) {
+            (void)index;
+            model->train(m);
+            ++trained_rows;
+        }
+        fresh.clear();
     }
 };
 
@@ -69,6 +180,29 @@ session::session(const flow& prototype, const session_options& opts)
     check(opts_.chunk >= 1, "session chunk size must be >= 1");
     cache_->set_report_capacity(opts_.memo_limit);
     flow_.reuse(cache_);
+}
+
+bool session::serve_from_memo(const space& s, std::size_t index,
+                              delivery_state& state)
+{
+    const synthesis_constraints c = s.at(index);
+    const std::string fp = flow_.fingerprint(c);
+    flow_report full;
+    if (cache_->report_lookup(fp, &full)) {
+        state.deliver(index, full, delivery_source::memo_report);
+        return true;
+    }
+    // Metric-only entries exist only after an eviction or a cache-file
+    // load; skip the per-point probe (one mutex round-trip each) when
+    // there are none.
+    if (opts_.metric_answers && cache_->report_metric_size() > 0) {
+        metric_record m;
+        if (cache_->metric_lookup(fp, &m)) {
+            state.deliver(index, metric_report(m), delivery_source::memo_metric);
+            return true;
+        }
+    }
+    return false;
 }
 
 void session::evaluate(const space& s, const std::vector<std::size_t>& indices,
@@ -83,40 +217,25 @@ void session::evaluate(const space& s, const std::vector<std::size_t>& indices,
     // invalid_argument (the run_batch contract) — memo-warm points
     // included, so skip the scan and let the executor fail them all.
     const bool malformed = threads < 0;
-    // Metric-only entries exist only after an eviction or a cache-file
-    // load; skip the per-point probe (one mutex round-trip each) when
-    // there are none.
-    const bool try_metrics =
-        opts_.metric_answers && cache_->report_metric_size() > 0;
     std::vector<synthesis_constraints> compute_points;
     std::vector<std::size_t> compute_indices;
     for (const std::size_t index : indices) {
-        const synthesis_constraints c = s.at(index);
-        if (!malformed) {
-            const std::string fp = flow_.fingerprint(c);
-            flow_report full;
-            if (cache_->report_lookup(fp, &full)) {
-                state.deliver(index, full, false);
-                continue;
-            }
-            if (try_metrics) {
-                metric_record m;
-                if (cache_->metric_lookup(fp, &m)) {
-                    state.deliver(index, metric_report(m), true);
-                    continue;
-                }
-            }
-        }
-        compute_points.push_back(c);
+        if (!malformed && serve_from_memo(s, index, state)) continue;
+        compute_points.push_back(s.at(index));
         compute_indices.push_back(index);
     }
-    if (compute_points.empty()) return;
-    flow_.run_batch_stream(
-        compute_points,
-        [&](std::size_t local, const flow_report& r) {
-            state.deliver(compute_indices[local], r, false);
-        },
-        threads);
+    if (!compute_points.empty())
+        flow_.run_batch_stream(
+            compute_points,
+            [&](std::size_t local, const flow_report& r) {
+                state.deliver(compute_indices[local], r, delivery_source::computed);
+            },
+            threads);
+    // Fresh rows train *after* the batch in space-index order, so the
+    // model is a function of the evaluated set alone, not of completion
+    // order — adaptive (refine) corner evaluations flow through here
+    // too, which is what makes refine+guided == refine+eager.
+    state.train_fresh();
 }
 
 explore_summary session::explore(const space& s, const sink& sk, int threads)
@@ -129,6 +248,154 @@ explore_summary session::explore(const space& s, const sink& sk, int threads)
     explore_summary summary = s.adaptive() ? explore_adaptive(s, state, threads)
                                            : explore_exhaustive(s, state, threads);
     summary.front = state.front.front();
+    summary.wall_ms = elapsed_ms(started);
+    return summary;
+}
+
+guided_summary session::explore_guided(const space& s, const guided_options& g,
+                                       const sink& sk, int threads)
+{
+    check(g.margin >= 0.0, "guided prune margin must be >= 0");
+    check(g.batch >= 1, "guided batch size must be >= 1");
+    const auto started = std::chrono::steady_clock::now();
+    delivery_state state;
+    state.sk = &sk;
+    state.summary.space_size = s.size();
+
+    surrogate model(flow_.library(), flow_.wants_lifetime(),
+                    {g.ridge, g.min_train});
+    // Seed the model from every warm record of this exact configuration
+    // (loaded cache files, previous explorations).  When pretraining
+    // runs, the scan below must not re-train its memo hits — they are
+    // the same records — so the model is attached only afterwards.
+    if (g.pretrain_from_cache) {
+        cache_->each_metric([&](const std::string& fp, const metric_record& m) {
+            if (fp != flow_.fingerprint(m.constraints)) return;
+            model.train(m);
+            ++state.trained_rows;
+        });
+    } else {
+        state.model = &model;
+    }
+
+    std::size_t verified = 0;
+    std::size_t rounds = 0;
+    std::size_t skipped = 0;
+
+    if (s.adaptive()) {
+        // refine owns the skip decisions on an adaptive lattice; the
+        // surrogate only trains (through evaluate()), so refine+guided
+        // delivers exactly what refine+eager delivers.
+        state.model = &model;
+        explore_adaptive(s, state, threads);
+        skipped = state.summary.space_size - state.summary.evaluated;
+    } else if (threads < 0) {
+        // run_batch contract: a malformed worker count fails every
+        // point — nothing may be pruned or memo-served.
+        state.model = &model;
+        explore_exhaustive(s, state, threads);
+    } else {
+        // Scan every point once: memo hits deliver (and count) now, the
+        // rest become the pending pool the surrogate steers through.
+        signature_grid grid;
+        state.grid = &grid;
+        std::vector<std::size_t> pending;
+        s.enumerate([&](std::size_t index, const synthesis_constraints&) {
+            if (!serve_from_memo(s, index, state)) pending.push_back(index);
+            return true;
+        });
+        state.train_fresh();
+        state.model = &model;
+
+        const bool want_lifetime = flow_.wants_lifetime();
+        struct scored {
+            std::size_t index;
+            double area;
+            double peak;
+        };
+        while (!pending.empty()) {
+            if (g.eval_budget != 0 && state.computed >= g.eval_budget) break;
+            ++rounds;
+            const bool steering = model.ready();
+            const std::vector<front_point>& front = state.front.front();
+            std::vector<std::size_t> keep_raw;
+            std::vector<scored> ranked;
+            std::vector<std::size_t> pruned;
+            for (const std::size_t index : pending) {
+                const synthesis_constraints c = s.at(index);
+                if (grid.bracketed(c)) {
+                    pruned.push_back(index);
+                    continue;
+                }
+                if (!steering) {
+                    keep_raw.push_back(index);
+                    continue;
+                }
+                const estimate e = model.predict(c);
+                if (prunable(e, index, c, front, want_lifetime, g.margin))
+                    pruned.push_back(index);
+                else
+                    ranked.push_back({index, e.area.mean, e.peak.mean});
+            }
+            std::vector<std::size_t> keep;
+            if (!steering) {
+                // Seed rounds sample the pending pool with a stride, so
+                // the first g.batch evaluations *span* the space instead
+                // of piling into one corner — the model's first fit (and
+                // its leverage bands) then rest on a covering design.
+                const std::size_t stride =
+                    std::max<std::size_t>(1, keep_raw.size() / g.batch);
+                keep.reserve(keep_raw.size());
+                for (std::size_t offset = 0; offset < stride; ++offset)
+                    for (std::size_t k = offset; k < keep_raw.size(); k += stride)
+                        keep.push_back(keep_raw[k]);
+            } else {
+                // Best-predicted-first: the points the model expects on
+                // the front evaluate early, so later audits prune
+                // against a tight exact front.
+                std::sort(ranked.begin(), ranked.end(),
+                          [](const scored& a, const scored& b) {
+                              if (a.area != b.area) return a.area < b.area;
+                              if (a.peak != b.peak) return a.peak < b.peak;
+                              return a.index < b.index;
+                          });
+                keep.reserve(ranked.size());
+                for (const scored& r : ranked) keep.push_back(r.index);
+            }
+            if (keep.empty()) {
+                // Fixpoint: every pending point stays prunable against
+                // the final model and the final exact front.
+                pending = std::move(pruned);
+                break;
+            }
+            std::size_t take = std::min<std::size_t>(g.batch, keep.size());
+            if (g.eval_budget != 0)
+                take = std::min<std::size_t>(take, g.eval_budget - state.computed);
+            const std::vector<std::size_t> block(
+                keep.begin(), keep.begin() + static_cast<std::ptrdiff_t>(take));
+            const std::size_t computed_before = state.computed;
+            evaluate(s, block, state, threads);
+            if (steering) verified += state.computed - computed_before;
+            // Everything not in this round's block stays pending and is
+            // re-audited against the refit model and the grown front.
+            std::vector<std::size_t> rest(
+                keep.begin() + static_cast<std::ptrdiff_t>(take), keep.end());
+            rest.insert(rest.end(), pruned.begin(), pruned.end());
+            std::sort(rest.begin(), rest.end());
+            pending = std::move(rest);
+        }
+        skipped = pending.size();
+    }
+
+    guided_summary summary;
+    static_cast<explore_summary&>(summary) = state.summary;
+    summary.front = state.front.front();
+    summary.computed = state.computed;
+    summary.memo_served = state.memo_served;
+    summary.skipped = skipped;
+    summary.verified = verified;
+    summary.rounds = rounds;
+    summary.trained_rows = state.trained_rows;
     summary.wall_ms = elapsed_ms(started);
     return summary;
 }

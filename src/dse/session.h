@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "dse/space.h"
+#include "dse/surrogate.h"
 #include "flow/explore_cache.h"
 #include "flow/flow.h"
 #include "flow/pareto_stream.h"
@@ -83,6 +84,47 @@ struct explore_summary {
     double wall_ms = 0.0;           ///< wall-clock time of the exploration
 };
 
+/// Knobs of one explore_guided() call.
+struct guided_options {
+    /// Prune margin, in prediction-sigma units: a pending point is
+    /// skipped only while its *optimistic* prediction (mean shifted
+    /// `margin` sigmas in the point's favour) is predicted infeasible or
+    /// dominated by the running exact front.  Larger margins widen the
+    /// exact-verify band (safer, more evaluations); must be >= 0.
+    double margin = 3.0;
+    /// Hard cap on exact evaluations; 0 = unbounded.  A binding budget
+    /// deliberately trades the front-identity guarantee for cost — the
+    /// points left unevaluated are reported as skipped.
+    std::size_t eval_budget = 0;
+    /// Exact evaluations per guided round; the model refits and every
+    /// pending point is re-audited between rounds.  Must be >= 1.
+    /// Larger batches spread coverage faster (signature brackets form
+    /// sooner), smaller ones audit more often; 256 measures best on
+    /// 10^4-point planes.
+    std::size_t batch = 256;
+    /// Training rows before the surrogate may prune at all (forwarded
+    /// to surrogate_options::min_rows).
+    std::size_t min_train = 24;
+    /// Ridge strength of the linear models; must be > 0.
+    double ridge = 1e-6;
+    /// Seed the model from this session's warm metric records (loaded
+    /// cache files / previous explorations of the same configuration)
+    /// before the walk starts.
+    bool pretrain_from_cache = true;
+};
+
+/// Outcome of one explore_guided() call.  The base counters keep their
+/// explore() meaning: `evaluated` counts *delivered* points — exact
+/// computations plus memo serves; skipped points are never delivered.
+struct guided_summary : explore_summary {
+    std::size_t computed = 0;    ///< points evaluated exactly (executor or refine corner)
+    std::size_t memo_served = 0; ///< points answered from the memo during the scan
+    std::size_t skipped = 0;     ///< points pruned by the surrogate, never delivered
+    std::size_t verified = 0;    ///< exact evaluations ordered by a *ready* model
+    std::size_t rounds = 0;      ///< guided refit/audit rounds run
+    std::size_t trained_rows = 0; ///< rows folded into the model (incl. pretraining)
+};
+
 /// One design problem + one cache + many explorations.  Not thread-safe
 /// itself (one explore() at a time); the evaluation inside fans out over
 /// the worker pool.
@@ -125,13 +167,37 @@ public:
     /// served as metric-only reports when metric_answers allows.
     explore_summary explore(const space& s, const sink& sk = {}, int threads = 0);
 
+    /// Like explore(), but steered by an incremental surrogate: pending
+    /// points are evaluated best-predicted-first in rounds, and points
+    /// whose optimistic prediction stays dominated by the running front
+    /// by `g.margin` sigmas — or that sit strictly inside a
+    /// constant-signature run of evaluated neighbours (the 1-D analogue
+    /// of refine's uniform-cell rule) — are skipped without ever being
+    /// delivered.
+    /// Every surviving point is evaluated *exactly* — the surrogate
+    /// steers, never decides — and with an unbounded eval_budget the
+    /// returned front is gated byte-identical to explore()'s.
+    /// Counters satisfy computed + memo_served + skipped == space_size.
+    /// Adaptive (refine) spaces run the refine walk with every corner
+    /// training the model but no surrogate pruning (refine owns its own
+    /// skip decisions), so refine+guided == refine+eager.
+    guided_summary explore_guided(const space& s, const guided_options& g = {},
+                                  const sink& sk = {}, int threads = 0);
+
 private:
     struct delivery_state;
 
     /// Evaluates `indices` (space indices into `s`), serving memo hits
-    /// and batching the rest through the flow executor.
+    /// and batching the rest through the flow executor.  When the state
+    /// carries a surrogate, the freshly delivered rows are trained in
+    /// space-index order before returning.
     void evaluate(const space& s, const std::vector<std::size_t>& indices,
                   delivery_state& state, int threads);
+
+    /// Serves `index` from the level-2 memo if possible; returns false
+    /// when the point must be computed.
+    bool serve_from_memo(const space& s, std::size_t index,
+                         delivery_state& state);
 
     explore_summary explore_exhaustive(const space& s, delivery_state& state,
                                        int threads);

@@ -587,6 +587,22 @@ std::size_t explore_cache::report_metric_size() const
     return reports_->entries.size() - reports_->full_count;
 }
 
+void explore_cache::each_metric(
+    const std::function<void(const std::string&, const metric_record&)>& fn) const
+{
+    // Snapshot under the lock, call back outside it: the visitor may
+    // probe (or store into) this cache without deadlocking.  std::map
+    // iteration makes the order the canonical fingerprint order.
+    std::vector<std::pair<std::string, metric_record>> snapshot;
+    {
+        const std::lock_guard<std::mutex> lock(reports_->mutex);
+        snapshot.reserve(reports_->entries.size());
+        for (const auto& [fp, e] : reports_->entries)
+            snapshot.emplace_back(fp, e.metrics);
+    }
+    for (const auto& [fp, m] : snapshot) fn(fp, m);
+}
+
 // ------------------------------------------------------------ persistence
 
 std::size_t explore_cache::save(const std::string& path) const

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -246,6 +247,15 @@ public:
     std::size_t report_full_size() const;
     /// Metric-only records currently held (evicted or loaded entries).
     std::size_t report_metric_size() const;
+
+    /// Visits the metric projection of every level-2 entry (full or
+    /// metric-only) as (fingerprint, record), in canonical fingerprint
+    /// order.  The entries are snapshotted first, so the callback may
+    /// probe or mutate the cache.  This is how dse::session pretrains
+    /// its guided-exploration surrogate from a warm cache.
+    void each_metric(
+        const std::function<void(const std::string& fingerprint,
+                                 const metric_record& record)>& fn) const;
 
     /// Persists the memo tables to `path`: the level-1 committed-window
     /// table (exact values — warm runs recompute nothing and stay

@@ -77,6 +77,15 @@ struct merge_state {
         std::lock_guard<std::mutex> lock(mutex);
         summary.metric_served += n;
     }
+
+    void add_guided(const dse::guided_summary& sum)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        summary.metric_served += sum.metric_served;
+        summary.computed += sum.computed;
+        summary.skipped += sum.skipped;
+        summary.verified += sum.verified;
+    }
 };
 
 void run_shards_threads(const flow& prototype, const dse::space& s,
@@ -115,9 +124,18 @@ void run_shards_threads(const flow& prototype, const dse::space& s,
                 local.on_result = [&w, &state](std::size_t li, const flow_report& r) {
                     state.deliver(w.range.begin + li, r);
                 };
-                const dse::explore_summary sum =
-                    w.session->explore(w.sub, local, opts.threads_per_shard);
-                state.add_metric_served(sum.metric_served);
+                if (opts.guided) {
+                    dse::guided_options go;
+                    go.margin = opts.prune_margin;
+                    go.eval_budget = opts.eval_budget;
+                    const dse::guided_summary sum = w.session->explore_guided(
+                        w.sub, go, local, opts.threads_per_shard);
+                    state.add_guided(sum);
+                } else {
+                    const dse::explore_summary sum =
+                        w.session->explore(w.sub, local, opts.threads_per_shard);
+                    state.add_metric_served(sum.metric_served);
+                }
                 if (!w.cache_path.empty()) w.session->save(w.cache_path);
             } catch (...) {
                 w.failure = std::current_exception();
@@ -265,6 +283,9 @@ shard_summary explore_sharded(const flow& prototype, const dse::space& s,
     check(!s.adaptive(),
           "adaptive (refine) spaces cannot be sharded: subdivision decisions "
           "span the whole lattice -- evaluate them in one session");
+    check(!(opts.guided && opts.processes),
+          "guided sweeps cannot use forked shard workers: wire jobs are "
+          "eager -- use in-process (threads) shards");
     const auto started = std::chrono::steady_clock::now();
 
     merge_state state;

@@ -46,6 +46,20 @@ struct shard_options {
     /// When non-empty, each non-empty shard saves its cache to
     /// `<cache_dir>/shard<i>.phlscache` (the directory must exist).
     std::string cache_dir;
+    /// Run each shard's slice with session::explore_guided instead of
+    /// the eager walk: every shard fits its own surrogate on its slice
+    /// and prunes locally.  Because the front of a union is the front
+    /// of the union of per-slice fronts, per-shard front identity
+    /// composes into global front identity (gated in bench_surrogate).
+    /// Threads mode only — forked wire workers run eager jobs, so
+    /// guided + processes is rejected.
+    bool guided = false;
+    /// Forwarded to guided_options::margin for every shard.
+    double prune_margin = 3.0;
+    /// Forwarded to guided_options::eval_budget, *per shard* (0 =
+    /// unbounded).  A binding budget trades front identity for cost,
+    /// exactly like the single-session knob.
+    std::size_t eval_budget = 0;
 };
 
 /// Outcome of one sharded sweep — the same counters as a session's
@@ -55,6 +69,9 @@ struct shard_summary {
     std::size_t evaluated = 0;      ///< points delivered across all shards
     std::size_t feasible = 0;       ///< delivered points with an ok status
     std::size_t metric_served = 0;  ///< points answered from warm metrics
+    std::size_t computed = 0;  ///< guided sweeps: exact evaluations, summed over shards
+    std::size_t skipped = 0;   ///< guided sweeps: surrogate-pruned points, never delivered
+    std::size_t verified = 0;  ///< guided sweeps: exact evaluations ordered by ready models
     std::vector<front_point> front; ///< global front == single-process front
     std::vector<std::string> cache_files; ///< saved per-shard caches, in shard order
     double wall_ms = 0.0;                 ///< wall-clock time of the sweep

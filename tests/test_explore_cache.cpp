@@ -348,6 +348,41 @@ TEST(explore_cache, memo_levels_can_be_disabled_without_changing_results)
     EXPECT_GT(cache->stats().hits, 0); // level 0 invariants still serve
 }
 
+TEST(explore_cache, each_metric_snapshots_every_stored_record)
+{
+    // each_metric is the surrogate's pretraining feed: it must visit
+    // every stored metric record exactly once, with its fingerprint,
+    // and tolerate re-entrant cache use from inside the callback.
+    const graph g = make_hal();
+    const flow f = flow::on(g).with_library(lib()).latency(17);
+    const std::vector<synthesis_constraints> grid = hal_grid(8);
+    const auto cache = f.build_cache();
+    flow::on(g).with_library(lib()).latency(17).reuse(cache).run_batch(grid, 1);
+
+    std::size_t visited = 0;
+    std::set<std::string> fingerprints;
+    std::set<double> caps;
+    cache->each_metric([&](const std::string& fp, const metric_record& m) {
+        ++visited;
+        EXPECT_FALSE(fp.empty());
+        fingerprints.insert(fp);
+        caps.insert(m.constraints.max_power);
+        EXPECT_EQ(m.constraints.latency, 17);
+        // Re-entrant lookups must not deadlock (fn runs outside the lock).
+        flow_report probe;
+        EXPECT_TRUE(cache->report_lookup(fp, &probe));
+    });
+    EXPECT_EQ(visited, grid.size());
+    EXPECT_EQ(fingerprints.size(), grid.size());
+    EXPECT_EQ(caps.size(), grid.size());
+
+    // An empty cache yields nothing.
+    std::size_t empty_visits = 0;
+    f.build_cache()->each_metric(
+        [&](const std::string&, const metric_record&) { ++empty_visits; });
+    EXPECT_EQ(empty_visits, 0u);
+}
+
 // -------------------------------------------------------------- streaming
 
 TEST(flow_stream, callback_sees_every_point_exactly_once)

@@ -221,6 +221,55 @@ TEST(shard, per_shard_cache_files_union_into_the_single_warm_cache)
     for (const std::string& path : sum.cache_files) std::remove(path.c_str());
 }
 
+// ------------------------------------------------------- guided shards
+
+TEST(shard, guided_shards_land_on_the_single_process_front)
+{
+    // Per-shard surrogates prune locally; the merged front must still
+    // equal the single-process eager front, and the summed counters
+    // must partition the space (memo serves are evaluated - computed).
+    std::vector<synthesis_constraints> grid;
+    for (int T : {17, 19, 21})
+        for (double cap : hal17().power_grid(40)) grid.push_back({T, cap});
+    const std::vector<front_point> want = reference_front(grid);
+
+    for (const int shards : {1, 3}) {
+        serve::shard_options opts;
+        opts.shards = shards;
+        opts.threads_per_shard = 2;
+        opts.guided = true;
+        const serve::shard_summary sum =
+            serve::explore_sharded(hal17(), dse::list(grid), opts);
+        expect_same_front(sum.front, want);
+        EXPECT_EQ(sum.evaluated + sum.skipped, grid.size()) << shards << " shards";
+        EXPECT_LE(sum.computed, sum.evaluated) << shards << " shards";
+    }
+}
+
+TEST(shard, guided_rejects_forked_workers)
+{
+    serve::shard_options opts;
+    opts.shards = 2;
+    opts.processes = true;
+    opts.guided = true;
+    EXPECT_THROW(
+        serve::explore_sharded(hal17(), dse::list(duplicated_grid(4)), opts), error);
+}
+
+TEST(shard, guided_per_shard_budget_caps_each_shard)
+{
+    std::vector<synthesis_constraints> grid;
+    for (double cap : hal17().power_grid(60)) grid.push_back({17, cap});
+    serve::shard_options opts;
+    opts.shards = 2;
+    opts.guided = true;
+    opts.eval_budget = 10; // per shard
+    const serve::shard_summary sum =
+        serve::explore_sharded(hal17(), dse::list(grid), opts);
+    EXPECT_LE(sum.computed, 2u * 10u);
+    EXPECT_EQ(sum.evaluated + sum.skipped, grid.size());
+}
+
 TEST(shard, merge_files_combines_shard_caches_into_one_loadable_file)
 {
     // Six DISTINCT caps: the two shards see disjoint point sets, so

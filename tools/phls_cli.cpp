@@ -7,6 +7,7 @@
 //         [--netlist] [--verilog out.v] [--dot out.dot] [--synth greedy|exact|...]
 //   phls sweep <bench|file.cdfg> -T 17 [--points 20] [--threads N] [--csv out.csv]
 //         [--cache-file sweep.phlscache] [--memo-limit N] [--refine]
+//         [--guided [--prune-margin M] [--eval-budget N]]
 //         [--out front.csv|front.json]
 //         [--server unix:PATH|HOST:PORT]       run the sweep on a phls serve
 //         [--shards N [--shard-procs] [--shard-cache-dir DIR]]
@@ -223,11 +224,23 @@ export_row to_export_row(std::size_t index, const flow_report& r)
     return e;
 }
 
+/// Counters of a --guided sweep, exported so downstream tooling can
+/// audit what fraction of the space was evaluated exactly.
+struct guided_export {
+    std::size_t space = 0;       ///< points the space describes
+    std::size_t computed = 0;    ///< exact evaluations
+    std::size_t memo_served = 0; ///< memo answers during the scan
+    std::size_t skipped = 0;     ///< surrogate-pruned, never delivered
+    std::size_t verified = 0;    ///< exact evaluations ordered by a ready model
+};
+
 /// Writes the final front + every evaluated per-point report to `path`,
 /// dispatching on the extension (.csv or .json) like every other output
-/// option.
+/// option.  A --guided sweep additionally exports its counters in the
+/// JSON form (the CSV form is rows-only by design).
 void write_front_export(const std::string& path, const std::vector<export_row>& rows,
-                        const std::vector<front_point>& front)
+                        const std::vector<front_point>& front,
+                        const guided_export* guided = nullptr)
 {
     std::set<std::size_t> on_front;
     for (const front_point& p : front) on_front.insert(p.index);
@@ -265,7 +278,20 @@ void write_front_export(const std::string& path, const std::vector<export_row>& 
         if (e.has_lifetime) os << strf(", \"lifetime_s\": %.17g", e.lifetime_seconds);
         os << (i + 1 < rows.size() ? "},\n" : "}\n");
     }
-    os << "  ],\n  \"front\": [\n";
+    os << "  ],\n";
+    if (guided) {
+        const double fraction =
+            guided->space > 0
+                ? static_cast<double>(guided->computed + guided->memo_served) /
+                      static_cast<double>(guided->space)
+                : 0.0;
+        os << strf("  \"guided\": {\"space\": %zu, \"computed\": %zu, "
+                   "\"memo_served\": %zu, \"skipped\": %zu, \"verified\": %zu, "
+                   "\"evaluated_fraction\": %.17g},\n",
+                   guided->space, guided->computed, guided->memo_served,
+                   guided->skipped, guided->verified, fraction);
+    }
+    os << "  \"front\": [\n";
     for (std::size_t i = 0; i < front.size(); ++i) {
         const front_point& p = front[i];
         os << strf("    {\"index\": %zu, \"latency_bound\": %d, \"cap\": %.17g, "
@@ -324,6 +350,20 @@ int cmd_sweep(const arg_parser& args)
     const bool sharded = shards != 1 || shard_procs || !shard_dir.empty();
     check(server_spec.empty() || !sharded,
           "--server and --shards are different distribution modes; pick one");
+    const bool guided = args.has("--guided");
+    const double prune_margin = args.get_double("--prune-margin");
+    const int eval_budget = args.get_int("--eval-budget");
+    check(guided || (!args.has("--prune-margin") && !args.has("--eval-budget")),
+          "--prune-margin and --eval-budget only apply to --guided sweeps");
+    if (guided) {
+        check(prune_margin >= 0.0, "--prune-margin must be >= 0");
+        check(eval_budget >= 0, "--eval-budget must be >= 0 (0 = unbounded)");
+        check(server_spec.empty(),
+              "--guided is a session-side walk; a phls serve runs eager jobs");
+        check(!shard_procs,
+              "--guided sweeps cannot use forked shard workers: wire jobs are "
+              "eager -- drop --shard-procs");
+    }
     if (!server_spec.empty())
         check(!args.has("--cache-file"),
               "--cache-file is a local option; a phls serve owns its own caches");
@@ -407,6 +447,8 @@ int cmd_sweep(const arg_parser& args)
     };
     std::vector<front_point> front;
     std::size_t evaluated = 0;
+    guided_export gx;
+    gx.space = sp.size();
     if (!server_spec.empty()) {
         serve::client client(connect_server(server_spec));
         serve::job_request job = serve::make_job(proto, sp);
@@ -422,16 +464,41 @@ int cmd_sweep(const arg_parser& args)
         so.threads_per_shard = threads;
         so.memo_limit = opts.memo_limit;
         so.cache_dir = shard_dir;
+        so.guided = guided;
+        so.prune_margin = prune_margin;
+        so.eval_budget = static_cast<std::size_t>(eval_budget);
         const serve::shard_summary sum = serve::explore_sharded(proto, sp, so, sink);
         front = sum.front;
         evaluated = sum.evaluated;
+        gx.computed = sum.computed;
+        gx.memo_served = sum.evaluated - sum.computed;
+        gx.skipped = sum.skipped;
+        gx.verified = sum.verified;
         for (const std::string& path : sum.cache_files)
             std::cerr << "saved shard cache " << path << '\n';
+    } else if (guided) {
+        dse::guided_options go;
+        go.margin = prune_margin;
+        go.eval_budget = static_cast<std::size_t>(eval_budget);
+        const dse::guided_summary sum = session->explore_guided(sp, go, sink, threads);
+        front = sum.front;
+        evaluated = sum.evaluated;
+        gx.computed = sum.computed;
+        gx.memo_served = sum.memo_served;
+        gx.skipped = sum.skipped;
+        gx.verified = sum.verified;
     } else {
         const dse::explore_summary sum = session->explore(sp, sink, threads);
         front = sum.front;
         evaluated = sum.evaluated;
     }
+    // Guided counters go to stderr so a no-prune guided sweep's stdout
+    // stays byte-identical to the eager sweep's.
+    if (guided)
+        std::cerr << strf("guided: %zu computed + %zu memo + %zu skipped of %zu "
+                          "points (%zu verified)\n",
+                          gx.computed, gx.memo_served, gx.skipped, gx.space,
+                          gx.verified);
 
     // Input-ordered rows whatever the completion order; with --refine
     // only the evaluated subset exists, which is exactly what the
@@ -462,7 +529,7 @@ int cmd_sweep(const arg_parser& args)
         std::cout << "wrote " << csv_path << '\n';
     }
     if (!out_path.empty()) {
-        write_front_export(out_path, rows, front);
+        write_front_export(out_path, rows, front, guided ? &gx : nullptr);
         std::cout << "wrote " << out_path << '\n';
     }
     if (!cache_path.empty()) {
@@ -676,6 +743,14 @@ int run(const std::vector<std::string>& argv)
     args.add_flag("--refine", "",
                   "evaluate the sweep grid adaptively (subdivide only where "
                   "the front changes)");
+    args.add_flag("--guided", "",
+                  "steer the sweep with an incremental surrogate: order by "
+                  "prediction, prune margin-dominated points, verify the front "
+                  "exactly");
+    args.add_option("--prune-margin", "",
+                    "guided prune margin in prediction-sigma units (>= 0)", "3");
+    args.add_option("--eval-budget", "",
+                    "guided hard cap on exact evaluations (0 = unbounded)", "0");
     args.add_flag("--netlist", "", "print the datapath netlist");
     args.add_flag("--progress", "",
                   "stream sweep progress + incremental Pareto-front deltas to stderr");
