@@ -15,15 +15,19 @@
 //     isolation.
 //
 // Workloads: the paper benchmarks (trajectory rows) and a scaled
-// synthetic random-DAG family (100..1000 operations).  Gates:
+// synthetic random-DAG family (100..1000 operations), plus a 10k-op
+// row timing the data-oriented candidate path (SoA arena + flat
+// sorted store) against the PR-5 map-backed store.  Gates:
 //
 //   * identity (always hard): both paths must produce bit-identical
-//     placements / partitioning results, and the full 120-point
+//     placements / partitioning results -- including the 10k-op row at
+//     1/2/8 intra-point threads -- and the full 120-point
 //     duplicate-heavy (T, Pmax) grid must yield byte-identical
 //     flow_reports with every kernel optimised vs every kernel on the
 //     reference path, at 1/2/8 threads, cached and uncached;
-//   * speedup (>= 2x per kernel on the 1000-op synthetic graph): hard
-//     only when a steady, repeatable clock is detected (and
+//   * speedup (>= 2x per kernel on the 1000-op synthetic graph, >= 3x
+//     for the candidates kernel on the 10k-op row vs the PR-5 path):
+//     hard only when a steady, repeatable clock is detected (and
 //     PHLS_BENCH_SOFT is unset) -- on noisy CI hardware the speedups
 //     are reported as WARN instead of failing the job.
 //
@@ -80,6 +84,21 @@ kernel_tuning all_reference()
     k.skip_probe = false;
     k.incremental_candidates = false;
     k.undo_log = false;
+    k.soa_arena = false;
+    k.dense_power = false;
+    k.intra_threads = 1;
+    return k;
+}
+
+/// The PR-5 kernel set: incremental store + skip probe + undo log, but
+/// none of the data-oriented paths (SoA arena, flat store, dense power
+/// probing, intra-point threads).  The 10k-op row gates against this.
+kernel_tuning pr5_kernels()
+{
+    kernel_tuning k;
+    k.soa_arena = false;
+    k.dense_power = false;
+    k.intra_threads = 1;
     return k;
 }
 
@@ -353,6 +372,60 @@ int main()
     clique_table.print(std::cout);
     std::cout << '\n';
 
+    // ------------------------------------------- 10k-op candidates row
+    //
+    // The data-oriented core's target scale: one 10k-operation ALU
+    // workload from the same family, attempt-bounded, timing the flat
+    // SoA candidate path against the PR-5 kernels (classic map-backed
+    // incremental store).  The render must be byte-identical across the
+    // seed-era reference, the PR-5 path, and the arena path at 1/2/8
+    // intra-point threads; the candidates-kernel speedup gates >= 3x on
+    // a steady clock.
+    std::cout << "=== kernel: 10k-op candidates row (SoA arena vs PR-5 path) ===\n";
+    double cand_speedup_10k = 0.0;
+    double cand_pr5_10k = 0.0, cand_opt_10k = 0.0;
+    bool identical_10k = true;
+    {
+        graph g = random_dag({10000, 833, 10, 0.0, 0.05, 0.8}, 777 + 10000);
+        const double cap = 2.5 * pmax;
+        const pasap_result lo =
+            pasap(g, lib, fastest_assignment(g, lib, cap), cap, {});
+        if (lo.feasible) {
+            const synthesis_constraints c{lo.sched.latency(lib) + 4, cap};
+            synthesis_options o;
+            o.try_both_prospects = false;
+            o.verify_result = false;
+            o.max_merge_attempts = 2; // bounded so the reference rerun stays affordable
+            o.lock_from_start = true;
+
+            const clique_sample opt = run_clique(g, lib, c, o, kernel_tuning{});
+            const clique_sample pr5 = run_clique(g, lib, c, o, pr5_kernels());
+            const clique_sample ref = run_clique(g, lib, c, o, all_reference());
+            identical_10k = opt.render == pr5.render && opt.render == ref.render;
+            for (const int threads : {2, 8}) {
+                kernel_tuning k;
+                k.intra_threads = threads;
+                const clique_sample t = run_clique(g, lib, c, o, k);
+                identical_10k = identical_10k && t.render == opt.render;
+            }
+            identity_ok = identity_ok && identical_10k;
+            cand_pr5_10k = pr5.candidates_ms;
+            cand_opt_10k = opt.candidates_ms;
+            cand_speedup_10k =
+                opt.candidates_ms > 0.0 ? pr5.candidates_ms / opt.candidates_ms : 0.0;
+            ascii_table t10({"workload", "ops", "attempts", "cands pr5/opt (ms)",
+                             "speedup", "identical"});
+            t10.add_row({"synthetic-10000", std::to_string(g.node_count()), "2",
+                         strf("%.1f / %.1f", cand_pr5_10k, cand_opt_10k),
+                         strf("%.2fx", cand_speedup_10k),
+                         identical_10k ? "yes" : "NO"});
+            t10.print(std::cout);
+        } else {
+            std::cout << "  (10k-op pasap infeasible under the cap; row skipped)\n";
+        }
+    }
+    std::cout << '\n';
+
     // ----------------- byte-identity on the full 120-point bench grid
     //
     // The same duplicate-heavy 2-D (T, Pmax) grid bench_batch_sweep
@@ -397,9 +470,11 @@ int main()
     const bool probe_gate = probe_speedup_1000 >= 2.0;
     const bool cand_gate = cand_speedup_1000 >= 2.0;
     const bool roll_gate = roll_speedup_1000 >= 2.0;
-    const bool speedups_ok = probe_gate && cand_gate && roll_gate;
+    const bool cand_gate_10k = cand_speedup_10k >= 3.0;
+    const bool speedups_ok = probe_gate && cand_gate && roll_gate && cand_gate_10k;
 
-    std::cout << "identity gates (placements, partitioning prefix, 120-point grid): "
+    std::cout << "identity gates (placements, partitioning prefix, 10k row, "
+                 "120-point grid): "
               << (identity_ok ? "PASS" : "FAIL") << '\n';
     std::cout << strf("probe speedup on synthetic-1000:     %.2fx (gate >= 2x)\n",
                       probe_speedup_1000);
@@ -407,6 +482,9 @@ int main()
                       cand_speedup_1000);
     std::cout << strf("rollback speedup on synthetic-1000:  %.2fx (gate >= 2x)\n",
                       roll_speedup_1000);
+    std::cout << strf("candidate speedup on synthetic-10000 (vs PR-5 path): "
+                      "%.2fx (gate >= 3x)\n",
+                      cand_speedup_10k);
     if (!speedups_ok && !steady)
         std::cout << "WARN: speedup gate missed, soft-warning only (no steady clock)\n";
 
@@ -423,6 +501,10 @@ int main()
         json << strf("  \"rollback_ref_ms_1000\": %.4f,\n", roll_ref_1000);
         json << strf("  \"rollback_opt_ms_1000\": %.4f,\n", roll_opt_1000);
         json << strf("  \"rollback_speedup_1000\": %.3f,\n", roll_speedup_1000);
+        json << strf("  \"candidates_pr5_ms_10000\": %.4f,\n", cand_pr5_10k);
+        json << strf("  \"candidates_opt_ms_10000\": %.4f,\n", cand_opt_10k);
+        json << strf("  \"candidates_speedup_10000\": %.3f,\n", cand_speedup_10k);
+        json << strf("  \"identical_10000\": %s,\n", identical_10k ? "true" : "false");
         json << strf("  \"grid_points\": %zu,\n", grid.size());
         json << strf("  \"grid_identical\": %s,\n", grid_identical ? "true" : "false");
         json << strf("  \"identity_gates_passed\": %s,\n", identity_ok ? "true" : "false");

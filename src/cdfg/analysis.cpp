@@ -21,7 +21,7 @@ int critical_path_length(const graph& g, const delay_fn& delay)
 {
     const std::vector<int> start = earliest_starts(g, delay);
     int length = 0;
-    for (node_id v : g.nodes()) length = std::max(length, start[v.index()] + delay(v));
+    for (node_id v : g.node_ids()) length = std::max(length, start[v.index()] + delay(v));
     return length;
 }
 
@@ -42,25 +42,25 @@ std::vector<int> latest_starts(const graph& g, const delay_fn& delay, int latenc
 std::map<op_kind, int> op_histogram(const graph& g)
 {
     std::map<op_kind, int> hist;
-    for (node_id v : g.nodes()) ++hist[g.kind(v)];
+    for (node_id v : g.node_ids()) ++hist[g.kind(v)];
     return hist;
 }
 
 reachability::reachability(const graph& g)
 {
     const std::size_t n = static_cast<std::size_t>(g.node_count());
-    matrix_.assign(n, std::vector<char>(n, 0));
+    words_ = (n + 63) / 64;
+    bits_.assign(n * words_, 0);
     // Process in reverse topological order: reach(v) = succs(v) plus their
-    // reach sets.
+    // reach sets, one word-wise OR per edge.
     const std::vector<node_id> order = g.topo_order();
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
         const node_id v = *it;
-        std::vector<char>& row = matrix_[v.index()];
+        std::uint64_t* row = bits_.data() + v.index() * words_;
         for (node_id s : g.succs(v)) {
-            row[s.index()] = 1;
-            const std::vector<char>& srow = matrix_[s.index()];
-            for (std::size_t j = 0; j < srow.size(); ++j)
-                if (srow[j]) row[j] = 1;
+            row[s.index() / 64] |= std::uint64_t{1} << (s.index() % 64);
+            const std::uint64_t* srow = bits_.data() + s.index() * words_;
+            for (std::size_t w = 0; w < words_; ++w) row[w] |= srow[w];
         }
     }
 }

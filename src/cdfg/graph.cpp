@@ -60,7 +60,10 @@ std::vector<node_id> graph::nodes_of_kind(op_kind k) const
 
 int graph::count_of_kind(op_kind k) const
 {
-    return static_cast<int>(nodes_of_kind(k).size());
+    int count = 0;
+    for (const node& nd : nodes_)
+        if (nd.kind == k) ++count;
+    return count;
 }
 
 bool graph::is_acyclic() const

@@ -16,6 +16,37 @@
 
 namespace phls {
 
+/// Allocation-free range over the dense node ids [0, count).  The hot
+/// synthesis loops iterate nodes thousands of times per point;
+/// graph::nodes() materialises a fresh vector per call, node_ids() is a
+/// pair of integers.
+class node_id_range {
+public:
+    class iterator {
+    public:
+        explicit constexpr iterator(int i) : i_(i) {}
+        constexpr node_id operator*() const { return node_id(i_); }
+        constexpr iterator& operator++()
+        {
+            ++i_;
+            return *this;
+        }
+        constexpr bool operator!=(iterator o) const { return i_ != o.i_; }
+        constexpr bool operator==(iterator o) const { return i_ == o.i_; }
+
+    private:
+        int i_;
+    };
+
+    explicit constexpr node_id_range(int count) : count_(count) {}
+    constexpr iterator begin() const { return iterator(0); }
+    constexpr iterator end() const { return iterator(count_); }
+    constexpr int size() const { return count_; }
+
+private:
+    int count_;
+};
+
 /// Directed acyclic data-flow graph of operations.
 class graph {
 public:
@@ -43,8 +74,12 @@ public:
     /// Successors (consumers) of `n`, in insertion order, with multiplicity.
     const std::vector<node_id>& succs(node_id n) const { return at(n).succs; }
 
-    /// All node ids, 0..node_count-1.
+    /// All node ids, 0..node_count-1 (materialised; prefer node_ids()
+    /// on hot paths).
     std::vector<node_id> nodes() const;
+
+    /// All node ids as an allocation-free range.
+    node_id_range node_ids() const { return node_id_range(node_count()); }
 
     /// Node with the given label, if any.
     std::optional<node_id> find(const std::string& label) const;

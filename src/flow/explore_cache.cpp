@@ -366,6 +366,10 @@ explore_cache::explore_cache(const graph& g, const module_library& lib)
 {
     misses_.store(1, std::memory_order_relaxed); // the eager reachability build
 
+    kind_buckets_.assign(static_cast<std::size_t>(op_kind_count), {});
+    for (node_id v : g_.node_ids())
+        kind_buckets_[static_cast<std::size_t>(op_kind_index(g_.kind(v)))].push_back(v);
+
     for (const fu_module& m : lib_.modules()) power_levels_.push_back(m.power);
     std::sort(power_levels_.begin(), power_levels_.end());
     power_levels_.erase(std::unique(power_levels_.begin(), power_levels_.end()),

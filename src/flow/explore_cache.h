@@ -173,6 +173,16 @@ public:
     /// build, so it does not move the hit/miss counters).
     const graph& reversed_design() const { return rev_; }
 
+    /// Nodes of the design of kind `k`, ascending id -- the
+    /// graph::nodes_of_kind() buckets materialised once at construction
+    /// (a level-0 invariant like reach()/reversed_design()), so
+    /// per-point code reads a stable vector instead of allocating a
+    /// fresh one per call.
+    const std::vector<node_id>& nodes_of_kind(op_kind k) const
+    {
+        return kind_buckets_[static_cast<std::size_t>(op_kind_index(k))];
+    }
+
     /// Prospect module table under `policy` and power cap `cap` —
     /// identical to make_prospect() on the cached problem.  Successful
     /// tables are memoised per (policy, admissible-module set); the set
@@ -362,6 +372,7 @@ private:
     module_library lib_;
     reachability reach_;
     graph rev_; ///< reversed_graph(g_), served via pasap_options::reversed
+    std::vector<std::vector<node_id>> kind_buckets_; ///< nodes per op kind
     std::string graph_text_;
     std::string lib_text_;
     std::vector<double> power_levels_; ///< sorted distinct module powers

@@ -452,9 +452,14 @@ std::vector<double> flow::power_grid(int points) const
 
     // Lower edge: no operation can run below the min per-cycle power of
     // its kind, so the sweep starts just under that necessary bound.
+    // One min_power_for query per kind present (the cache's level-0 kind
+    // buckets when available), not one per node.
     double low = 0.0;
-    for (node_id v : graph_.nodes()) {
-        const std::optional<double> p = lib_.min_power_for(graph_.kind(v));
+    for (const op_kind k : all_op_kinds()) {
+        const bool present = cache != nullptr ? !cache->nodes_of_kind(k).empty()
+                                              : graph_.count_of_kind(k) > 0;
+        if (!present) continue;
+        const std::optional<double> p = lib_.min_power_for(k);
         check(p.has_value(), "library does not cover the graph");
         low = std::max(low, *p);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/errors.h"
+#include "support/kernels.h"
 
 namespace phls {
 
@@ -40,11 +41,79 @@ int leftmost_clean(const std::vector<double>& tree, int node, int node_lo, int n
     return leftmost_clean(tree, 2 * node + 1, mid, node_hi, lo, power, limit);
 }
 
+/// Iterative rightmost_violation over the canonical segment-tree
+/// decomposition of [lo, hi): collect the O(log H) covering nodes
+/// bottom-up, scan them right-to-left, and descend right-child-first
+/// into the first one whose max violates.  Same predicate expression,
+/// same exactness argument, no recursion.
+int rightmost_violation_iter(const std::vector<double>& tree, int leaves, int lo,
+                             int hi, double power, double limit)
+{
+    int lnodes[64];
+    int rnodes[64];
+    int ln = 0;
+    int rn = 0;
+    int l = leaves + lo;
+    int r = leaves + hi;
+    while (l < r) {
+        if (l & 1) lnodes[ln++] = l++;
+        if (r & 1) rnodes[rn++] = --r;
+        l >>= 1;
+        r >>= 1;
+    }
+    // rnodes[0..rn) covers the range right-to-left, lnodes[0..ln)
+    // left-to-right; scan for the rightmost covering node that violates.
+    int hit = -1;
+    for (int i = 0; i < rn && hit < 0; ++i)
+        if (tree[static_cast<std::size_t>(rnodes[i])] + power > limit) hit = rnodes[i];
+    for (int i = ln - 1; i >= 0 && hit < 0; --i)
+        if (tree[static_cast<std::size_t>(lnodes[i])] + power > limit) hit = lnodes[i];
+    if (hit < 0) return -1;
+    while (hit < leaves) {
+        hit = 2 * hit + 1;
+        if (!(tree[static_cast<std::size_t>(hit)] + power > limit)) --hit;
+    }
+    return hit - leaves;
+}
+
+/// Iterative leftmost_clean: climb from leaf `lo` over the subtrees to
+/// its right until one holds a clean leaf, then descend left-child-first.
+int leftmost_clean_iter(const std::vector<double>& tree, int leaves, int lo,
+                        double power, double limit)
+{
+    int p = leaves + lo;
+    while (true) {
+        if (!(tree[static_cast<std::size_t>(p)] + power > limit)) {
+            while (p < leaves) {
+                p = 2 * p;
+                if (tree[static_cast<std::size_t>(p)] + power > limit) ++p;
+            }
+            return p - leaves;
+        }
+        while (p != 1 && (p & 1)) p >>= 1;
+        if (p == 1) return -1;
+        ++p;
+    }
+}
+
 } // namespace
 
 bool power_tracker::fits(int start, int duration, double power) const
 {
     if (power > cap_ + tolerance) return false;
+    if (kernel_knobs().dense_power) {
+        // Scan the contiguous per-cycle slab directly instead of paying
+        // profile_.at()'s bounds check + horizon branch per cycle.
+        // Cycles past the horizon hold 0 and cannot violate (power alone
+        // fits, checked above), so only the in-horizon prefix is probed.
+        check(start >= 0 || duration <= 0, "power_profile::at: negative cycle");
+        const double limit = cap_ + tolerance;
+        const std::vector<double>& v = profile_.values();
+        const int end = std::min(start + duration, profile_.cycle_count());
+        for (int c = start; c < end; ++c)
+            if (v[static_cast<std::size_t>(c)] + power > limit) return false;
+        return true;
+    }
     for (int c = start; c < start + duration; ++c)
         if (profile_.at(c) + power > cap_ + tolerance) return false;
     return true;
@@ -74,6 +143,9 @@ int power_tracker::next_fit(int start, int duration, double power) const
 int power_tracker::last_violation(int lo, int hi, double power) const
 {
     if (leaves_ == 0 || hi <= lo) return -1;
+    if (kernel_knobs().dense_power)
+        return rightmost_violation_iter(tree_max_, leaves_, lo, std::min(hi, leaves_),
+                                        power, cap_ + tolerance);
     return rightmost_violation(tree_max_, 1, 0, leaves_, lo, std::min(hi, leaves_), power,
                                cap_ + tolerance);
 }
@@ -82,7 +154,9 @@ int power_tracker::first_clean(int from, double power) const
 {
     if (from >= leaves_) return from; // past the tree: free cycles
     const int c =
-        leftmost_clean(tree_min_, 1, 0, leaves_, from, power, cap_ + tolerance);
+        kernel_knobs().dense_power
+            ? leftmost_clean_iter(tree_min_, leaves_, from, power, cap_ + tolerance)
+            : leftmost_clean(tree_min_, 1, 0, leaves_, from, power, cap_ + tolerance);
     return c >= 0 ? c : leaves_;
 }
 

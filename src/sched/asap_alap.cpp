@@ -21,7 +21,7 @@ schedule asap_schedule(const graph& g, const module_library& lib,
           "assignment size does not match graph");
     schedule s(g.node_count());
     const std::vector<int> starts = earliest_starts(g, make_delay(lib, assignment));
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         s.set_start(v, starts[v.index()]);
         s.set_module(v, assignment[v.index()]);
     }
@@ -34,10 +34,10 @@ schedule alap_schedule(const graph& g, const module_library& lib,
     check(static_cast<int>(assignment.size()) == g.node_count(),
           "assignment size does not match graph");
     schedule s(g.node_count());
-    for (node_id v : g.nodes()) s.set_module(v, assignment[v.index()]);
+    for (node_id v : g.node_ids()) s.set_module(v, assignment[v.index()]);
     const std::vector<int> starts = latest_starts(g, make_delay(lib, assignment), latency);
     if (starts.empty()) return s; // infeasible: left incomplete
-    for (node_id v : g.nodes()) s.set_start(v, starts[v.index()]);
+    for (node_id v : g.node_ids()) s.set_start(v, starts[v.index()]);
     return s;
 }
 

@@ -19,7 +19,7 @@ std::vector<std::vector<double>> probabilities(const graph& g, const module_libr
 {
     std::vector<std::vector<double>> prob(static_cast<std::size_t>(g.node_count()),
                                           std::vector<double>(static_cast<std::size_t>(latency), 0.0));
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         const int d = lib.module(assignment[v.index()]).latency;
         const int lo = w.s_min[v.index()];
         const int hi = w.s_max[v.index()];
@@ -38,7 +38,7 @@ std::map<int, std::vector<double>> distribution_graphs(
     const std::vector<std::vector<double>>& prob, int latency)
 {
     std::map<int, std::vector<double>> dg;
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         std::vector<double>& row = dg.try_emplace(assignment[v.index()].value(),
                                                   std::vector<double>(
                                                       static_cast<std::size_t>(latency), 0.0))
@@ -56,7 +56,7 @@ fds_result force_directed_schedule(const graph& g, const module_library& lib,
 {
     fds_result result;
     result.sched = schedule(g.node_count());
-    for (node_id v : g.nodes()) result.sched.set_module(v, assignment[v.index()]);
+    for (node_id v : g.node_ids()) result.sched.set_module(v, assignment[v.index()]);
 
     std::vector<int> fixed(static_cast<std::size_t>(g.node_count()), -1);
     time_windows w = classic_windows(g, lib, assignment, latency, fixed);
@@ -69,7 +69,7 @@ fds_result force_directed_schedule(const graph& g, const module_library& lib,
     while (remaining > 0) {
         // Pin all zero-mobility operators for free.
         bool pinned_any = false;
-        for (node_id v : g.nodes()) {
+        for (node_id v : g.node_ids()) {
             if (fixed[v.index()] < 0 && w.s_min[v.index()] == w.s_max[v.index()]) {
                 fixed[v.index()] = w.s_min[v.index()];
                 --remaining;
@@ -92,7 +92,7 @@ fds_result force_directed_schedule(const graph& g, const module_library& lib,
         double best_force = 0.0;
         node_id best_v;
         int best_t = -1;
-        for (node_id v : g.nodes()) {
+        for (node_id v : g.node_ids()) {
             if (fixed[v.index()] >= 0) continue;
             for (int t = w.s_min[v.index()]; t <= w.s_max[v.index()]; ++t) {
                 fixed[v.index()] = t;
@@ -102,7 +102,7 @@ fds_result force_directed_schedule(const graph& g, const module_library& lib,
                 const std::vector<std::vector<double>> prob2 =
                     probabilities(g, lib, assignment, w2, latency);
                 double force = 0.0;
-                for (node_id u : g.nodes()) {
+                for (node_id u : g.node_ids()) {
                     const std::vector<double>& weights =
                         dg.at(assignment[u.index()].value());
                     for (int c = 0; c < latency; ++c)
@@ -125,7 +125,7 @@ fds_result force_directed_schedule(const graph& g, const module_library& lib,
         check(w.feasible, "force-directed: windows collapsed after pinning");
     }
 
-    for (node_id v : g.nodes()) result.sched.set_start(v, fixed[v.index()]);
+    for (node_id v : g.node_ids()) result.sched.set_start(v, fixed[v.index()]);
     result.feasible = true;
     return result;
 }

@@ -23,9 +23,9 @@ list_sched_result list_schedule(const graph& g, const module_library& lib,
     list_sched_result result;
     result.sched = schedule(n);
     result.instance_of.assign(static_cast<std::size_t>(n), -1);
-    for (node_id v : g.nodes()) result.sched.set_module(v, assignment[v.index()]);
+    for (node_id v : g.node_ids()) result.sched.set_module(v, assignment[v.index()]);
 
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         if (alloc[assignment[v.index()].index()] <= 0) {
             result.reason = "allocation has no instance of module '" +
                             lib.module(assignment[v.index()]).name + "' needed by '" +
@@ -54,21 +54,21 @@ list_sched_result list_schedule(const graph& g, const module_library& lib,
     }
 
     std::vector<int> unscheduled_preds(static_cast<std::size_t>(n), 0);
-    for (node_id v : g.nodes())
+    for (node_id v : g.node_ids())
         unscheduled_preds[v.index()] = static_cast<int>(g.preds(v).size());
     std::vector<int> data_ready(static_cast<std::size_t>(n), 0);
 
     int remaining = n;
     int cycle = 0;
     long guard = 0;
-    for (node_id v : g.nodes()) guard += lib.module(assignment[v.index()]).latency;
+    for (node_id v : g.node_ids()) guard += lib.module(assignment[v.index()]).latency;
     guard += n + 1;
 
     while (remaining > 0) {
         check(cycle <= guard, "list_schedule failed to converge");
         // Ready ops whose data arrived by `cycle`, best priority first.
         std::vector<node_id> ready;
-        for (node_id v : g.nodes())
+        for (node_id v : g.node_ids())
             if (!result.sched.scheduled(v) && unscheduled_preds[v.index()] == 0 &&
                 data_ready[v.index()] <= cycle)
                 ready.push_back(v);

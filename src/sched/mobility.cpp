@@ -31,7 +31,7 @@ time_windows power_windows(const graph& g, const module_library& lib,
     const pasap_result hi = palap(g, lib, assignment, max_power, latency, options);
     w.s_min.resize(static_cast<std::size_t>(g.node_count()));
     w.s_max.resize(static_cast<std::size_t>(g.node_count()));
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         w.s_min[v.index()] = lo.sched.start(v);
         w.s_max[v.index()] =
             hi.feasible ? std::max(lo.sched.start(v), hi.sched.start(v)) : lo.sched.start(v);
@@ -86,7 +86,7 @@ std::vector<int> constrained_latest(const graph& g, const module_library& lib,
     }
     // A pinned op may also be unreachable from below: verify pins held.
     if (!fixed.empty())
-        for (node_id v : g.nodes())
+        for (node_id v : g.node_ids())
             if (fixed[v.index()] >= 0 && start[v.index()] != fixed[v.index()]) return {};
     return start;
 }
@@ -106,7 +106,7 @@ time_windows classic_windows(const graph& g, const module_library& lib,
         w.reason = strf("latency bound %d is below the critical path", latency);
         return w;
     }
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         if (lo[v.index()] > hi[v.index()]) {
             w.reason = strf("operator '%s' has crossing window [%d, %d]",
                             g.label(v).c_str(), lo[v.index()], hi[v.index()]);

@@ -30,12 +30,12 @@ pasap_result run_core(const core_inputs& in)
 
     pasap_result result;
     result.sched = schedule(n);
-    for (node_id v : in.g.nodes()) result.sched.set_module(v, in.assignment[v.index()]);
+    for (node_id v : in.g.node_ids()) result.sched.set_module(v, in.assignment[v.index()]);
 
     std::vector<int> delay(static_cast<std::size_t>(n));
     std::vector<double> power(static_cast<std::size_t>(n));
     long total_delay = 0;
-    for (node_id v : in.g.nodes()) {
+    for (node_id v : in.g.node_ids()) {
         const fu_module& m = in.lib.module(in.assignment[v.index()]);
         check(m.supports(in.g.kind(v)),
               "module '" + m.name + "' cannot execute '" + in.g.label(v) + "'");
@@ -55,7 +55,7 @@ pasap_result run_core(const core_inputs& in)
     power_tracker tracker(in.max_power);
     std::vector<int> start(static_cast<std::size_t>(n), -1);
     int max_fixed_finish = 0;
-    for (node_id v : in.g.nodes()) {
+    for (node_id v : in.g.node_ids()) {
         if (fixed[v.index()] < 0) continue;
         if (!tracker.fits(fixed[v.index()], delay[v.index()], power[v.index()])) {
             result.reason = "committed reservations exceed the power cap at operator '" +
@@ -71,7 +71,7 @@ pasap_result run_core(const core_inputs& in)
     // Committed operations must already respect precedence among
     // themselves (a later module change can stretch a delay past a
     // committed successor -- that makes the commitment set invalid).
-    for (node_id v : in.g.nodes()) {
+    for (node_id v : in.g.node_ids()) {
         if (fixed[v.index()] < 0) continue;
         for (node_id s : in.g.succs(v)) {
             if (fixed[s.index()] < 0) continue;
@@ -160,11 +160,11 @@ pasap_result run_core(const core_inputs& in)
         // critical_path: among data-ready operators, place the one with
         // the longest path to a sink first.
         std::vector<int> unscheduled_preds(static_cast<std::size_t>(n), 0);
-        for (node_id v : in.g.nodes())
+        for (node_id v : in.g.node_ids())
             for (node_id p : in.g.preds(v))
                 if (start[p.index()] < 0) ++unscheduled_preds[v.index()];
         std::vector<node_id> ready;
-        for (node_id v : in.g.nodes())
+        for (node_id v : in.g.node_ids())
             if (start[v.index()] < 0 && unscheduled_preds[v.index()] == 0) ready.push_back(v);
         while (!ready.empty()) {
             std::size_t best = 0;
@@ -184,7 +184,7 @@ pasap_result run_core(const core_inputs& in)
         }
     }
 
-    for (node_id v : in.g.nodes()) {
+    for (node_id v : in.g.node_ids()) {
         if (start[v.index()] < 0) {
             result.reason = "internal: operator '" + in.g.label(v) + "' was never scheduled";
             return result;
@@ -199,8 +199,8 @@ pasap_result run_core(const core_inputs& in)
 graph reversed_graph(const graph& g)
 {
     graph r(g.name() + "_rev");
-    for (node_id v : g.nodes()) r.add_node(g.kind(v), g.label(v));
-    for (node_id v : g.nodes())
+    for (node_id v : g.node_ids()) r.add_node(g.kind(v), g.label(v));
+    for (node_id v : g.node_ids())
         for (node_id s : g.succs(v)) r.add_edge(s, v);
     return r;
 }
@@ -223,7 +223,7 @@ pasap_result palap(const graph& g, const module_library& lib,
 
     pasap_result result;
     result.sched = schedule(n);
-    for (node_id v : g.nodes()) result.sched.set_module(v, assignment[v.index()]);
+    for (node_id v : g.node_ids()) result.sched.set_module(v, assignment[v.index()]);
 
     // Convert committed times into the reversed clock: a fixed start f of
     // an operator with delay d becomes latency - f - d.
@@ -232,7 +232,7 @@ pasap_result palap(const graph& g, const module_library& lib,
         check(static_cast<int>(options.fixed_starts.size()) == n,
               "fixed_starts size does not match graph");
         rfixed.assign(static_cast<std::size_t>(n), -1);
-        for (node_id v : g.nodes()) {
+        for (node_id v : g.node_ids()) {
             const int f = options.fixed_starts[v.index()];
             if (f < 0) continue;
             const int d = lib.module(assignment[v.index()]).latency;
@@ -259,7 +259,7 @@ pasap_result palap(const graph& g, const module_library& lib,
         return result;
     }
 
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         const int d = lib.module(assignment[v.index()]).latency;
         const int s = latency - rres.sched.start(v) - d;
         if (s < 0) {

@@ -15,7 +15,7 @@ module_assignment assignment_by_policy(const graph& g, const module_library& lib
 {
     lib.check_covers(g);
     module_assignment out(static_cast<std::size_t>(g.node_count()));
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         const std::optional<module_id> m = fastest
                                                ? lib.fastest_for(g.kind(v), max_power)
                                                : lib.cheapest_for(g.kind(v), max_power);
@@ -70,14 +70,14 @@ void validate_schedule(const graph& g, const module_library& lib, const schedule
                        int max_latency, double max_power)
 {
     check(s.node_count() == g.node_count(), "schedule size does not match graph");
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         check(s.scheduled(v), "operation '" + g.label(v) + "' is unscheduled");
         const module_id m = s.module_of(v);
         check(m.valid(), "operation '" + g.label(v) + "' has no module");
         check(lib.module(m).supports(g.kind(v)),
               "module '" + lib.module(m).name + "' cannot execute '" + g.label(v) + "'");
     }
-    for (node_id v : g.nodes())
+    for (node_id v : g.node_ids())
         for (node_id succ : g.succs(v))
             check(s.start(succ) >= s.finish(v, lib),
                   strf("dependency violated: '%s' (finish %d) -> '%s' (start %d)",

@@ -1,10 +1,27 @@
 #include "synth/candidates.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/errors.h"
+#include "support/kernels.h"
+#include "support/parallel.h"
+#include "synth/arena.h"
 
 namespace phls {
+
+namespace {
+
+/// Combos per flush of the bucketed rebuild: bounds the batch buffer
+/// (a 10k-op rebuild visits ~10^8 combos -- far too many to gather at
+/// once) while keeping each parallel fan-out coarse enough to amortise
+/// thread startup.
+constexpr std::size_t combo_chunk = 1 << 16;
+
+/// Below this batch size the fan-out overhead dominates: score inline.
+constexpr std::size_t min_parallel_batch = 128;
+
+} // namespace
 
 std::uint64_t candidate_store::combo_key(bool is_pair, int x, int second, int module)
 {
@@ -20,6 +37,57 @@ candidate_store::pick_key candidate_store::key_of(const entry& e)
     k.b = e.is_pair ? e.score.cand.b.value() : -1;
     k.tie = e.is_pair ? e.module.value() : e.instance;
     return k;
+}
+
+candidate_store::pick128 candidate_store::pack_pick(const pick_key& k)
+{
+    // Finite-double ordering trick: flip the sign bit of non-negatives
+    // and all bits of negatives to get an order-preserving uint64, then
+    // complement for the descending saving order.  Savings are sums and
+    // differences of module areas, never NaN; -0.0 is normalised so the
+    // two zero encodings cannot split.
+    const double s = k.saving == 0.0 ? 0.0 : k.saving;
+    std::uint64_t u = std::bit_cast<std::uint64_t>(s);
+    u = (u >> 63) != 0 ? ~u : (u | 0x8000000000000000ull);
+
+    // 1 + 3 x 21 bits: joins sort before pairs; a, b, tie ascend.  b and
+    // tie are offset by one so the join sentinel -1 packs smallest.
+    constexpr int field_bits = 21;
+    constexpr std::uint64_t field_max = (1ull << field_bits) - 1;
+    const std::uint64_t a = static_cast<std::uint64_t>(k.a + 1);
+    const std::uint64_t b = static_cast<std::uint64_t>(k.b + 1);
+    const std::uint64_t tie = static_cast<std::uint64_t>(k.tie + 1);
+    check(a <= field_max && b <= field_max && tie <= field_max,
+          "candidate_store: graph exceeds the flat pick-index field width");
+
+    pick128 p;
+    p.hi = ~u;
+    p.lo = (static_cast<std::uint64_t>(k.is_join ? 0 : 1) << 63) |
+           (a << (2 * field_bits)) | (b << field_bits) | tie;
+    return p;
+}
+
+std::size_t candidate_store::flat_lookup(std::uint64_t key) const
+{
+    const auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const auto kit = std::lower_bound(
+        keys_.begin(), keys_.end(), key,
+        [](const std::pair<std::uint64_t, std::uint32_t>& e, std::uint64_t k) {
+            return e.first < k;
+        });
+    if (kit != keys_.end() && kit->first == key && alive_[kit->second] != 0)
+        return kit->second;
+    return npos;
+}
+
+void candidate_store::kill(std::size_t pos)
+{
+    alive_[pos] = 0;
+    if (pos >= core_size_) {
+        order_.erase(key_of(pool_[pos]));
+        index_.erase(pool_[pos].key);
+    }
 }
 
 void candidate_store::build_module_screen(const compat_inputs& in)
@@ -62,6 +130,28 @@ void candidate_store::erase_at(std::size_t pos)
 
 void candidate_store::store_entry(entry e)
 {
+    if (flat_) {
+        const std::size_t pos = flat_lookup(e.key);
+        if (pos != npos) {
+            entry& slot = pool_[pos];
+            const pick_key before = key_of(slot);
+            const pick_key after = key_of(e);
+            if (!(before < after) && !(after < before)) {
+                // Same rank: the core pick order (resp. the overlay map
+                // key) stays valid, so replace in place.
+                slot = std::move(e);
+                return;
+            }
+            kill(pos);
+        }
+        const std::size_t np = pool_.size();
+        order_.emplace(key_of(e), e.key);
+        index_.emplace(e.key, np);
+        pool_.push_back(std::move(e));
+        alive_.push_back(1);
+        return;
+    }
+
     const auto [it, inserted] = index_.try_emplace(e.key, pool_.size());
     if (inserted) {
         order_.emplace(key_of(e), e.key);
@@ -78,45 +168,117 @@ void candidate_store::store_entry(entry e)
     slot = std::move(e);
 }
 
-void candidate_store::score_pair_combo(const compat_inputs& in, node_id x, node_id y,
-                                       module_id m)
+candidate_store::scored candidate_store::score_combo(const compat_inputs& in,
+                                                     const combo& c) const
 {
-    const std::uint64_t key = combo_key(true, x.value(), y.value(), m.value());
-    const candidate_score s = score_pair(in, x, y, m);
-    if (!s.ok || s.cand.saving < 0.0) {
-        const auto it = index_.find(key);
+    scored out;
+    if (c.is_pair) {
+        out.key = combo_key(true, c.x.value(), c.y.value(), c.module.value());
+        if (in.arena != nullptr) {
+            // A pair's saving does not depend on its times, and both
+            // reference paths erase saving < 0 after timing it -- the
+            // identical expression decides before the slot probes run.
+            const fu_module& m = in.lib->module(c.module);
+            const double saving = standalone_area(in, c.x) + standalone_area(in, c.y) -
+                                  m.area - mux_penalty(m, *in.costs);
+            if (saving < 0.0) return out;
+        }
+        const candidate_score s = score_pair(in, c.x, c.y, c.module);
+        if (!s.ok || s.cand.saving < 0.0) return out;
+        out.keep = true;
+        out.e.key = out.key;
+        out.e.is_pair = true;
+        out.e.x = c.x;
+        out.e.y = c.y;
+        out.e.module = c.module;
+        out.e.score = s;
+        return out;
+    }
+    const fu_instance& inst = (*in.instances)[static_cast<std::size_t>(c.instance)];
+    out.key = combo_key(false, c.x.value(), inst.index, inst.module.value());
+    if (in.arena != nullptr) {
+        const fu_module& m = in.lib->module(inst.module);
+        const double saving = standalone_area(in, c.x) - mux_penalty(m, *in.costs);
+        if (saving < 0.0) return out;
+    }
+    const candidate_score s =
+        score_join(in, c.x, inst, busy_[static_cast<std::size_t>(inst.index)]);
+    if (!s.ok || s.cand.saving < 0.0) return out;
+    out.keep = true;
+    out.e.key = out.key;
+    out.e.is_pair = false;
+    out.e.x = c.x;
+    out.e.instance = inst.index;
+    out.e.module = inst.module;
+    out.e.score = s;
+    return out;
+}
+
+void candidate_store::apply_scored(scored&& s)
+{
+    if (flat_ && rebuilding_) {
+        // The bucketed generation emits every combo key exactly once, so
+        // the rebuild appends without lookups; the flat indices are
+        // bulk-sorted once afterwards.
+        if (s.keep) {
+            pool_.push_back(std::move(s.e));
+            alive_.push_back(1);
+        }
+        return;
+    }
+    if (!s.keep) {
+        if (flat_) {
+            const std::size_t pos = flat_lookup(s.key);
+            if (pos != npos) kill(pos);
+            return;
+        }
+        const auto it = index_.find(s.key);
         if (it != index_.end()) erase_at(it->second);
         return;
     }
-    entry e;
-    e.key = key;
-    e.is_pair = true;
-    e.x = x;
-    e.y = y;
-    e.module = m;
-    e.score = s;
-    store_entry(std::move(e));
+    store_entry(std::move(s.e));
+}
+
+void candidate_store::score_batch(const compat_inputs& in, std::vector<combo>& combos)
+{
+    const kernel_tuning& knobs = kernel_knobs();
+    const int threads =
+        in.arena != nullptr && knobs.intra_threads > 1 ? knobs.intra_threads : 1;
+    if (threads <= 1 || combos.size() < min_parallel_batch) {
+        for (const combo& c : combos) apply_scored(score_combo(in, c));
+    } else {
+        // Scoring is read-only over the scheduling state and the busy
+        // table; the only lazily built structure it touches is the power
+        // tracker's headroom tree, forced here before the fan-out.
+        in.committed_power->prepare_probes();
+        std::vector<scored> results(combos.size());
+        parallel_for(combos.size(), threads,
+                     [&](std::size_t i) { results[i] = score_combo(in, combos[i]); });
+        for (scored& s : results) apply_scored(std::move(s));
+    }
+    combos.clear();
+}
+
+void candidate_store::score_pair_combo(const compat_inputs& in, node_id x, node_id y,
+                                       module_id m)
+{
+    combo c;
+    c.is_pair = true;
+    c.x = x;
+    c.y = y;
+    c.module = m;
+    apply_scored(score_combo(in, c));
 }
 
 void candidate_store::score_join_combo(const compat_inputs& in, node_id x,
                                        const fu_instance& inst)
 {
-    const std::uint64_t key = combo_key(false, x.value(), inst.index, inst.module.value());
-    const candidate_score s =
-        score_join(in, x, inst, busy_[static_cast<std::size_t>(inst.index)]);
-    if (!s.ok || s.cand.saving < 0.0) {
-        const auto it = index_.find(key);
-        if (it != index_.end()) erase_at(it->second);
-        return;
-    }
-    entry e;
-    e.key = key;
-    e.is_pair = false;
-    e.x = x;
-    e.instance = inst.index;
-    e.module = inst.module;
-    e.score = s;
-    store_entry(std::move(e));
+    combo c;
+    c.is_pair = false;
+    c.x = x;
+    c.instance = inst.index;
+    c.module = inst.module;
+    apply_scored(score_combo(in, c));
 }
 
 void candidate_store::rebuild(const compat_inputs& in)
@@ -127,14 +289,100 @@ void candidate_store::rebuild(const compat_inputs& in)
     pool_.clear();
     index_.clear();
     order_.clear();
+    sorted_.clear();
+    keys_.clear();
+    alive_.clear();
+    core_size_ = 0;
+    cursor_ = 0;
+    flat_ = in.arena != nullptr;
     build_module_screen(in);
 
     busy_.clear();
     busy_.reserve(in.instances->size());
     for (const fu_instance& inst : *in.instances) busy_.push_back(busy_intervals(in, inst));
 
+    if (in.arena != nullptr) {
+        // Bucketed generation: one block per unordered kind pair, with
+        // blocks whose module screen is empty skipped wholesale.  The
+        // store is keyed, so landing the same combo set in a different
+        // order from the reference free_ops^2 sweep yields the same
+        // content; batches flush in chunks to bound the buffer and feed
+        // the intra-point fan-out.
+        rebuilding_ = true;
+        std::vector<combo> combos;
+        combos.reserve(combo_chunk);
+        const auto queue = [&](combo c) {
+            combos.push_back(c);
+            if (combos.size() >= combo_chunk) score_batch(in, combos);
+        };
+        for (int ka = 0; ka < op_kind_count; ++ka) {
+            const std::vector<node_id>& bucket_a = in.arena->free_of_kind(ka);
+            if (bucket_a.empty()) continue;
+            for (int kb = ka; kb < op_kind_count; ++kb) {
+                const std::vector<module_id>& mods =
+                    screen_[static_cast<std::size_t>(ka * op_kind_count + kb)];
+                if (mods.empty()) continue;
+                const std::vector<node_id>& bucket_b = in.arena->free_of_kind(kb);
+                combo c;
+                c.is_pair = true;
+                if (ka == kb) {
+                    for (std::size_t i = 0; i < bucket_a.size(); ++i)
+                        for (std::size_t j = i + 1; j < bucket_a.size(); ++j) {
+                            c.x = bucket_a[i];
+                            c.y = bucket_a[j];
+                            for (const module_id m : mods) {
+                                c.module = m;
+                                queue(c);
+                            }
+                        }
+                } else {
+                    for (const node_id u : bucket_a)
+                        for (const node_id w : bucket_b) {
+                            c.x = u < w ? u : w;
+                            c.y = u < w ? w : u;
+                            for (const module_id m : mods) {
+                                c.module = m;
+                                queue(c);
+                            }
+                        }
+                }
+            }
+        }
+        combo c;
+        c.is_pair = false;
+        for (node_id v : in.g->node_ids()) {
+            if ((*in.committed)[v.index()]) continue;
+            c.x = v;
+            for (const fu_instance& inst : *in.instances) {
+                c.instance = inst.index;
+                c.module = inst.module;
+                queue(c);
+            }
+        }
+        score_batch(in, combos);
+        rebuilding_ = false;
+
+        // Freeze the core: two bulk sorts over flat arrays replace one
+        // tree/hash insert per entry -- the dominant cost of the classic
+        // rebuild at 10k ops.
+        core_size_ = pool_.size();
+        check(core_size_ <= 0xFFFFFFFFull, "candidate_store: flat core too large");
+        sorted_.resize(core_size_);
+        keys_.resize(core_size_);
+        for (std::size_t i = 0; i < core_size_; ++i) {
+            sorted_[i] = {pack_pick(key_of(pool_[i])), static_cast<std::uint32_t>(i)};
+            keys_[i] = {pool_[i].key, static_cast<std::uint32_t>(i)};
+        }
+        std::sort(sorted_.begin(), sorted_.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::sort(keys_.begin(), keys_.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        built_ = true;
+        return;
+    }
+
     std::vector<node_id> free_ops;
-    for (node_id v : in.g->nodes())
+    for (node_id v : in.g->node_ids())
         if (!(*in.committed)[v.index()]) free_ops.push_back(v);
 
     for (std::size_t i = 0; i < free_ops.size(); ++i) {
@@ -151,6 +399,33 @@ void candidate_store::rebuild(const compat_inputs& in)
 const merge_candidate*
 candidate_store::best(const std::unordered_set<std::uint64_t>& blacklist) const
 {
+    if (flat_) {
+        // Merge the frozen core (best-first, dead entries skipped) with
+        // the overlay map.  Ranks are unique across both -- an update
+        // tombstones the core copy before the overlay copy exists -- so
+        // the strict comparison below decides every head-to-head.
+        while (cursor_ < sorted_.size() && alive_[sorted_[cursor_].second] == 0)
+            ++cursor_;
+        std::size_t ci = cursor_;
+        auto oit = order_.begin();
+        while (true) {
+            while (ci < sorted_.size() && alive_[sorted_[ci].second] == 0) ++ci;
+            const bool have_core = ci < sorted_.size();
+            const bool have_overlay = oit != order_.end();
+            if (!have_core && !have_overlay) return nullptr;
+            bool take_core = have_core;
+            if (have_core && have_overlay)
+                take_core = sorted_[ci].first < pack_pick(oit->first);
+            const entry& e = take_core ? pool_[sorted_[ci].second]
+                                       : pool_[index_.at(oit->second)];
+            if (blacklist.empty() || blacklist.count(e.score.cand.packed_key()) == 0)
+                return &e.score.cand;
+            if (take_core)
+                ++ci;
+            else
+                ++oit;
+        }
+    }
     for (const auto& [pick, key] : order_) {
         const entry& e = pool_[index_.at(key)];
         if (!blacklist.empty() && blacklist.count(e.score.cand.packed_key()) > 0) continue;
@@ -205,7 +480,7 @@ void candidate_store::apply_accept(const compat_inputs& in, const merge_candidat
     touched[chosen.a.index()] = 1;
     if (pair) touched[chosen.b.index()] = 1;
     std::vector<char> affected(static_cast<std::size_t>(n), 0);
-    for (node_id v : in.g->nodes()) {
+    for (node_id v : in.g->node_ids()) {
         char hit = touched[v.index()];
         if (!hit)
             for (node_id p : in.g->preds(v))
@@ -234,26 +509,39 @@ void candidate_store::apply_accept(const compat_inputs& in, const merge_candidat
         if (e.is_pair) return affected[e.x.index()] || affected[e.y.index()] ? true : false;
         return (affected[e.x.index()] ? true : false) || e.instance == changed_instance;
     };
+    const auto slot_broke = [&](const entry& e) {
+        const fu_module& m = in.lib->module(e.score.cand.module);
+        const bool hit_a = hits_interval(e.score.cand.t_a, e.score.cand.t_a + m.latency);
+        const bool hit_b =
+            e.is_pair && hits_interval(e.score.cand.t_b, e.score.cand.t_b + m.latency);
+        return (hit_a && !in.committed_power->fits(e.score.cand.t_a, m.latency, m.power)) ||
+               (hit_b && !in.committed_power->fits(e.score.cand.t_b, m.latency, m.power));
+    };
     std::vector<entry> broken;
-    for (std::size_t i = 0; i < pool_.size();) {
-        const entry& e = pool_[i];
-        if ((*in.committed)[e.x.index()] ||
-            (e.is_pair && (*in.committed)[e.y.index()])) {
-            erase_at(i); // swap-pop: the swapped-in entry is re-examined
-            continue;
+    if (flat_) {
+        // Tombstone sweep: positions are stable in flat mode, so dead
+        // entries are skipped rather than swap-popped.
+        for (std::size_t i = 0; i < pool_.size(); ++i) {
+            if (alive_[i] == 0) continue;
+            const entry& e = pool_[i];
+            if ((*in.committed)[e.x.index()] ||
+                (e.is_pair && (*in.committed)[e.y.index()])) {
+                kill(i);
+                continue;
+            }
+            if (!generation_covers(e) && slot_broke(e)) broken.push_back(e);
         }
-        if (!generation_covers(e)) {
-            const fu_module& m = in.lib->module(e.score.cand.module);
-            const bool hit_a = hits_interval(e.score.cand.t_a, e.score.cand.t_a + m.latency);
-            const bool hit_b = e.is_pair && hits_interval(e.score.cand.t_b,
-                                                          e.score.cand.t_b + m.latency);
-            if ((hit_a &&
-                 !in.committed_power->fits(e.score.cand.t_a, m.latency, m.power)) ||
-                (hit_b &&
-                 !in.committed_power->fits(e.score.cand.t_b, m.latency, m.power)))
-                broken.push_back(e);
+    } else {
+        for (std::size_t i = 0; i < pool_.size();) {
+            const entry& e = pool_[i];
+            if ((*in.committed)[e.x.index()] ||
+                (e.is_pair && (*in.committed)[e.y.index()])) {
+                erase_at(i); // swap-pop: the swapped-in entry is re-examined
+                continue;
+            }
+            if (!generation_covers(e) && slot_broke(e)) broken.push_back(e);
+            ++i;
         }
-        ++i;
     }
 
     // 4. Generative re-score of everything touching an affected node or
@@ -262,13 +550,34 @@ void candidate_store::apply_accept(const compat_inputs& in, const merge_candidat
     // O(|affected| * free), so a post-lock accept (affected = the merged
     // ops' neighbourhood) costs a sliver of one full enumeration.
     std::vector<node_id> free_ops;
-    for (node_id v : in.g->nodes())
+    for (node_id v : in.g->node_ids())
         if (!(*in.committed)[v.index()]) free_ops.push_back(v);
     const fu_instance& changed =
         (*in.instances)[static_cast<std::size_t>(changed_instance)];
+    // The re-score set is gathered first and scored as one batch: every
+    // combo is distinct (pairs are claimed by their smaller affected op,
+    // broken slots are unaffected by construction), so scoring is pure
+    // and fans out over intra_threads with a fixed application order.
+    std::vector<combo> combos;
+    const auto queue_pair = [&](node_id x, node_id y, module_id m) {
+        combo c;
+        c.is_pair = true;
+        c.x = x;
+        c.y = y;
+        c.module = m;
+        combos.push_back(c);
+    };
+    const auto queue_join = [&](node_id x, const fu_instance& inst) {
+        combo c;
+        c.is_pair = false;
+        c.x = x;
+        c.instance = inst.index;
+        c.module = inst.module;
+        combos.push_back(c);
+    };
     for (const node_id u : free_ops) {
         if (!affected[u.index()]) {
-            score_join_combo(in, u, changed);
+            queue_join(u, changed);
             continue;
         }
         for (const node_id w : free_ops) {
@@ -278,19 +587,19 @@ void candidate_store::apply_accept(const compat_inputs& in, const merge_candidat
             const node_id x = u < w ? u : w;
             const node_id y = u < w ? w : u;
             for (const module_id m : pair_modules(in.g->kind(x), in.g->kind(y)))
-                score_pair_combo(in, x, y, m);
+                queue_pair(x, y, m);
         }
-        for (const fu_instance& inst : *in.instances) score_join_combo(in, u, inst);
+        for (const fu_instance& inst : *in.instances) queue_join(u, inst);
     }
 
     // 5. The broken-slot stragglers (disjoint from step 4 by construction).
     for (const entry& e : broken) {
         if (e.is_pair)
-            score_pair_combo(in, e.x, e.y, e.module);
+            queue_pair(e.x, e.y, e.module);
         else
-            score_join_combo(in, e.x,
-                             (*in.instances)[static_cast<std::size_t>(e.instance)]);
+            queue_join(e.x, (*in.instances)[static_cast<std::size_t>(e.instance)]);
     }
+    score_batch(in, combos);
 }
 
 } // namespace phls

@@ -118,6 +118,42 @@ private:
     void build_module_screen(const compat_inputs& in);
     const std::vector<module_id>& pair_modules(op_kind a, op_kind b) const;
 
+    /// One combo to (re-)score: a pair (x < y, module) or a join
+    /// (x onto instance).
+    struct combo {
+        bool is_pair = true;
+        node_id x, y;      ///< pair ops, x < y; joins use x only
+        int instance = -1; ///< join target
+        module_id module;  ///< pair module; joins: the instance module
+    };
+
+    /// Scored outcome of one combo.  keep == false means "erase any
+    /// stored entry for this key" -- the reference outcome for both an
+    /// untimeable combo and a negative saving.
+    struct scored {
+        std::uint64_t key = 0;
+        bool keep = false;
+        entry e;
+    };
+
+    /// Pure scoring of one combo against the current state: touches no
+    /// store state beyond reads of the (frozen during scoring) busy
+    /// table, so batches score concurrently.  With an arena attached, a
+    /// time-independent negative-saving precheck skips the slot probes
+    /// of combos the reference path times and then erases.
+    scored score_combo(const compat_inputs& in, const combo& c) const;
+
+    /// Installs / updates / removes the entry for one scored combo.
+    void apply_scored(scored&& s);
+
+    /// Scores every queued combo -- inline, or fanned out over
+    /// kernel_tuning::intra_threads when the arena path is active --
+    /// then applies the results in combo order (scoring is pure, so the
+    /// deferred application is byte-identical to the sequential
+    /// score-then-apply interleaving at any thread count).  Clears the
+    /// batch.
+    void score_batch(const compat_inputs& in, std::vector<combo>& combos);
+
     /// Re-scores one combo against the current state and installs /
     /// updates / removes its entry.
     void score_pair_combo(const compat_inputs& in, node_id x, node_id y, module_id m);
@@ -126,9 +162,51 @@ private:
     void erase_at(std::size_t pos);
     void store_entry(entry e);
 
+    /// pick_key packed into two words whose lexicographic order equals
+    /// pick_key::operator< exactly (saving's sign-flip trick plus 21-bit
+    /// integer fields), so the flat core sorts on machine compares
+    /// instead of a five-field comparator.
+    struct pick128 {
+        std::uint64_t hi = 0;
+        std::uint64_t lo = 0;
+        bool operator<(const pick128& o) const
+        {
+            return hi != o.hi ? hi < o.hi : lo < o.lo;
+        }
+    };
+    static pick128 pack_pick(const pick_key& k);
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /// Flat-mode position of `key` (overlay first, then the sorted core,
+    /// dead entries excluded); npos when absent.
+    std::size_t flat_lookup(std::uint64_t key) const;
+    /// Flat-mode erasure: tombstones a core entry, fully removes an
+    /// overlay entry.
+    void kill(std::size_t pos);
+
     bool built_ = false;
-    /// Dense entry pool (swap-pop erasure) + key index; contiguous so
-    /// the per-accept sweep is a linear scan, not a node-chasing walk.
+    /// Flat mode (arena attached at rebuild): the rebuild appends every
+    /// kept entry to `pool_` (combo generation emits each key exactly
+    /// once, so no lookups run), then bulk-sorts two flat indices over
+    /// the frozen core: `sorted_` (best-first pick order) and `keys_`
+    /// (binary-searchable key -> position).  Post-rebuild mutations
+    /// never reorder the core: an update tombstones the old position via
+    /// `alive_` and appends to an overlay indexed by the classic
+    /// `order_`/`index_` maps, and best() merges the core and overlay
+    /// streams.  Classic mode keeps every entry in the maps directly.
+    bool flat_ = false;
+    /// True while a flat rebuild is generating entries (append-only).
+    bool rebuilding_ = false;
+    std::size_t core_size_ = 0;
+    /// First possibly-alive core rank; dead prefixes are skipped once.
+    mutable std::size_t cursor_ = 0;
+    std::vector<std::pair<pick128, std::uint32_t>> sorted_; ///< core pick order
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> keys_; ///< core key index
+    std::vector<char> alive_;
+    /// Dense entry pool (swap-pop erasure in classic mode, tombstones in
+    /// flat mode) + key index; contiguous so the per-accept sweep is a
+    /// linear scan, not a node-chasing walk.
     std::vector<entry> pool_;
     std::unordered_map<std::uint64_t, std::size_t> index_;
     std::map<pick_key, std::uint64_t> order_; ///< best first

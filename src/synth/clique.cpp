@@ -12,6 +12,7 @@
 #include "support/kernels.h"
 #include "support/log.h"
 #include "support/strings.h"
+#include "synth/arena.h"
 #include "synth/candidates.h"
 #include "synth/compat.h"
 
@@ -37,10 +38,13 @@ struct partition_state {
     explicit partition_state(double cap) : committed_power(cap) {}
 };
 
-/// Accumulates wall time into a kernel_timers field while timing is on.
+/// Accumulates wall time into a kernel_timers field; pass nullptr when
+/// timing is off.  The caller samples kernel_timing().collect once per
+/// synthesis run (not once per region entry), so the disabled path costs
+/// one pointer test and a mid-run flip affects the next run only.
 class scoped_ns {
 public:
-    explicit scoped_ns(long long* acc) : acc_(kernel_timing().collect ? acc : nullptr)
+    explicit scoped_ns(long long* acc) : acc_(acc)
     {
         if (acc_) t0_ = std::chrono::steady_clock::now();
     }
@@ -135,7 +139,8 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
     const int n = g.node_count();
     const double cap = constraints.max_power;
     synthesis_result result;
-    result.dp = datapath(design_name(g, constraints), n);
+    const std::string name = design_name(g, constraints);
+    result.dp = datapath(name, n);
     check(constraints.latency >= 1, "latency constraint must be positive");
     // Candidate identities (blacklist + incremental store) pack node,
     // instance and module ids into fixed-width fields; oversized inputs
@@ -145,6 +150,9 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
 
     const kernel_tuning& knobs = kernel_knobs();
     kernel_timers& timers = kernel_timing();
+    // Sampled once per run; scoped_ns takes the resolved pointer.
+    long long* const candidates_acc = timers.collect ? &timers.candidates_ns : nullptr;
+    long long* const rollback_acc = timers.collect ? &timers.rollback_ns : nullptr;
 
     // 1. Prospect modules under the power cap (one table per
     // admissible-module set when a batch cache is attached).
@@ -160,7 +168,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
     st.fixed.assign(static_cast<std::size_t>(n), -1);
     st.assignment = prospect.assignment;
     st.committed.assign(static_cast<std::size_t>(n), 0);
-    st.dp = datapath(design_name(g, constraints), n);
+    st.dp = datapath(name, n);
 
     // The reversed graph palap schedules on is a pure invariant: the
     // cache serves its copy to every point; without a cache it is built
@@ -210,12 +218,23 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
 
     candidate_store store;
 
+    // Struct-of-arrays scoring arena (knobs.soa_arena): an engine of the
+    // incremental store, synced to the scheduling state before every
+    // store rebuild and every apply_accept.  Left detached otherwise so
+    // the reference paths run the reference scoring.
+    std::optional<synth_arena> arena_store;
+    if (knobs.soa_arena && knobs.incremental_candidates) {
+        arena_store.emplace();
+        arena_store->build(g, lib);
+    }
+    synth_arena* const arena = arena_store ? &*arena_store : nullptr;
+
     // Locks every free operator to its current pasap start time (the
     // paper's backtrack remedy); the pasap schedule itself witnesses
     // feasibility.  Every window and fixed time moves at once, so the
     // incremental store rebuilds from scratch afterwards.
     const auto lock_all = [&](partition_state& s) {
-        for (node_id v : g.nodes())
+        for (node_id v : g.node_ids())
             if (s.fixed[v.index()] < 0) s.fixed[v.index()] = s.windows.s_min[v.index()];
         locked = true;
         result.stats.locked = true;
@@ -251,7 +270,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         [&](std::initializer_list<std::pair<node_id, int>> ops, int duration,
             bool adds_instance) {
             rollback_point rp;
-            const scoped_ns timer(&timers.rollback_ns);
+            const scoped_ns timer(rollback_acc);
             if (knobs.undo_log) {
                 rp.undo.ops.reserve(ops.size());
                 for (const auto& [v, t] : ops)
@@ -263,7 +282,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
             return rp;
         };
     const auto rollback_state = [&](rollback_point& rp) {
-        const scoped_ns timer(&timers.rollback_ns);
+        const scoped_ns timer(rollback_acc);
         if (knobs.undo_log)
             unwind(st, rp.undo);
         else
@@ -290,21 +309,25 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         in.committed_power = &st.committed_power;
         in.assignment = &st.assignment;
         in.locked = locked;
+        in.arena = arena;
 
         // Pick the best candidate: either incrementally maintained
         // across iterations, or the reference full re-enumeration.
         merge_candidate chosen;
         bool have = false;
         if (knobs.incremental_candidates) {
-            const scoped_ns timer(&timers.candidates_ns);
-            if (!store.built()) store.rebuild(in);
+            const scoped_ns timer(candidates_acc);
+            if (!store.built()) {
+                if (arena != nullptr) arena->sync(in);
+                store.rebuild(in);
+            }
             const merge_candidate* c = store.best(blacklist);
             if (c != nullptr) {
                 chosen = *c;
                 have = true;
             }
         } else {
-            const scoped_ns timer(&timers.candidates_ns);
+            const scoped_ns timer(candidates_acc);
             std::vector<merge_candidate> candidates = enumerate_candidates(in);
             std::erase_if(candidates, [&](const merge_candidate& c) {
                 return c.saving < 0.0 || blacklist.count(c.packed_key()) > 0;
@@ -317,8 +340,12 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
         }
         if (knobs.incremental_candidates && knobs.cross_check) {
             // Testing aid: the reference pipeline must agree with the
-            // store, decision for decision.
-            std::vector<merge_candidate> candidates = enumerate_candidates(in);
+            // store, decision for decision.  The reference enumeration
+            // runs with the arena detached, so cross_check genuinely
+            // compares arena scoring against reference scoring.
+            compat_inputs ref_in = in;
+            ref_in.arena = nullptr;
+            std::vector<merge_candidate> candidates = enumerate_candidates(ref_in);
             std::erase_if(candidates, [&](const merge_candidate& c) {
                 return c.saving < 0.0 || blacklist.count(c.packed_key()) > 0;
             });
@@ -363,7 +390,8 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
                 ++result.stats.join_merges;
             blacklist.clear();
             if (knobs.incremental_candidates && store.built()) {
-                const scoped_ns timer(&timers.candidates_ns);
+                const scoped_ns timer(candidates_acc);
+                if (arena != nullptr) arena->sync(in);
                 store.apply_accept(in, chosen, previous);
             }
             log_debug() << "accepted " << chosen.key() << " saving " << chosen.saving;
@@ -386,7 +414,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
     // First give each a chance to move to the cheapest power-feasible
     // module (validated by a full window recompute), then batch-commit
     // the rest at their pasap times, which are feasible by construction.
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         if (st.committed[v.index()]) continue;
         if (!options.allow_cheapest_rebind) continue;
         const module_id cheap = *lib.cheapest_for(g.kind(v), cap);
@@ -413,7 +441,7 @@ synthesis_result run_clique_partitioning(const graph& g, const module_library& l
             ++result.stats.finalize_fallbacks;
         }
     }
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         if (st.committed[v.index()]) continue;
         const int inst = st.dp.add_instance(st.assignment[v.index()]);
         st.dp.bind(v, inst, st.windows.s_min[v.index()]);

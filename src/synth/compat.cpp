@@ -6,6 +6,7 @@
 #include "support/errors.h"
 #include "support/kernels.h"
 #include "support/strings.h"
+#include "synth/arena.h"
 
 namespace phls {
 
@@ -25,6 +26,10 @@ std::uint64_t merge_candidate::packed_key() const
 
 double standalone_area(const compat_inputs& in, node_id v)
 {
+    // Arena fast path: the identical fold, cached per node at the last
+    // sync (the inputs it reads only change between syncs).
+    if (in.arena != nullptr) return in.arena->standalone(v);
+
     const int prospect_delay = in.lib->module((*in.assignment)[v.index()]).latency;
     const int f = (*in.fixed)[v.index()];
     const int mobility =
@@ -155,6 +160,13 @@ std::pair<int, int> window_of(const compat_inputs& in, node_id v)
 std::pair<int, int> clamp_by_neighbors(const compat_inputs& in, node_id v, int d, int lo,
                                        int hi)
 {
+    // Arena fast path: both folds are precomputed per node.  The lo side
+    // is module-independent; the hi side commutes the constant -d out of
+    // the integer min, so both are exact.
+    if (in.arena != nullptr)
+        return {std::max(lo, in.arena->pred_bound(v)),
+                std::min(hi, in.arena->succ_latest(v) - d)};
+
     for (node_id p : in.g->preds(v)) {
         const int f = (*in.fixed)[p.index()];
         const int earliest = f >= 0 ? f : in.windows->s_min[p.index()];
@@ -277,7 +289,7 @@ std::vector<merge_candidate> enumerate_candidates(const compat_inputs& in)
 
     std::vector<merge_candidate> out;
     std::vector<node_id> free_ops;
-    for (node_id v : in.g->nodes())
+    for (node_id v : in.g->node_ids())
         if (!(*in.committed)[v.index()]) free_ops.push_back(v);
 
     // Busy intervals are a function of the instance alone: build each

@@ -27,6 +27,8 @@
 
 namespace phls {
 
+class synth_arena;
+
 /// Field widths of the packed candidate identity used by the merge
 /// loop's blacklist and the incremental candidate store:
 /// [pair-bit | a | b-or-instance | module].  run_clique_partitioning
@@ -83,6 +85,12 @@ struct compat_inputs {
     const power_tracker* committed_power = nullptr; ///< reservations of committed ops
     const module_assignment* assignment = nullptr;  ///< current per-node modules
     bool locked = false; ///< all free ops pinned to their pasap times
+    /// Optional struct-of-arrays fast path (kernel_tuning::soa_arena):
+    /// when set, clamp_by_neighbors and standalone_area answer from the
+    /// arena's O(1) per-node caches instead of walking the graph.  The
+    /// owner must arena->sync() after every scheduling-state change;
+    /// results are byte-identical either way.
+    const synth_arena* arena = nullptr;
 };
 
 /// Standalone area of one operation: the cheapest module for its kind

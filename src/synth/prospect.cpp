@@ -19,7 +19,7 @@ prospect_result make_prospect(const graph& g, const module_library& lib,
     prospect_result result;
     lib.check_covers(g);
     result.assignment.resize(static_cast<std::size_t>(g.node_count()));
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         const op_kind k = g.kind(v);
         const std::optional<module_id> m = policy == prospect_policy::fastest_fit
                                                ? lib.fastest_for(k, max_power)

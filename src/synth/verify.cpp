@@ -23,7 +23,7 @@ std::vector<std::string> verify_datapath(const graph& g, const module_library& l
     }
 
     // Binding structure.
-    for (node_id v : g.nodes()) {
+    for (node_id v : g.node_ids()) {
         const int inst = dp.instance_of[v.index()];
         if (inst < 0 || inst >= static_cast<int>(dp.instances.size())) {
             complain("operation '" + g.label(v) + "' is unbound");
@@ -55,7 +55,7 @@ std::vector<std::string> verify_datapath(const graph& g, const module_library& l
                          "' which is bound elsewhere");
 
     // Data dependencies.
-    for (node_id v : g.nodes())
+    for (node_id v : g.node_ids())
         for (node_id s : g.succs(v))
             if (dp.sched.start(s) < dp.sched.finish(v, lib))
                 complain(strf("dependency violated: '%s' finishes at %d but '%s' starts at %d",

@@ -1,8 +1,10 @@
-// Byte-identity of the optimised synthesis kernels (PR 5) against the
+// Byte-identity of the optimised synthesis kernels against the
 // retained reference implementations, across the kernel_knobs()
 // ablation matrix: skip-ahead power probing, incremental candidate
-// maintenance, and undo-log rollback must change wall time only --
-// never a schedule, a datapath, a counter or a diagnostic.
+// maintenance, undo-log rollback, the SoA synthesis arena, dense
+// power probing and intra-point parallel scoring must change wall
+// time only -- never a schedule, a datapath, a counter or a
+// diagnostic.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -38,6 +40,9 @@ kernel_tuning all_reference()
     k.skip_probe = false;
     k.incremental_candidates = false;
     k.undo_log = false;
+    k.soa_arena = false;
+    k.dense_power = false;
+    k.intra_threads = 1;
     return k;
 }
 
@@ -76,11 +81,14 @@ TEST(kernels, paper_benchmarks_identical_across_every_knob)
             const std::string reference = run_with(all_reference(), g, c);
             EXPECT_EQ(run_with(kernel_tuning{}, g, c), reference)
                 << name << " cap " << cap << ": all-optimised diverges";
-            for (int knob = 0; knob < 3; ++knob) {
-                kernel_tuning k; // one optimisation off at a time
+            for (int knob = 0; knob < 6; ++knob) {
+                kernel_tuning k; // one optimisation toggled at a time
                 if (knob == 0) k.skip_probe = false;
                 if (knob == 1) k.incremental_candidates = false;
                 if (knob == 2) k.undo_log = false;
+                if (knob == 3) k.soa_arena = false;
+                if (knob == 4) k.dense_power = false;
+                if (knob == 5) k.intra_threads = 8;
                 EXPECT_EQ(run_with(k, g, c), reference)
                     << name << " cap " << cap << ": knob " << knob << " diverges";
             }
@@ -167,6 +175,118 @@ TEST(kernels, truncated_merge_loop_identical_across_knobs)
         EXPECT_EQ(run_with(kernel_tuning{}, g, {22, 20.0}, o),
                   run_with(all_reference(), g, {22, 20.0}, o))
             << "attempt cap " << attempts;
+    }
+}
+
+TEST(kernels, thousand_op_dag_identical_across_every_knob)
+{
+    // Mid-scale anchor for the large-graph path: a 1000-op DAG from the
+    // bench_kernels synthetic family, attempt-bounded, compared against
+    // the seed-era reference for the all-optimised default, each
+    // optimisation toggled alone, and the PR-5 kernel set (incremental
+    // store without the SoA arena).
+    random_dag_params params;
+    params.operations = 1000;
+    params.inputs = 83; // the bench family's n/12 input ratio
+    params.layers = 10;
+    params.mult_fraction = 0.0;
+    const graph g = random_dag(params, 777 + 1000);
+    const module_assignment fast = fastest_assignment(g, lib(), unbounded_power);
+    const int cp = critical_path_length(
+        g, [&](node_id v) { return lib().module(fast[v.index()]).latency; });
+
+    synthesis_options o;
+    o.lock_from_start = true;
+    o.try_both_prospects = false;
+    o.verify_result = false; // a truncated loop may miss the area target
+    o.max_merge_attempts = 2;
+    const synthesis_constraints c{cp + 4, unbounded_power};
+
+    const std::string reference = run_with(all_reference(), g, c, o);
+    EXPECT_EQ(run_with(kernel_tuning{}, g, c, o), reference) << "all-optimised";
+    for (int knob = 0; knob < 6; ++knob) {
+        kernel_tuning k;
+        if (knob == 0) k.skip_probe = false;
+        if (knob == 1) k.incremental_candidates = false;
+        if (knob == 2) k.undo_log = false;
+        if (knob == 3) { // the PR-5 kernel set
+            k.soa_arena = false;
+            k.dense_power = false;
+        }
+        if (knob == 4) k.dense_power = false;
+        if (knob == 5) k.intra_threads = 8;
+        EXPECT_EQ(run_with(k, g, c, o), reference) << "knob " << knob;
+    }
+}
+
+TEST(kernels, ten_k_op_dag_identical_across_threads)
+{
+    // The data-oriented rewrite targets graphs two orders of magnitude
+    // beyond the paper benchmarks.  Run an attempt-bounded prefix of the
+    // merge loop on a 10k-operation DAG and demand byte-identity between
+    // the seed-era reference kernels and the SoA arena path at 1, 2 and
+    // 8 intra-point threads.  (The PR-5 kernel set is compared against
+    // the arena path at this scale by bench_kernels' 10k-op row; the
+    // mid-scale anchor above covers it in-suite.)
+    random_dag_params params;
+    params.operations = 10000;
+    params.inputs = 833; // the bench family's n/12 input ratio
+    params.layers = 10;
+    params.mult_fraction = 0.0;
+    const graph g = random_dag(params, 777 + 10000);
+    const module_assignment fast = fastest_assignment(g, lib(), unbounded_power);
+    const int cp = critical_path_length(
+        g, [&](node_id v) { return lib().module(fast[v.index()]).latency; });
+
+    synthesis_options o;
+    o.lock_from_start = true;
+    o.try_both_prospects = false;
+    o.verify_result = false; // a truncated loop may miss the area target
+    o.max_merge_attempts = 2;
+    const synthesis_constraints c{cp + 4, unbounded_power};
+
+    const std::string reference = run_with(all_reference(), g, c, o);
+    for (const int threads : {1, 2, 8}) {
+        kernel_tuning k;
+        k.intra_threads = threads;
+        EXPECT_EQ(run_with(k, g, c, o), reference)
+            << threads << " intra-point threads diverge on the 10k-op DAG";
+    }
+}
+
+TEST(kernels, cross_check_validates_arena_scoring_on_random_dags)
+{
+    // Like the incremental-store fuzz above, but aimed at the SoA arena
+    // and the parallel scorer: cross_check re-runs the reference
+    // enumeration (arena detached) after every rebuild and accept, so a
+    // single mis-scored combo anywhere in a run aborts the synthesis.
+    const knob_guard guard;
+    for (const int threads : {1, 8}) {
+        kernel_knobs() = kernel_tuning{};
+        kernel_knobs().cross_check = true;
+        kernel_knobs().intra_threads = threads;
+        for (const std::uint64_t seed : {5ull, 41ull, 97ull}) {
+            random_dag_params params;
+            params.operations = 30;
+            params.inputs = 5;
+            params.mult_fraction = seed % 2 == 0 ? 0.3 : 0.0;
+            const graph g = random_dag(params, seed);
+            const module_assignment fast =
+                fastest_assignment(g, lib(), unbounded_power);
+            const int cp = critical_path_length(
+                g, [&](node_id v) { return lib().module(fast[v.index()]).latency; });
+
+            const synthesis_result probe =
+                synthesize(g, lib(), {cp + 5, unbounded_power});
+            ASSERT_TRUE(probe.feasible) << probe.reason;
+            for (const double scale : {1.0, 0.55}) {
+                const double cap = scale * probe.dp.peak_power(lib());
+                const synthesis_result r = synthesize(g, lib(), {cp + 5, cap});
+                if (r.feasible) {
+                    EXPECT_GE(r.stats.merges, 0);
+                }
+            }
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //   phls synth <bench|file.cdfg> -T 17 [-P 7] [--library lib.txt]
 //         [--netlist] [--verilog out.v] [--dot out.dot] [--synth greedy|exact|...]
 //   phls sweep <bench|file.cdfg> -T 17 [--points 20] [--threads N] [--csv out.csv]
+//         [--intra-threads N]
 //         [--cache-file sweep.phlscache] [--memo-limit N] [--refine]
 //         [--guided [--prune-margin M] [--eval-budget N]]
 //         [--out front.csv|front.json]
@@ -47,6 +48,7 @@
 #include "support/argparse.h"
 #include "support/errors.h"
 #include "support/csv.h"
+#include "support/kernels.h"
 #include "support/strings.h"
 #include "support/table.h"
 #include "synth/explore.h"
@@ -711,6 +713,8 @@ int run(const std::vector<std::string>& argv)
     args.add_option("--library", "-L", "module library file (default: Table 1)");
     args.add_option("--points", "", "sweep grid size", "20");
     args.add_option("--threads", "", "sweep worker threads (0 = all cores)", "0");
+    args.add_option("--intra-threads", "",
+                    "threads for intra-point candidate scoring (>= 1)", "1");
     args.add_option("--alg", "", "scheduler for 'schedule'", "pasap");
     args.add_option("--synth", "", "synthesizer strategy for 'synth'", "greedy");
     args.add_option("--beta", "", "Rakhmatov diffusion parameter", "0.1");
@@ -765,6 +769,13 @@ int run(const std::vector<std::string>& argv)
         std::cout << args.usage();
         return args.positionals().empty() && !args.has("--help") ? 2 : 0;
     }
+
+    // Intra-point parallelism is a process-global kernel knob: one huge
+    // graph fans its candidate scoring out even when the sweep itself is
+    // single-threaded.  Results are byte-identical at any value.
+    const int intra_threads = args.get_int("--intra-threads");
+    check(intra_threads >= 1, "--intra-threads must be >= 1");
+    kernel_knobs().intra_threads = intra_threads;
 
     const std::string& command = args.positionals().front();
     if (command == "list") return cmd_list();
