@@ -28,6 +28,19 @@
 // (peak, area, latency, lifetime) without the datapath — which is
 // everything a sweep table, front or envelope reads; disable
 // metric_answers to force full recomputes.
+//
+// Reuse across heterogeneous jobs: a session is pinned to ONE design
+// problem — the (graph, library, strategies, options, enabled stages)
+// of its prototype — because its cache keys sub-results by exactly that
+// configuration.  Re-running a space on the same session warm-starts;
+// pointing the same session at a *different* problem is a logic error
+// (the level-1 invariants would be wrong for the new graph).  When a
+// workload mixes problems (e.g. many tasks, each its own CDFG), hold
+// one session per problem.  serve::session_pool (src/serve/server.h)
+// does that keying for you: acquire(job) canonicalises the job minus
+// its space/threads and returns a shared slot, so duplicate problems
+// map to one warm session while distinct ones stay isolated — the task
+// engine (src/task/candidates.h) and `phls serve` both reuse it.
 #pragma once
 
 #include <cstddef>

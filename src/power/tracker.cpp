@@ -160,6 +160,26 @@ int power_tracker::first_clean(int from, double power) const
     return c >= 0 ? c : leaves_;
 }
 
+double power_tracker::headroom(int start, int duration) const
+{
+    check(start >= 0 && duration >= 0, "power_tracker::headroom: bad interval");
+    const int end = std::min(start + duration, profile_.cycle_count());
+    if (end <= start) return cap_; // empty window, or wholly past the horizon
+    ensure_tree();
+    // Canonical segment-tree decomposition of [start, end): the max of
+    // the O(log H) covering nodes is the max per-cycle usage.
+    double used = 0.0;
+    int l = leaves_ + start;
+    int r = leaves_ + end;
+    while (l < r) {
+        if (l & 1) used = std::max(used, tree_max_[static_cast<std::size_t>(l++)]);
+        if (r & 1) used = std::max(used, tree_max_[static_cast<std::size_t>(--r)]);
+        l >>= 1;
+        r >>= 1;
+    }
+    return cap_ - used;
+}
+
 void power_tracker::ensure_tree() const
 {
     const int n = profile_.cycle_count();

@@ -72,6 +72,16 @@ public:
     /// Power already reserved in `cycle`.
     double used(int cycle) const { return profile_.at(cycle); }
 
+    /// The headroom of [start, start+duration): the largest power `p`
+    /// with fits(start, duration, p), i.e. cap - max per-cycle usage of
+    /// the window (cycles past the horizon are free and read as 0; an
+    /// empty window or an empty ledger returns the cap; an infinite cap
+    /// returns infinity).  One range-max descent over the headroom tree,
+    /// O(log H) -- the query the task scheduler asks per placement
+    /// instead of re-deriving it from repeated next_fit probes.
+    /// fits(start, duration, headroom(start, duration)) always holds.
+    double headroom(int start, int duration) const;
+
     /// Forces the lazy headroom trees to exist.  next_fit() builds them
     /// on first use, which is a benign cache fill single-threaded but a
     /// data race when several scoring threads probe concurrently -- call

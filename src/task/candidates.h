@@ -1,0 +1,128 @@
+// Per-task candidate implementations, served through the dse layer.
+//
+// Each task of a task_set is its own synthesis problem: the engine
+// explores a small per-task (T, Pmax) space through `phls::flow` and
+// keeps the feasible outcomes as candidate *implementations* the packer
+// chooses among (the fastest one for deadline pressure, the flattest
+// one for battery health).  Exploration goes through a
+// serve::session_pool so every task's problem gets one warm
+// dse::session keyed by serve's canonical job encoding — two tasks over
+// the same (graph, library, strategy, options) share one session and
+// the second sweep is served from the warm memo (see dse/session.h and
+// docs/TASKS.md; this is the supported way to run heterogeneous
+// problems, one session per problem key, rather than pointing one
+// session at many graphs).
+//
+// Infeasible *task sets* are loud: a task whose space yields no usable
+// implementation throws task_error carrying a machine-readable kind —
+// nothing is silently dropped from the schedule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dse/session.h"
+#include "power/profile.h"
+#include "serve/server.h"
+#include "task/set.h"
+
+namespace phls::task {
+
+/// Why a task set cannot be scheduled at all.
+enum class task_error_kind {
+    /// The per-task space produced no feasible design at any (T, Pmax).
+    no_feasible_impl,
+    /// Every feasible design's peak power exceeds the shared envelope.
+    envelope_exceeded,
+    /// No feasible design finishes `iterations` runs by the deadline —
+    /// not even the fastest one, before any packing.
+    deadline_unmeetable,
+};
+
+/// Short stable name ("no_feasible_impl", ...).
+const char* task_error_kind_name(task_error_kind k);
+
+/// An infeasible task set, attributed to one task.  Thrown by the
+/// candidate stage (and therefore by task::schedule) instead of
+/// emitting a best-effort schedule that silently drops the task.
+class task_error : public error {
+public:
+    task_error(task_error_kind kind, const std::string& task_name,
+               const std::string& what)
+        : error("task '" + task_name + "': " + what + " [" +
+                task_error_kind_name(kind) + "]"),
+          kind_(kind), task_(task_name)
+    {
+    }
+
+    task_error_kind kind() const { return kind_; }
+    const std::string& task() const { return task_; }
+
+private:
+    task_error_kind kind_;
+    std::string task_;
+};
+
+/// One feasible implementation of a task: the explored constraint point
+/// and the achieved metrics of its design.
+struct task_impl {
+    synthesis_constraints point{}; ///< the (T, Pmax) the flow evaluated
+    int latency = 0;               ///< achieved latency of one iteration
+    double peak = 0.0;             ///< achieved peak per-cycle power
+    double area = 0.0;             ///< design area
+};
+
+/// The latency axis of a task's candidate space: the explicit
+/// task_spec::latencies when given, otherwise up to four evenly spaced
+/// values from the fastest critical path to the per-iteration deadline
+/// budget (deadline - release) / iterations.  @throws task_error
+/// (deadline_unmeetable) when the budget is below the critical path.
+std::vector<int> candidate_latencies(const task_spec& t);
+
+/// The power-cap axis: flow::power_grid over the slowest latency,
+/// clipped to the caps at or below the shared envelope (with the
+/// envelope itself appended when finite — the cap the packer actually
+/// enforces).  caps == 1 skips the probe and uses the envelope alone.
+/// @throws task_error (no_feasible_impl) when the probe run fails.
+std::vector<double> candidate_caps(const task_spec& t, double envelope);
+
+/// The serve-layer job describing this task's exploration — the
+/// session_pool keys sessions by this job's canonical encoding (minus
+/// space/threads/cache path), so identical tasks share one session.
+/// @throws task_error like the two axis helpers.
+serve::job_request candidate_job(const task_spec& t, double envelope);
+
+/// One task's usable implementations plus the pooled session that
+/// computed them (kept so the packer can materialise a chosen
+/// implementation's datapath from the warm cache).
+struct task_candidates {
+    /// Deduplicated viable implementations — peak within the envelope
+    /// and fast enough to meet the deadline in isolation — sorted by
+    /// (latency, peak, area, point): front() is the fastest.
+    std::vector<task_impl> viable;
+    std::shared_ptr<serve::session_pool::slot> slot; ///< warm session
+};
+
+/// The flattest viable implementation: minimal peak, then latency,
+/// then area.  @throws phls::error on an empty candidate list.
+const task_impl& flattest_impl(const task_candidates& c);
+
+/// Explores every task's candidate space through `pool` (parallel over
+/// tasks on `threads` workers, each task's sweep single-threaded, so
+/// the result is byte-identical for every thread count), filters and
+/// sorts the viable implementations per task, and diagnoses empty ones.
+/// @throws task_error naming the first infeasible task (lowest index).
+std::vector<task_candidates> explore_candidates(const task_set& set,
+                                                serve::session_pool& pool,
+                                                std::size_t memo_limit,
+                                                int threads);
+
+/// Materialises the exact per-cycle power profile of one iteration of
+/// `impl`'s design by re-running the flow at the chosen point against
+/// the warm session cache (exploration keeps metrics only; the packer
+/// needs the datapath's profile to compose the device profile).
+power_profile iteration_profile(const task_spec& t, const task_impl& impl,
+                                const dse::session& session);
+
+} // namespace phls::task

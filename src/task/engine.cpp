@@ -1,0 +1,302 @@
+#include "task/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "battery/battery.h"
+#include "battery/lifetime.h"
+#include "power/tracker.h"
+#include "support/errors.h"
+
+namespace phls::task {
+
+namespace {
+
+/// One task's pick for a portfolio candidate: the implementation the
+/// policy runs it on and the exact per-cycle profile of one iteration.
+struct chosen {
+    const task_impl* impl = nullptr;
+    power_profile prof;
+};
+
+/// Deposits one iteration's exact per-cycle profile at `start`.  The
+/// caller probed `impl.peak` over the interval first, so every per-cycle
+/// value (<= peak) fits; the tracker's ledger stays the exact composed
+/// device profile, which is what the battery model scores.
+void deposit_iteration(power_tracker& tr, int start, const power_profile& prof,
+                       int lat)
+{
+    const std::vector<double>& v = prof.values();
+    for (int c = 0; c < lat; ++c) {
+        const double p =
+            c < static_cast<int>(v.size()) ? v[static_cast<std::size_t>(c)] : 0.0;
+        tr.reserve(start + c, 1, p);
+    }
+}
+
+void finish_task(task_result& r, const task_spec& t)
+{
+    r.completion = r.runs.empty() ? t.release : r.runs.back().finish;
+    r.slack = t.deadline - r.completion;
+    r.met = r.completion <= t.deadline;
+}
+
+void finish_pack(task_schedule& s, const power_tracker& tr)
+{
+    s.met = 0;
+    s.makespan = 0;
+    for (const task_result& r : s.tasks) {
+        if (r.met) ++s.met;
+        s.makespan = std::max(s.makespan, r.completion);
+    }
+    s.profile = tr.profile();
+    s.peak = s.profile.peak();
+    s.energy = s.profile.energy();
+}
+
+/// Non-preemptive EDF: tasks in (deadline, release, index) order, all
+/// iterations of a task as one contiguous block at the first start
+/// where the block fits under the envelope at the implementation's peak.
+task_schedule pack_edf(const task_set& set, const std::vector<chosen>& pick)
+{
+    task_schedule s;
+    s.envelope = set.envelope;
+    s.tasks.resize(set.tasks.size());
+    std::vector<std::size_t> order(set.tasks.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const task_spec& ta = set.tasks[a];
+        const task_spec& tb = set.tasks[b];
+        if (ta.deadline != tb.deadline) return ta.deadline < tb.deadline;
+        if (ta.release != tb.release) return ta.release < tb.release;
+        return a < b;
+    });
+    power_tracker tr(set.envelope);
+    for (std::size_t idx : order) {
+        const task_spec& t = set.tasks[idx];
+        const chosen& ch = pick[idx];
+        const int lat = ch.impl->latency;
+        const int block = lat * t.iterations;
+        const int start = tr.next_fit(t.release, block, ch.impl->peak);
+        check(start >= 0, "task engine: viable implementation exceeds the envelope");
+        task_result r;
+        r.index = static_cast<int>(idx);
+        r.name = t.name;
+        r.release = t.release;
+        r.deadline = t.deadline;
+        r.iterations = t.iterations;
+        r.impl = *ch.impl;
+        for (int i = 0; i < t.iterations; ++i) {
+            const int at = start + i * lat;
+            deposit_iteration(tr, at, ch.prof, lat);
+            r.runs.push_back({i, at, at + lat});
+        }
+        finish_task(r, t);
+        s.tasks[idx] = std::move(r);
+    }
+    finish_pack(s, tr);
+    return s;
+}
+
+/// Preemptive packing: iterations are placed one at a time, always for
+/// the pending task with the earliest (deadline, next start, index), so
+/// iterations of different tasks interleave wherever the envelope has
+/// headroom.  With `insert_gaps`, a placed iteration whose peak reaches
+/// `burst_threshold` is followed by recovery idle — but only while the
+/// task's remaining iterations still fit before its deadline, so a gap
+/// never turns a met deadline into a missed one.
+task_schedule pack_preemptive(const task_set& set, const std::vector<chosen>& pick,
+                              bool insert_gaps, double burst_threshold,
+                              int recovery_gap)
+{
+    task_schedule s;
+    s.envelope = set.envelope;
+    s.tasks.resize(set.tasks.size());
+    struct pending {
+        int next = 0;     ///< iterations placed so far
+        int earliest = 0; ///< next iteration may not start before this
+    };
+    std::vector<pending> state(set.tasks.size());
+    for (std::size_t i = 0; i < set.tasks.size(); ++i) {
+        state[i].earliest = set.tasks[i].release;
+        task_result& r = s.tasks[i];
+        r.index = static_cast<int>(i);
+        r.name = set.tasks[i].name;
+        r.release = set.tasks[i].release;
+        r.deadline = set.tasks[i].deadline;
+        r.iterations = set.tasks[i].iterations;
+        r.impl = *pick[i].impl;
+    }
+    power_tracker tr(set.envelope);
+    while (true) {
+        std::size_t best = set.tasks.size();
+        for (std::size_t i = 0; i < set.tasks.size(); ++i) {
+            if (state[i].next >= set.tasks[i].iterations) continue;
+            if (best == set.tasks.size()) {
+                best = i;
+                continue;
+            }
+            const task_spec& ti = set.tasks[i];
+            const task_spec& tb = set.tasks[best];
+            if (ti.deadline != tb.deadline) {
+                if (ti.deadline < tb.deadline) best = i;
+            } else if (state[i].earliest != state[best].earliest) {
+                if (state[i].earliest < state[best].earliest) best = i;
+            }
+        }
+        if (best == set.tasks.size()) break;
+        const task_spec& t = set.tasks[best];
+        const chosen& ch = pick[best];
+        const int lat = ch.impl->latency;
+        const int at = tr.next_fit(state[best].earliest, lat, ch.impl->peak);
+        check(at >= 0, "task engine: viable implementation exceeds the envelope");
+        deposit_iteration(tr, at, ch.prof, lat);
+        s.tasks[best].runs.push_back({state[best].next, at, at + lat});
+        ++state[best].next;
+        state[best].earliest = at + lat;
+        const int remaining = t.iterations - state[best].next;
+        if (insert_gaps && remaining > 0 &&
+            ch.impl->peak >= burst_threshold - power_tracker::tolerance) {
+            const int gap = recovery_gap < 0 ? lat : recovery_gap;
+            if (gap > 0 &&
+                state[best].earliest + gap + remaining * lat <= t.deadline) {
+                state[best].earliest += gap;
+                ++s.preemption_gaps;
+            }
+        }
+        if (remaining == 0) finish_task(s.tasks[best], t);
+    }
+    finish_pack(s, tr);
+    return s;
+}
+
+/// Rakhmatov lifetime of the composed profile under the shared alpha.
+void score(task_schedule& s, const task_set& set, double alpha)
+{
+    const load_profile load = to_load(s.profile, set.battery.voltage,
+                                      set.battery.cycle_seconds,
+                                      set.battery.idle_cycles);
+    const auto model = make_rakhmatov_battery(alpha, set.battery.beta);
+    s.lifetime_seconds = model->lifetime(load, set.battery.max_seconds).seconds;
+    s.battery_alpha = alpha;
+}
+
+} // namespace
+
+std::vector<std::string> policy_names() { return {"edf", "battery"}; }
+
+policy policy_by_name(const std::string& name)
+{
+    if (name == "edf") return policy::edf;
+    if (name == "battery") return policy::battery;
+    throw error("unknown task policy '" + name + "' (try: edf, battery)");
+}
+
+const char* policy_name(policy p)
+{
+    return p == policy::edf ? "edf" : "battery";
+}
+
+const char* policy_description(policy p)
+{
+    switch (p) {
+    case policy::edf:
+        return "non-preemptive earliest-deadline-first baseline: fastest "
+               "implementations, contiguous blocks";
+    case policy::battery:
+        return "preemptive battery-aware portfolio: keeps the EDF baseline "
+               "unless a preemptive or recovery-gap schedule meets at least "
+               "as many deadlines with at least the same lifetime";
+    }
+    return "";
+}
+
+task_schedule schedule(const task_set& set, policy p, serve::session_pool& pool,
+                       const schedule_options& opts, const sink& sk)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    check_task_set(set);
+    check(opts.burst_fraction > 0.0 && opts.burst_fraction <= 1.0,
+          "task engine: burst_fraction must be in (0, 1]");
+
+    const std::vector<task_candidates> cands =
+        explore_candidates(set, pool, opts.memo_limit, opts.threads);
+
+    // Fixed-order sequential materialisation of the per-iteration
+    // profiles (the exploration above already warmed each session's
+    // memo, so these runs are cache serves).
+    const std::size_t n = set.tasks.size();
+    std::vector<chosen> fastest(n);
+    std::vector<chosen> flattest(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const task_impl& fast = cands[i].viable.front();
+        const task_impl& flat = flattest_impl(cands[i]);
+        fastest[i].impl = &fast;
+        fastest[i].prof =
+            iteration_profile(set.tasks[i], fast, cands[i].slot->session);
+        flattest[i].impl = &flat;
+        flattest[i].prof =
+            &flat == &fast
+                ? fastest[i].prof
+                : iteration_profile(set.tasks[i], flat, cands[i].slot->session);
+    }
+
+    task_schedule a = pack_edf(set, fastest);
+    const double alpha = set.battery.alpha > 0.0
+                             ? set.battery.alpha
+                             : a.energy * set.battery.cycle_seconds * 100.0;
+    score(a, set, alpha);
+
+    task_schedule winner = std::move(a);
+    if (p == policy::battery) {
+        double threshold_base = set.envelope;
+        if (!std::isfinite(threshold_base)) {
+            threshold_base = 0.0;
+            for (const chosen& ch : flattest)
+                threshold_base = std::max(threshold_base, ch.impl->peak);
+        }
+        const double burst_threshold = opts.burst_fraction * threshold_base;
+        const task_schedule candidates[] = {
+            pack_preemptive(set, fastest, /*insert_gaps=*/false, burst_threshold,
+                            opts.recovery_gap),
+            pack_preemptive(set, flattest, /*insert_gaps=*/true, burst_threshold,
+                            opts.recovery_gap),
+        };
+        for (const task_schedule& c : candidates) {
+            task_schedule scored = c;
+            score(scored, set, alpha);
+            // Eligibility is against the current winner (initially the
+            // EDF baseline, so transitively always >= it): a candidate
+            // may never trade met deadlines for lifetime or vice versa.
+            if (scored.met < winner.met ||
+                scored.lifetime_seconds < winner.lifetime_seconds)
+                continue;
+            const bool strictly_better =
+                scored.met > winner.met ||
+                scored.lifetime_seconds > winner.lifetime_seconds ||
+                scored.makespan < winner.makespan || scored.peak < winner.peak;
+            if (strictly_better) winner = std::move(scored);
+        }
+    }
+
+    winner.set_name = set.name;
+    winner.policy = policy_name(p);
+    winner.wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  t0)
+            .count();
+    if (sk.on_task)
+        for (const task_result& r : winner.tasks) sk.on_task(r);
+    return winner;
+}
+
+task_schedule schedule(const task_set& set, policy p,
+                       const schedule_options& opts, const sink& sk)
+{
+    serve::session_pool pool;
+    return schedule(set, p, pool, opts, sk);
+}
+
+} // namespace phls::task

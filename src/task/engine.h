@@ -1,0 +1,92 @@
+// The multi-task scheduling engine: packs a task_set's iterations into
+// the shared power envelope and scores the composed profile's battery
+// lifetime.
+//
+// Two policies:
+//
+//   * edf     — non-preemptive earliest-deadline-first baseline: tasks
+//     in deadline order, each on its *fastest* viable implementation,
+//     all iterations as one contiguous block at the first start where
+//     the block's peak fits under the envelope (power_tracker::next_fit
+//     leaps whole saturated stretches in O(log H)).
+//   * battery — the battery-aware portfolio: the EDF baseline plus a
+//     preemptive variant (iterations placed one by one, so they slot
+//     into headroom the contiguous block cannot use) and a preemptive
+//     *flattest-implementation* variant that deliberately inserts
+//     recovery gaps after high-power bursts — the idle the Rakhmatov
+//     diffusion model recovers during.  The engine keeps whichever
+//     candidate wins on (deadlines met, then composed-profile lifetime),
+//     never discarding the baseline, so `battery` is >= `edf` on both
+//     axes *by construction* — the property bench_tasks gates.
+//
+// Determinism: per-task candidate synthesis fans out over the thread
+// count, each task's sweep runs single-threaded, packing and scoring
+// are sequential in fixed order — the returned schedule (including its
+// to_string) is byte-identical for every thread count.  All three
+// portfolio candidates are scored on one shared battery capacity
+// (derived from the EDF baseline's profile when the set does not pin
+// alpha), so lifetimes are comparable across policies.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "task/schedule.h"
+#include "task/set.h"
+
+namespace phls::task {
+
+/// Scheduling policy of task::schedule.
+enum class policy {
+    edf,     ///< non-preemptive earliest-deadline-first baseline
+    battery, ///< preemptive battery-aware portfolio (>= edf by construction)
+};
+
+/// Registry-style name list ("edf", "battery"), in canonical order.
+std::vector<std::string> policy_names();
+/// Policy by name; @throws phls::error for unknown names.
+policy policy_by_name(const std::string& name);
+/// Short stable name of a policy.
+const char* policy_name(policy p);
+/// One-line human description (the CLI's --list-policies output).
+const char* policy_description(policy p);
+
+/// Engine knobs.
+struct schedule_options {
+    /// Worker threads for per-task candidate synthesis; 0 = hardware
+    /// concurrency.  The schedule itself is thread-count independent.
+    int threads = 0;
+    /// Full-report LRU bound per pooled session (0 = unbounded).
+    std::size_t memo_limit = 0;
+    /// Recovery idle inserted after a high-power burst, in cycles;
+    /// negative = one burst length (the placed iteration's latency).
+    int recovery_gap = -1;
+    /// A placed iteration counts as a burst when its peak is at least
+    /// this fraction of the envelope (of the highest chosen peak when
+    /// the envelope is unbounded).  Must be in (0, 1].
+    double burst_fraction = 0.5;
+};
+
+/// Streaming delivery, like dse::sink: one call per task of the winning
+/// schedule, in task-set order, before schedule() returns.  Calls are
+/// serialised; a throwing callback propagates to the caller.
+struct sink {
+    std::function<void(const task_result&)> on_task;
+};
+
+/// Packs `set` under `p` and scores the composed profile.  Candidate
+/// implementations are explored through `pool`, so repeated calls (and
+/// duplicate tasks within one set) hit warm sessions.  @throws
+/// task_error for infeasible sets (see candidates.h), phls::error on
+/// malformed options.
+task_schedule schedule(const task_set& set, policy p, serve::session_pool& pool,
+                       const schedule_options& opts = {}, const sink& sk = {});
+
+/// Convenience overload with a private single-use pool.
+task_schedule schedule(const task_set& set, policy p,
+                       const schedule_options& opts = {}, const sink& sk = {});
+
+} // namespace phls::task

@@ -1,0 +1,51 @@
+#include "task/schedule.h"
+
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace phls::task {
+
+namespace {
+
+/// Infinite caps print as "inf" (strf's %f would be locale-stable but
+/// "inf" reads better in the byte-compared dumps).
+std::string fmt_power(double p)
+{
+    return std::isfinite(p) ? strf("%.6f", p) : "inf";
+}
+
+} // namespace
+
+std::string task_schedule::to_string() const
+{
+    // Canonical rendering of every *result* field; wall_ms is timing
+    // noise and deliberately excluded so identical schedules serialise
+    // identically regardless of machine load, thread count or caching.
+    std::string out;
+    out += "taskset: " + set_name + " policy " + policy + " envelope " +
+           fmt_power(envelope) + '\n';
+    out += strf("summary: tasks %zu met %d makespan %d gaps %d\n", tasks.size(),
+                met, makespan, preemption_gaps);
+    out += strf("profile: peak %.6f energy %.6f\n", peak, energy);
+    out += strf("battery: lifetime %.6f alpha %.6f\n", lifetime_seconds,
+                battery_alpha);
+    for (const task_result& t : tasks) {
+        out += strf("task %d %s: impl T=%d Pmax=%s latency %d peak %.6f "
+                    "area %.4f\n",
+                    t.index, t.name.c_str(), t.impl.point.latency,
+                    fmt_power(t.impl.point.max_power).c_str(), t.impl.latency,
+                    t.impl.peak, t.impl.area);
+        out += strf("  window: release %d deadline %d iterations %d "
+                    "completion %d slack %d %s\n",
+                    t.release, t.deadline, t.iterations, t.completion, t.slack,
+                    t.met ? "met" : "missed");
+        out += "  runs:";
+        for (const activation& a : t.runs)
+            out += strf(" %d@[%d,%d)", a.iteration, a.start, a.finish);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace phls::task

@@ -1,0 +1,61 @@
+// The result of packing a task_set: who runs when, on which candidate
+// implementation, and what the composed device drains from the battery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/profile.h"
+#include "task/candidates.h"
+
+namespace phls::task {
+
+/// One placed graph iteration: the task executes over [start, finish).
+struct activation {
+    int iteration = 0; ///< 0-based iteration number within the task
+    int start = 0;     ///< first cycle of the iteration
+    int finish = 0;    ///< one past the last cycle (start + impl latency)
+};
+
+/// One task's placement in the composed schedule.
+struct task_result {
+    int index = 0;       ///< position in task_set::tasks
+    std::string name;    ///< task_spec::name
+    int release = 0;     ///< contract echoed from the spec
+    int deadline = 0;
+    int iterations = 0;
+    task_impl impl;      ///< the implementation the policy chose
+    /// The placed iterations in execution order.  Gaps between
+    /// consecutive runs are preemption points: other tasks (or inserted
+    /// recovery idle) occupy the cycles in between.
+    std::vector<activation> runs;
+    int completion = 0; ///< finish of the last iteration
+    int slack = 0;      ///< deadline - completion (negative when missed)
+    bool met = false;   ///< completion <= deadline
+};
+
+/// A complete schedule of a task_set plus the battery economics of its
+/// merged device power profile.
+struct task_schedule {
+    std::string set_name;
+    std::string policy;     ///< policy the engine ran ("edf", "battery")
+    double envelope = 0.0;  ///< shared per-cycle cap enforced
+    std::vector<task_result> tasks; ///< task-index order, one per spec
+    int met = 0;      ///< tasks whose deadline was met
+    int makespan = 0; ///< one past the last busy cycle
+    /// The merged per-cycle device profile: the exact sum of every
+    /// placed iteration's synthesised profile (what the battery sees).
+    power_profile profile;
+    double peak = 0.0;   ///< profile.peak()
+    double energy = 0.0; ///< profile.energy()
+    double lifetime_seconds = 0.0; ///< Rakhmatov lifetime of the profile
+    double battery_alpha = 0.0;    ///< capacity the model used
+    int preemption_gaps = 0; ///< recovery gaps the policy inserted
+    double wall_ms = 0.0; ///< wall-clock time (excluded from to_string)
+
+    /// Canonical rendering of every result field except wall_ms — the
+    /// determinism gates byte-compare this across thread counts.
+    std::string to_string() const;
+};
+
+} // namespace phls::task

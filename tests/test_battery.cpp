@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "battery/lifetime.h"
 #include "support/errors.h"
@@ -164,6 +165,73 @@ TEST(to_load, rejects_bad_arguments)
     EXPECT_THROW(to_load(p, 1.0, 0.0), error);
     EXPECT_THROW(to_load(p, 1.0, 1.0, -1), error);
     EXPECT_THROW(to_load(power_profile{}, 1.0, 1.0), error);
+}
+
+/// Two bursts separated by `gap` idle cycles — the shape the preemptive
+/// task policy produces when it inserts a recovery gap.
+power_profile two_burst_profile(int len1, double h1, int gap, int len2, double h2)
+{
+    power_profile p;
+    p.deposit(0, len1, h1);
+    p.deposit(len1 + gap, len2, h2);
+    return p;
+}
+
+// The invariant the task engine's recovery-gap policy exploits: under
+// the Rakhmatov diffusion model, widening the idle gap between two
+// bursts never shortens the lifetime (the cell recovers during idle).
+// Property-tested on randomized burst shapes, periodic and one-shot.
+TEST(rakhmatov, longer_idle_gap_between_bursts_never_hurts_periodic)
+{
+    std::mt19937_64 rng(20260808);
+    std::uniform_int_distribution<int> len_d(2, 6);
+    std::uniform_real_distribution<double> height_d(2.0, 8.0);
+    for (int trial = 0; trial < 12; ++trial) {
+        const int len1 = len_d(rng);
+        const int len2 = len_d(rng);
+        const double h1 = height_d(rng);
+        const double h2 = height_d(rng);
+        const double energy = len1 * h1 + len2 * h2;
+        const auto b = make_rakhmatov_battery(/*alpha=*/energy * 0.5 * 30.0,
+                                              /*beta=*/0.1);
+        double prev = -1.0;
+        for (const int gap : {0, 1, 2, 4, 8, 16}) {
+            const power_profile p = two_burst_profile(len1, h1, gap, len2, h2);
+            const double life =
+                b->lifetime(to_load(p, 1.0, 0.5), /*max_seconds=*/1e6).seconds;
+            EXPECT_GE(life, prev - 1e-9)
+                << "trial " << trial << " gap " << gap;
+            prev = life;
+        }
+    }
+}
+
+TEST(rakhmatov, longer_idle_gap_between_bursts_never_hurts_one_shot)
+{
+    std::mt19937_64 rng(20260809);
+    std::uniform_int_distribution<int> len_d(3, 8);
+    std::uniform_real_distribution<double> height_d(3.0, 9.0);
+    for (int trial = 0; trial < 12; ++trial) {
+        const int len1 = len_d(rng);
+        const int len2 = len_d(rng);
+        const double h1 = height_d(rng);
+        const double h2 = height_d(rng);
+        // Capacity that dies inside the second burst at gap 0, so the
+        // recovery effect is visible rather than saturated at the horizon.
+        const double charge = (len1 * h1 + len2 * h2) * 0.5;
+        const auto b = make_rakhmatov_battery(/*alpha=*/charge * 0.8,
+                                              /*beta=*/0.1);
+        double prev = -1.0;
+        for (const int gap : {0, 1, 2, 4, 8, 16, 32}) {
+            load_profile load =
+                to_load(two_burst_profile(len1, h1, gap, len2, h2), 1.0, 0.5);
+            load.periodic = false;
+            const double life = b->lifetime(load, /*max_seconds=*/1e6).seconds;
+            EXPECT_GE(life, prev - 1e-9)
+                << "trial " << trial << " gap " << gap;
+            prev = life;
+        }
+    }
 }
 
 TEST(lifetime_gain, positive_when_candidate_outlives_baseline)

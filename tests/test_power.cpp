@@ -1,6 +1,7 @@
 // Tests for the power substrate: profiles and the availability tracker.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <tuple>
 #include <vector>
@@ -246,6 +247,89 @@ TEST(tracker, restore_interval_unwinds_reserve_bit_exactly)
         EXPECT_EQ(t.used(c), c < static_cast<int>(before.size()) ? before[c] : 0.0);
     // The skip-ahead structure must see the restored values too.
     EXPECT_EQ(t.next_fit(0, 3, 6.0), linear_next_fit(t, 0, 3, 6.0));
+}
+
+/// Reference implementation of headroom(): cap minus the linear-scan
+/// max usage of the window.
+double linear_headroom(const power_tracker& t, int start, int duration)
+{
+    double used = 0.0;
+    for (int c = start; c < start + duration; ++c) used = std::max(used, t.used(c));
+    return t.cap() - used;
+}
+
+TEST(tracker, headroom_on_empty_ledger_is_the_cap)
+{
+    const power_tracker t(9.0);
+    EXPECT_DOUBLE_EQ(t.headroom(0, 10), 9.0);
+    EXPECT_DOUBLE_EQ(t.headroom(5, 0), 9.0); // empty window
+}
+
+TEST(tracker, headroom_reads_the_window_max)
+{
+    power_tracker t(9.0);
+    t.reserve(2, 3, 2.5); // cycles 2..4
+    t.reserve(3, 1, 4.0); // cycle 3 now 6.5
+    EXPECT_DOUBLE_EQ(t.headroom(0, 2), 9.0);       // before the block
+    EXPECT_DOUBLE_EQ(t.headroom(2, 1), 6.5);       // only cycle 2
+    EXPECT_DOUBLE_EQ(t.headroom(0, 10), 2.5);      // covers cycle 3
+    EXPECT_DOUBLE_EQ(t.headroom(4, 100), 6.5);     // cycle 4 + free tail
+    EXPECT_DOUBLE_EQ(t.headroom(50, 10), 9.0);     // wholly past the horizon
+}
+
+TEST(tracker, headroom_is_the_largest_fitting_power)
+{
+    power_tracker t(9.0);
+    t.reserve(0, 4, 2.7);
+    t.reserve(1, 2, 3.3);
+    for (int start = 0; start < 8; ++start)
+        for (int duration = 0; duration <= 6; ++duration) {
+            const double h = t.headroom(start, duration);
+            EXPECT_TRUE(t.fits(start, duration, h))
+                << "start " << start << " duration " << duration;
+            // Anything meaningfully above the headroom must not fit.
+            if (duration > 0 && start < t.profile().cycle_count() &&
+                t.used(start) > 0.0) {
+                EXPECT_FALSE(
+                    t.fits(start, duration, h + 3 * power_tracker::tolerance));
+            }
+        }
+}
+
+TEST(tracker, headroom_with_unbounded_cap_is_infinite)
+{
+    power_tracker t(unbounded_power);
+    t.reserve(0, 3, 100.0);
+    EXPECT_EQ(t.headroom(0, 3), unbounded_power);
+}
+
+TEST(tracker, headroom_rejects_bad_intervals)
+{
+    const power_tracker t(9.0);
+    EXPECT_THROW(t.headroom(-1, 2), error);
+    EXPECT_THROW(t.headroom(0, -2), error);
+}
+
+TEST(tracker, headroom_matches_linear_scan_on_random_ledgers)
+{
+    std::mt19937_64 rng(20260808);
+    for (int trial = 0; trial < 10; ++trial) {
+        const double cap = 5.0 + 0.5 * static_cast<double>(trial);
+        power_tracker t(cap);
+        std::uniform_int_distribution<int> start_d(0, 50);
+        std::uniform_int_distribution<int> dur_d(1, 6);
+        std::uniform_real_distribution<double> pow_d(0.1, cap / 3.0);
+        for (int step = 0; step < 60; ++step) {
+            const int s = start_d(rng);
+            const int d = dur_d(rng);
+            const double p = pow_d(rng);
+            if (t.fits(s, d, p)) t.reserve(s, d, p);
+            const int qs = start_d(rng);
+            const int qd = dur_d(rng) - 1;
+            ASSERT_DOUBLE_EQ(t.headroom(qs, qd), linear_headroom(t, qs, qd))
+                << "trial " << trial << " step " << step;
+        }
+    }
 }
 
 TEST(tracker, restore_interval_tolerates_captured_cycles_past_horizon)

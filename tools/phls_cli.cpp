@@ -17,6 +17,9 @@
 //   phls serve --socket PATH | --port N | --stdio
 //         [--threads N] [--memo-limit N] [--timeout-ms N] [--allow-cache-save]
 //   phls cache merge <out.phlscache> <in.phlscache...>
+//   phls tasks <taskset-file> [--policy edf|battery] [--threads N]
+//         [--memo-limit N] [--out tasks.json|tasks.csv] [--progress]
+//   phls tasks --list-policies
 //
 // The distributed modes produce byte-identical sweep output: a --server
 // or --shards sweep prints the same table, front and exports as the
@@ -27,6 +30,7 @@
 // dispatch on extension: --csv wants .csv, --dot wants .dot, --verilog
 // wants .v, --out wants .csv or .json.
 #include <algorithm>
+#include <cmath>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -52,6 +56,7 @@
 #include "support/strings.h"
 #include "support/table.h"
 #include "synth/explore.h"
+#include "task/engine.h"
 
 namespace phls {
 namespace {
@@ -703,11 +708,123 @@ int cmd_cache(const arg_parser& args)
     return 0;
 }
 
+/// Writes the task schedule to `path`, dispatching on the extension
+/// (.csv or .json) like the sweep's --out.
+void write_tasks_export(const std::string& path, const task::task_schedule& s)
+{
+    if (ends_with(path, ".csv")) {
+        csv_writer csv({"index", "name", "latency_bound", "cap", "latency", "peak",
+                        "area", "release", "deadline", "iterations", "completion",
+                        "slack", "met"});
+        for (const task::task_result& t : s.tasks)
+            csv.add_row({std::to_string(t.index), t.name,
+                         std::to_string(t.impl.point.latency),
+                         std::isfinite(t.impl.point.max_power)
+                             ? strf("%.6f", t.impl.point.max_power)
+                             : "inf",
+                         std::to_string(t.impl.latency), strf("%.6f", t.impl.peak),
+                         strf("%.4f", t.impl.area), std::to_string(t.release),
+                         std::to_string(t.deadline), std::to_string(t.iterations),
+                         std::to_string(t.completion), std::to_string(t.slack),
+                         t.met ? "1" : "0"});
+        csv.save(path);
+        return;
+    }
+
+    // JSON has no infinity literal; unbounded powers export as null.
+    const auto json_power = [](double p) {
+        return std::isfinite(p) ? strf("%.17g", p) : std::string("null");
+    };
+    std::ofstream os(path);
+    check(static_cast<bool>(os), "cannot write '" + path + "'");
+    os << strf("{\n  \"taskset\": \"%s\", \"policy\": \"%s\", \"envelope\": %s,\n",
+               json_escape(s.set_name).c_str(), json_escape(s.policy).c_str(),
+               json_power(s.envelope).c_str());
+    os << strf("  \"met\": %d, \"makespan\": %d, \"gaps\": %d,\n", s.met, s.makespan,
+               s.preemption_gaps);
+    os << strf("  \"peak\": %.17g, \"energy\": %.17g, \"lifetime_s\": %.17g, "
+               "\"alpha\": %.17g,\n",
+               s.peak, s.energy, s.lifetime_seconds, s.battery_alpha);
+    os << "  \"tasks\": [\n";
+    for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+        const task::task_result& t = s.tasks[i];
+        os << strf("    {\"index\": %d, \"name\": \"%s\", \"latency_bound\": %d, "
+                   "\"cap\": %s, \"latency\": %d, \"peak\": %.17g, \"area\": %.17g, "
+                   "\"release\": %d, \"deadline\": %d, \"iterations\": %d, "
+                   "\"completion\": %d, \"slack\": %d, \"met\": %s, \"runs\": [",
+                   t.index, json_escape(t.name).c_str(), t.impl.point.latency,
+                   json_power(t.impl.point.max_power).c_str(), t.impl.latency,
+                   t.impl.peak, t.impl.area, t.release, t.deadline, t.iterations,
+                   t.completion, t.slack, t.met ? "true" : "false");
+        for (std::size_t r = 0; r < t.runs.size(); ++r)
+            os << strf("[%d, %d]%s", t.runs[r].start, t.runs[r].finish,
+                       r + 1 < t.runs.size() ? ", " : "");
+        os << (i + 1 < s.tasks.size() ? "]},\n" : "]}\n");
+    }
+    os << "  ]\n}\n";
+    check(static_cast<bool>(os), "failed writing '" + path + "'");
+}
+
+int cmd_tasks(const arg_parser& args)
+{
+    if (args.has("--list-policies")) {
+        ascii_table t({"policy", "description"});
+        t.set_align(0, align::left);
+        t.set_align(1, align::left);
+        for (const std::string& name : task::policy_names())
+            t.add_row({name, task::policy_description(task::policy_by_name(name))});
+        t.print(std::cout);
+        return 0;
+    }
+    check(args.positionals().size() >= 2,
+          "tasks needs a task-set file (or --list-policies)");
+    const std::string path = args.positionals().at(1);
+    std::ifstream is(path);
+    check(static_cast<bool>(is), "cannot open '" + path + "'");
+    const task::task_set set = task::parse_task_set(is);
+    const task::policy p = task::policy_by_name(args.get("--policy"));
+
+    task::schedule_options opts;
+    opts.threads = args.get_int("--threads");
+    check(opts.threads >= 0, "--threads must be >= 0 (0 = all cores)");
+    if (args.has("--memo-limit")) {
+        const int limit = args.get_int("--memo-limit");
+        check(limit >= 0, "--memo-limit must be >= 0 (0 = unbounded)");
+        opts.memo_limit = static_cast<std::size_t>(limit);
+    }
+    std::string out_path;
+    if (args.has("--out")) {
+        out_path = args.get("--out");
+        check(ends_with(out_path, ".csv") || ends_with(out_path, ".json"),
+              "--out expects a file ending in '.csv' or '.json', got '" + out_path +
+                  "'");
+    }
+
+    // Per-task streaming goes to stderr; stdout is the canonical
+    // schedule rendering (byte-identical across thread counts, which the
+    // CI smoke compares).
+    task::sink sk;
+    if (args.has("--progress"))
+        sk.on_task = [](const task::task_result& t) {
+            std::cerr << strf("task %s: %s completion %d deadline %d (%zu runs)\n",
+                              t.name.c_str(), t.met ? "met" : "MISSED", t.completion,
+                              t.deadline, t.runs.size());
+        };
+
+    const task::task_schedule s = task::schedule(set, p, opts, sk);
+    std::cout << s.to_string();
+    if (!out_path.empty()) {
+        write_tasks_export(out_path, s);
+        std::cout << "wrote " << out_path << '\n';
+    }
+    return 0;
+}
+
 int run(const std::vector<std::string>& argv)
 {
     arg_parser args(
-        "phls <list|strategies|show|synth|sweep|schedule|lifetime|serve|cache> "
-        "[graph]");
+        "phls <list|strategies|show|synth|sweep|schedule|lifetime|serve|cache|tasks> "
+        "[graph|taskset-file]");
     args.add_option("--latency", "-T", "latency constraint in cycles");
     args.add_option("--power", "-P", "max power per clock cycle");
     args.add_option("--library", "-L", "module library file (default: Table 1)");
@@ -755,6 +872,10 @@ int run(const std::vector<std::string>& argv)
                     "guided prune margin in prediction-sigma units (>= 0)", "3");
     args.add_option("--eval-budget", "",
                     "guided hard cap on exact evaluations (0 = unbounded)", "0");
+    args.add_option("--policy", "",
+                    "task scheduling policy for 'tasks' (see --list-policies)",
+                    "battery");
+    args.add_flag("--list-policies", "", "list the task scheduling policies");
     args.add_flag("--netlist", "", "print the datapath netlist");
     args.add_flag("--progress", "",
                   "stream sweep progress + incremental Pareto-front deltas to stderr");
@@ -782,6 +903,7 @@ int run(const std::vector<std::string>& argv)
     if (command == "strategies") return cmd_strategies();
     if (command == "serve") return cmd_serve(args);
     if (command == "cache") return cmd_cache(args);
+    if (command == "tasks") return cmd_tasks(args);
     check(args.positionals().size() >= 2, "command '" + command + "' needs a graph");
     if (command == "show") return cmd_show(args);
     if (command == "synth") return cmd_synth(args);
