@@ -15,6 +15,11 @@
 //     clients submitting the same sweep; every client's front equals
 //     the single-process front, all four share ONE pooled session, and
 //     the server shuts down cleanly (hard gate);
+//   * recovery — with a deterministic fault injected (a forked worker
+//     SIGKILLed mid-sweep; a shard cache corrupted during save), the
+//     supervised sweep and the --skip-bad merge still land on the exact
+//     single-process front (hard gate: fault tolerance must not cost
+//     identity);
 //   * timings for every mode are reported and written to
 //     BENCH_serve.json so the trajectory is comparable across PRs.
 #include <algorithm>
@@ -37,6 +42,7 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/shard.h"
+#include "support/faultpoints.h"
 #include "support/strings.h"
 #include "support/table.h"
 
@@ -212,6 +218,62 @@ int main()
     std::cout << "every served front == single-process front: "
               << (serve_ok ? "YES" : "NO") << "\n\n";
 
+    // ---------------------------------------------------------------- recovery
+    // Gate 1: a forked worker SIGKILLed mid-sweep is respawned and the
+    // recovered front is still point-for-point the single-process one.
+    serve::shard_options kill_opts;
+    kill_opts.shards = 4;
+    kill_opts.processes = true;
+    kill_opts.retry_backoff_ms = 1;
+    serve::shard_summary kill_sum;
+    fault_arm("shard.worker.kill:5");
+    const double ms_kill = run_ms(
+        [&] { kill_sum = serve::explore_sharded(proto, dse::list(grid), kill_opts); });
+    const bool kill_injected = fault_fired("shard.worker.kill");
+    fault_clear();
+    const bool kill_ok = kill_injected && same_front(kill_sum.front, want) &&
+                         kill_sum.evaluated == grid.size();
+    std::cout << strf("worker-kill recovery:      %.1f ms, %zu respawn(s), "
+                      "front %s\n",
+                      ms_kill, kill_sum.worker_retries,
+                      kill_ok ? "identical" : "BROKEN");
+
+    // Gate 2: one shard cache corrupted during save; the --skip-bad
+    // merge drops it, and the warm replay of the survivors recomputes
+    // the hole yet lands on the identical front.
+    const std::string chaos_dir = "BENCH_serve_chaos";
+    ::mkdir(chaos_dir.c_str(), 0755);
+    serve::shard_options chaos_opts;
+    chaos_opts.shards = 8;
+    chaos_opts.cache_dir = chaos_dir;
+    serve::shard_summary chaos_sum;
+    fault_arm("cache.save.corrupt:1");
+    chaos_sum = serve::explore_sharded(proto, dse::list(grid), chaos_opts);
+    const bool corrupt_injected = fault_fired("cache.save.corrupt");
+    fault_clear();
+    const std::string chaos_merged = chaos_dir + std::string("/merged.phlscache");
+    cache_merge_stats chaos_stats;
+    dse::explore_summary chaos_warm;
+    const double ms_chaos = run_ms([&] {
+        chaos_stats =
+            explore_cache::merge_files(chaos_merged, chaos_sum.cache_files, true);
+        dse::session warm(proto);
+        warm.load(chaos_merged);
+        chaos_warm = warm.explore(dse::list(grid), {}, 1);
+    });
+    // No hole-size assertion: on this duplicate-heavy grid the corrupted
+    // shard's keys also live in its duplicate shard's cache, so the
+    // replay may still be fully metric-served.  The gate is that the
+    // damage is detected, skipped, and costs no identity.
+    const bool chaos_ok = corrupt_injected && chaos_stats.skipped_inputs == 1 &&
+                          chaos_warm.evaluated == grid.size() &&
+                          same_front(chaos_warm.front, want);
+    std::cout << strf("corrupt-cache recovery:    %.1f ms, %zu/8 caches skipped, "
+                      "%zu/%zu metric-served, front %s\n\n",
+                      ms_chaos, chaos_stats.skipped_inputs,
+                      chaos_warm.metric_served, grid.size(),
+                      chaos_ok ? "identical" : "BROKEN");
+
     // ------------------------------------------------------------------- gates
     std::cout << "sharded fronts (1/2/8 shards) identical: "
               << (shards_ok ? "YES" : "NO") << '\n';
@@ -221,7 +283,12 @@ int main()
               << (merge_ok ? "YES" : "NO") << '\n';
     std::cout << "served sweeps identical, one shared session: "
               << (serve_ok ? "YES" : "NO") << '\n';
-    const bool ok = shards_ok && procs_ok && merge_ok && serve_ok;
+    std::cout << "killed-worker recovery front identical:  "
+              << (kill_ok ? "YES" : "NO") << '\n';
+    std::cout << "corrupt-cache skip-bad recovery identical: "
+              << (chaos_ok ? "YES" : "NO") << '\n';
+    const bool ok =
+        shards_ok && procs_ok && merge_ok && serve_ok && kill_ok && chaos_ok;
 
     {
         std::ofstream json("BENCH_serve.json");
@@ -237,6 +304,10 @@ int main()
         json << strf("  \"merged_metric_served\": %zu,\n", merged_warm.metric_served);
         json << strf("  \"serve_4_clients_wall_ms\": %.3f,\n", ms_serve);
         json << strf("  \"pooled_sessions\": %zu,\n", pooled_sessions);
+        json << strf("  \"kill_recovery_wall_ms\": %.3f,\n", ms_kill);
+        json << strf("  \"kill_recovery_respawns\": %zu,\n", kill_sum.worker_retries);
+        json << strf("  \"chaos_merge_replay_wall_ms\": %.3f,\n", ms_chaos);
+        json << strf("  \"chaos_caches_skipped\": %zu,\n", chaos_stats.skipped_inputs);
         json << strf("  \"gates_passed\": %s\n", ok ? "true" : "false");
         json << "}\n";
         std::cout << "wrote BENCH_serve.json\n";
@@ -247,6 +318,9 @@ int main()
     std::remove(merged_path.c_str());
     std::remove(single_cache.c_str());
     ::rmdir(cache_dir.c_str());
+    for (const std::string& path : chaos_sum.cache_files) std::remove(path.c_str());
+    std::remove(chaos_merged.c_str());
+    ::rmdir(chaos_dir.c_str());
 
     return ok ? 0 : 1;
 }

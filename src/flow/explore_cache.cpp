@@ -12,6 +12,7 @@
 #include "flow/flow.h"
 #include "sched/schedule.h"
 #include "support/errors.h"
+#include "support/faultpoints.h"
 #include "support/memo_key.h"
 
 namespace phls {
@@ -131,11 +132,28 @@ void write_cache_file(const std::string& path, const std::string& graph_text,
     std::memcpy(sum_bytes, &sum, sizeof sum);
     payload.append(sum_bytes, sizeof sum);
 
+    // Fault site: silent on-disk corruption — a body byte flipped after
+    // the checksum was computed, so the save "succeeds" but every later
+    // load rejects the file as corrupt instead of misreading it.
+    if (fault_fire("cache.save.corrupt") && !body.empty()) {
+        const std::size_t body_at = payload.size() - sizeof sum - body.size();
+        payload[body_at + body.size() / 2] ^= 0x40;
+    }
+
     const std::string tmp = path + ".tmp";
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os) throw cache_file_error(cache_file_error::failure::io, path,
                                         "cannot write temporary file '" + tmp + "'");
+        // Fault site: a crash halfway through the temporary file.  The
+        // rename below never runs, so `path` keeps its previous complete
+        // contents — this is the atomicity the tmp+rename scheme buys.
+        if (fault_fire("cache.save.tear")) {
+            os.write(payload.data(), static_cast<std::streamsize>(payload.size() / 2));
+            os.flush();
+            throw cache_file_error(cache_file_error::failure::io, path,
+                                   "fault injected: crash during cache save");
+        }
         os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
         os.flush();
         if (!os) {
@@ -164,7 +182,12 @@ parsed_cache_file parse_cache_file(const std::string& path)
         throw cache_file_error(failure::missing, path, "cannot open cache file");
     std::ostringstream buffer;
     buffer << is.rdbuf();
-    const std::string content = buffer.str();
+    std::string content = buffer.str();
+
+    // Fault site: in-memory corruption of what was read — exercises the
+    // checksum rejection without touching the on-disk file.
+    if (fault_fire("cache.load.corrupt") && !content.empty())
+        content[content.size() / 2] ^= 0x40;
 
     // Header: magic, version and the declared body length are outside
     // the checksum, so they classify a damaged file precisely.
@@ -667,13 +690,16 @@ std::size_t explore_cache::merge(const std::string& path)
 }
 
 cache_merge_stats explore_cache::merge_files(const std::string& out,
-                                             const std::vector<std::string>& inputs)
+                                             const std::vector<std::string>& inputs,
+                                             bool skip_bad)
 {
     check(!inputs.empty(), "cache merge needs at least one input file");
 
     cache_merge_stats stats;
     std::string graph_text;
     std::string lib_text;
+    std::string identity_path; ///< the first good input, the problem anchor
+    bool have_identity = false;
     // std::map keeps the merged tables in sorted key order, the same
     // order save() writes, so merged files are deterministic whatever
     // the input order (only first-wins value choice depends on it).
@@ -681,26 +707,39 @@ cache_merge_stats explore_cache::merge_files(const std::string& out,
     std::map<std::string, metric_record> metrics;
 
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-        const parsed_cache_file parsed = parse_cache_file(inputs[i]);
-        if (i == 0) {
-            graph_text = parsed.graph_text;
-            lib_text = parsed.lib_text;
-        } else if (parsed.graph_text != graph_text || parsed.lib_text != lib_text) {
-            throw cache_file_error(cache_file_error::failure::problem_mismatch,
-                                   inputs[i],
-                                   "saved for a different graph or library than '" +
-                                       inputs[0] + "'");
-        }
         cache_merge_stats::input in;
         in.path = inputs[i];
-        in.committed = parsed.committed.size();
-        in.metrics = parsed.metrics.size();
-        for (const auto& [key, w] : parsed.committed)
-            in.new_committed += committed.emplace(key, w).second ? 1 : 0;
-        for (const auto& [fp, m] : parsed.metrics)
-            in.new_metrics += metrics.emplace(fp, m).second ? 1 : 0;
+        try {
+            const parsed_cache_file parsed = parse_cache_file(inputs[i]);
+            if (!have_identity) {
+                graph_text = parsed.graph_text;
+                lib_text = parsed.lib_text;
+                identity_path = inputs[i];
+                have_identity = true;
+            } else if (parsed.graph_text != graph_text ||
+                       parsed.lib_text != lib_text) {
+                throw cache_file_error(cache_file_error::failure::problem_mismatch,
+                                       inputs[i],
+                                       "saved for a different graph or library than '" +
+                                           identity_path + "'");
+            }
+            in.committed = parsed.committed.size();
+            in.metrics = parsed.metrics.size();
+            for (const auto& [key, w] : parsed.committed)
+                in.new_committed += committed.emplace(key, w).second ? 1 : 0;
+            for (const auto& [fp, m] : parsed.metrics)
+                in.new_metrics += metrics.emplace(fp, m).second ? 1 : 0;
+        } catch (const cache_file_error& e) {
+            if (!skip_bad) throw;
+            in.skipped = true;
+            in.skip_reason = cache_file_error::kind_name(e.kind());
+            ++stats.skipped_inputs;
+        }
         stats.inputs.push_back(std::move(in));
     }
+    // Every input bad is still an error — an empty merged file would
+    // silently launder total data loss into a "successful" merge.
+    check(have_identity, "cache merge: every input file was rejected");
 
     write_cache_file(out, graph_text, lib_text,
                      {committed.begin(), committed.end()},

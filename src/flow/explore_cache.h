@@ -125,10 +125,14 @@ struct cache_merge_stats {
         std::size_t metrics = 0;       ///< metric records in the file
         std::size_t new_committed = 0; ///< committed records not seen before
         std::size_t new_metrics = 0;   ///< metric records not seen before
+        bool skipped = false;          ///< rejected and skipped (merge_files
+                                       ///< with skip_bad; counts are zero)
+        std::string skip_reason;       ///< failure kind name when skipped
     };
     std::vector<input> inputs;
-    std::size_t committed_total = 0; ///< committed records in the merged file
-    std::size_t metric_total = 0;    ///< metric records in the merged file
+    std::size_t committed_total = 0;  ///< committed records in the merged file
+    std::size_t metric_total = 0;     ///< metric records in the merged file
+    std::size_t skipped_inputs = 0;   ///< inputs rejected under skip_bad
 };
 
 /// Memoised per-(graph, library) invariants of design-space exploration.
@@ -313,8 +317,17 @@ public:
     /// in order.  @throws cache_file_error on an unreadable/invalid
     /// input, mismatched problems or an unwritable output; phls::error
     /// when `inputs` is empty.
+    ///
+    /// With `skip_bad`, an input that fails validation (missing,
+    /// truncated, corrupt, wrong version, or saved for a different
+    /// problem than the first *good* input) is skipped instead: its
+    /// stats entry records `skipped` and the failure kind, and the merge
+    /// proceeds with the remaining files — the crash-recovery path for
+    /// combining shard caches when one worker died mid-save.  All inputs
+    /// bad still throws (there is nothing to merge).
     static cache_merge_stats merge_files(const std::string& out,
-                                         const std::vector<std::string>& inputs);
+                                         const std::vector<std::string>& inputs,
+                                         bool skip_bad = false);
 
     /// Benchmark/ablation knobs: selectively disable the deeper memo
     /// levels to reproduce the initial-windows-only (PR 2) cache.

@@ -1,7 +1,10 @@
 #include "serve/client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <set>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -99,6 +102,96 @@ void client::bye()
     if (!ch_.open()) return;
     ch_.send(frame_type::bye, "");
     ch_.close();
+}
+
+// ----------------------------------------------------- resilient_client
+
+resilient_client::resilient_client(connector dial, const reconnect_options& opts)
+    : dial_(std::move(dial)), opts_(opts)
+{
+    check(static_cast<bool>(dial_), "resilient_client needs a connector");
+    check(opts_.max_retries >= 0, "reconnect retry count must be >= 0");
+    check(opts_.backoff_ms >= 0 && opts_.backoff_cap_ms >= 0,
+          "reconnect backoff must be >= 0");
+}
+
+void resilient_client::ensure_connected()
+{
+    if (connected_) return;
+    ch_ = dial_();
+    send_hello(ch_);
+    expect_hello(ch_);
+    connected_ = true;
+}
+
+done_frame resilient_client::explore(const job_request& job, const dse::sink& sk)
+{
+    // Job-scoped fold state, shared across attempts: after a reconnect
+    // the warm server re-streams every point of the resubmitted job, and
+    // the ones the dead connection already delivered must not reach the
+    // sink (or the fold) twice.
+    std::set<std::uint64_t> seen;
+    pareto_stream front;
+    int attempts = 0;
+    int backoff = std::max(1, opts_.backoff_ms);
+    for (;;) {
+        try {
+            ensure_connected();
+            ch_.send(frame_type::job, encode_job(job));
+            while (const std::optional<channel::frame> f = ch_.recv()) {
+                switch (f->type) {
+                case frame_type::report: {
+                    const report_frame r = decode_report(f->payload);
+                    if (!seen.insert(r.index).second) break; // replayed point
+                    const flow_report rep = metric_report(r.metrics);
+                    if (sk.on_result)
+                        sk.on_result(static_cast<std::size_t>(r.index), rep);
+                    // Front deltas are synthesised from the local fold of
+                    // the deduplicated reports instead of trusting the
+                    // server's front frames: reports arrive in the
+                    // server's own fold order, so fault-free delivery is
+                    // byte-identical, and after a reconnect the replayed
+                    // prefix cannot re-emit deltas already seen.
+                    front_delta delta;
+                    front.add(static_cast<std::size_t>(r.index), rep, &delta);
+                    if (delta.changed() && sk.on_front) sk.on_front(delta);
+                    break;
+                }
+                case frame_type::front:
+                    break; // synthesised locally, see above
+                case frame_type::done:
+                    return decode_done(f->payload);
+                case frame_type::reject:
+                    throw error("server rejected job: " +
+                                decode_reject(f->payload).message);
+                default:
+                    throw wire_error(std::string("protocol violation: unexpected ") +
+                                     frame_type_name(f->type) + " frame during a job");
+                }
+            }
+            throw wire_error("server closed the connection mid-job");
+        } catch (const wire_error&) {
+            ch_.close();
+            connected_ = false;
+            if (attempts >= opts_.max_retries) throw;
+            ++attempts;
+            ++reconnects_;
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+            backoff = std::min(backoff * 2, std::max(1, opts_.backoff_cap_ms));
+        }
+    }
+}
+
+void resilient_client::bye()
+{
+    if (!connected_) return;
+    try {
+        ch_.send(frame_type::bye, "");
+    } catch (const wire_error&) {
+        // The peer is already gone; bye is best-effort by definition.
+    }
+    ch_.close();
+    connected_ = false;
 }
 
 } // namespace phls::serve

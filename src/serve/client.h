@@ -15,6 +15,8 @@
 //   c.bye();
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 
 #include "dse/session.h"
@@ -50,6 +52,59 @@ public:
 
 private:
     channel ch_;
+};
+
+/// Reconnect policy of a resilient_client.
+struct reconnect_options {
+    /// Reconnect attempts per explore() after a transport failure
+    /// (wire_error) — dial failures and mid-job drops alike.  0 keeps
+    /// the plain client's fail-fast behaviour.
+    int max_retries = 0;
+    /// Delay before the first reconnect, doubled per attempt.
+    int backoff_ms = 100;
+    /// Ceiling of the doubling backoff.
+    int backoff_cap_ms = 2000;
+};
+
+/// A client that survives transport failures: on wire_error (server
+/// restarted, connection dropped mid-stream, dial refused) it redials
+/// via its connector with capped exponential backoff and resubmits the
+/// job, up to max_retries times per explore().
+///
+/// Delivery stays byte-identical to a fault-free run: reports are
+/// deduplicated by space index across attempts (a restarted job re-
+/// streams points the first connection already delivered — the warm
+/// server serves them from its memo), and front deltas are synthesised
+/// from a local fold of the deduplicated reports, which reproduces the
+/// server's own fold exactly.  Job rejections (phls::error) are not
+/// retried — a resubmission would be rejected identically.
+class resilient_client {
+public:
+    /// Dials one fresh connection; called on first use and per
+    /// reconnect.  @throws wire_error when the peer is unreachable.
+    using connector = std::function<channel()>;
+
+    resilient_client(connector dial, const reconnect_options& opts = {});
+
+    /// client::explore with reconnect-and-resubmit on wire_error.
+    /// @throws phls::error on rejection; wire_error once the retry
+    /// budget is spent.
+    done_frame explore(const job_request& job, const dse::sink& sk = {});
+
+    /// Ends the conversation politely (no-op when disconnected).
+    void bye();
+
+    /// Reconnections performed so far (observability for tests/tools).
+    std::size_t reconnects() const { return reconnects_; }
+
+private:
+    void ensure_connected();
+
+    connector dial_;
+    reconnect_options opts_;
+    channel ch_{-1, -1};
+    bool connected_ = false;
+    std::size_t reconnects_ = 0;
 };
 
 } // namespace phls::serve

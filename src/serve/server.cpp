@@ -1,7 +1,10 @@
 #include "serve/server.h"
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -12,6 +15,7 @@
 
 #include "flow/strategy.h"
 #include "support/errors.h"
+#include "support/faultpoints.h"
 
 namespace phls::serve {
 
@@ -27,6 +31,20 @@ std::string config_key(const job_request& job)
     stripped.threads = 0;
     stripped.save_cache_path.clear();
     return encode_job(stripped);
+}
+
+/// bind() with a short doubling backoff on EADDRINUSE: CI restart loops
+/// re-bind while the previous listener's socket is still draining, and
+/// that is transient — anything else fails immediately.
+int bind_with_retry(int fd, const sockaddr* addr, socklen_t len)
+{
+    int backoff_ms = 50;
+    for (int attempt = 0;; ++attempt) {
+        if (::bind(fd, addr, len) == 0) return 0;
+        if (errno != EADDRINUSE || attempt >= 7) return -1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 500);
+    }
 }
 
 } // namespace
@@ -79,17 +97,29 @@ bool run_job(channel& ch, const job_request& job, session_pool& pool,
     }
 
     std::lock_guard<std::mutex> run(slot->run);
+    // Fault site: the connection dies mid-stream after the nth report.
+    // The flag mutes every later frame (the evaluation itself finishes —
+    // sinks must not throw into the executor) and run_job then raises a
+    // plain error, not wire_error: the client_loop closes the socket
+    // WITHOUT a reject frame, which is exactly what a crashed connection
+    // looks like to the client — reconnect-and-retry territory, not
+    // "job refused".
+    bool dropped = false;
     dse::sink sk;
-    sk.on_result = [&ch](std::size_t index, const flow_report& r) {
+    sk.on_result = [&ch, &dropped](std::size_t index, const flow_report& r) {
+        if (dropped) return;
         ch.send(frame_type::report, encode_report(index, metric_of(r)));
+        if (fault_fire("serve.conn.drop")) dropped = true;
     };
-    sk.on_front = [&ch](const front_delta& d) {
+    sk.on_front = [&ch, &dropped](const front_delta& d) {
+        if (dropped) return;
         ch.send(frame_type::front, encode_front(d));
     };
     const int threads = job.threads > 0 ? job.threads : limits.threads;
     const dse::explore_summary sum = slot->session.explore(job.space, sk, threads);
     if (limits.allow_cache_save && !job.save_cache_path.empty())
         slot->session.save(job.save_cache_path);
+    if (dropped) throw error("fault injected: connection dropped mid-stream");
 
     done_frame done;
     done.space_size = sum.space_size;
@@ -123,6 +153,12 @@ void serve_connection(channel& ch, session_pool& pool, const serve_limits& limit
 
 server::server(const server_options& opts) : opts_(opts)
 {
+    // A client vanishing mid-stream must degrade that connection only.
+    // Socket sends already use MSG_NOSIGNAL (see channel::send_raw);
+    // ignoring SIGPIPE process-wide is the belt to that suspender, and
+    // what any process hosting a server wants anyway.
+    std::signal(SIGPIPE, SIG_IGN);
+    check(opts_.max_clients >= 1, "server max_clients must be >= 1");
     if (!opts_.socket_path.empty()) {
         check(opts_.socket_path.size() < sizeof(sockaddr_un{}.sun_path),
               "unix socket path too long: " + opts_.socket_path);
@@ -133,7 +169,8 @@ server::server(const server_options& opts) : opts_(opts)
         std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
                      sizeof addr.sun_path - 1);
         ::unlink(opts_.socket_path.c_str()); // a stale path from a dead server
-        if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (bind_with_retry(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof addr) != 0) {
             const std::string why = std::strerror(errno);
             ::close(listen_fd_);
             listen_fd_ = -1;
@@ -148,7 +185,8 @@ server::server(const server_options& opts) : opts_(opts)
         addr.sin_family = AF_INET;
         addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // never a public listener
         addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
-        if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (bind_with_retry(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof addr) != 0) {
             const std::string why = std::strerror(errno);
             ::close(listen_fd_);
             listen_fd_ = -1;
@@ -203,15 +241,53 @@ void server::accept_loop()
             tv.tv_sec = opts_.client_timeout_ms / 1000;
             tv.tv_usec = (opts_.client_timeout_ms % 1000) * 1000;
             ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+            // The same bound on sends: a client that stops draining its
+            // result stream times the connection out (wire_error in the
+            // serving thread) instead of blocking it forever.
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        }
+        reap_finished_clients();
+        std::size_t active = 0;
+        {
+            std::lock_guard<std::mutex> lock(clients_mutex_);
+            active = client_slots_.size();
+        }
+        if (active >= static_cast<std::size_t>(opts_.max_clients)) {
+            // Back-pressure, loudly: a bounded thread pool that answers
+            // "at capacity" beats one thread per connection silently
+            // accumulating until the host keels over.
+            overloaded_.fetch_add(1);
+            channel ch(fd, fd);
+            try {
+                send_hello(ch);
+                ch.send(frame_type::reject,
+                        encode_reject("server at capacity (" +
+                                      std::to_string(opts_.max_clients) +
+                                      " clients); retry later"));
+                // Drain until the peer closes (bounded by a short recv
+                // timeout, since this runs on the accept thread):
+                // closing a TCP socket with unread incoming bytes
+                // raises RST, which could destroy the reject before the
+                // client reads it.
+                timeval tv{};
+                tv.tv_sec = 1;
+                ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+                while (ch.recv()) {
+                }
+            } catch (...) {
+            }
+            continue; // ch closes the socket
         }
         clients_.fetch_add(1);
+        auto done = std::make_shared<std::atomic<bool>>(false);
         std::lock_guard<std::mutex> lock(clients_mutex_);
         client_fds_.insert(fd);
-        client_threads_.emplace_back([this, fd] { client_loop(fd); });
+        client_slots_.push_back(
+            {std::thread([this, fd, done] { client_loop(fd, done); }), done});
     }
 }
 
-void server::client_loop(int fd)
+void server::client_loop(int fd, const std::shared_ptr<std::atomic<bool>>& done)
 {
     channel ch(fd, fd);
     try {
@@ -228,11 +304,31 @@ void server::client_loop(int fd)
     } catch (const std::exception&) {
         protocol_errors_.fetch_add(1);
     }
-    // Deregister and close under the lock so stop() never shuts down a
-    // recycled descriptor.
+    {
+        // Deregister and close under the lock so stop() never shuts
+        // down a recycled descriptor.
+        std::lock_guard<std::mutex> lock(clients_mutex_);
+        client_fds_.erase(fd);
+        ch.close();
+    }
+    // Last act, after every lock is released: a true flag tells the
+    // reaper this thread can be joined without blocking.
+    done->store(true);
+}
+
+void server::reap_finished_clients()
+{
     std::lock_guard<std::mutex> lock(clients_mutex_);
-    client_fds_.erase(fd);
-    ch.close();
+    std::vector<client_slot> live;
+    live.reserve(client_slots_.size());
+    for (client_slot& c : client_slots_) {
+        if (c.done->load()) {
+            if (c.thread.joinable()) c.thread.join();
+        } else {
+            live.push_back(std::move(c));
+        }
+    }
+    client_slots_ = std::move(live);
 }
 
 void server::stop()
@@ -250,12 +346,12 @@ void server::stop()
         std::lock_guard<std::mutex> lock(clients_mutex_);
         for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
     }
-    // client_threads_ only grows under clients_mutex_ from the accept
+    // client_slots_ only grows under clients_mutex_ from the accept
     // loop, which is already joined — safe to walk unlocked.
-    for (std::thread& t : client_threads_) {
-        if (t.joinable()) t.join();
+    for (client_slot& c : client_slots_) {
+        if (c.thread.joinable()) c.thread.join();
     }
-    client_threads_.clear();
+    client_slots_.clear();
     if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
 }
 
@@ -266,6 +362,7 @@ server::stats_snapshot server::stats() const
     s.jobs = serve_stats_.jobs.load();
     s.rejects = serve_stats_.rejects.load();
     s.protocol_errors = protocol_errors_.load();
+    s.overloaded = overloaded_.load();
     s.sessions = pool_.sessions_created();
     return s;
 }

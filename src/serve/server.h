@@ -115,9 +115,14 @@ struct server_options {
     /// Loopback TCP port; 0 picks an ephemeral port (see server::port()),
     /// negative means "no TCP listener".
     int port = -1;
-    /// Per-client receive timeout; a client idle longer than this is
-    /// disconnected (0 = wait forever).
+    /// Per-client receive AND send timeout; a client idle (or not
+    /// draining its result stream) longer than this is disconnected
+    /// (0 = wait forever).
     int client_timeout_ms = 30000;
+    /// Concurrent client connections served; one past the bound is
+    /// answered hello + a loud "server at capacity" reject and closed,
+    /// instead of growing an unbounded thread per connection.
+    int max_clients = 64;
     serve_limits limits; ///< evaluation policy for every client
 };
 
@@ -157,13 +162,25 @@ public:
         std::size_t jobs = 0;            ///< jobs run to completion
         std::size_t rejects = 0;         ///< jobs refused
         std::size_t protocol_errors = 0; ///< connections dropped on bad traffic
+        std::size_t overloaded = 0;      ///< connections rejected at capacity
         std::size_t sessions = 0;        ///< distinct problems seen (pool size)
     };
     stats_snapshot stats() const;
 
 private:
+    /// One serving thread plus its completion flag (set as the thread's
+    /// last act, so a true flag means the thread is safe to join).
+    struct client_slot {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
     void accept_loop();
-    void client_loop(int fd);
+    void client_loop(int fd, const std::shared_ptr<std::atomic<bool>>& done);
+    /// Joins and drops every finished client thread (the accept loop
+    /// calls this each round, so the thread list tracks *live* clients
+    /// instead of growing for the server's lifetime).
+    void reap_finished_clients();
 
     server_options opts_;
     int listen_fd_ = -1;
@@ -172,12 +189,13 @@ private:
     bool stopped_ = false;
     std::thread accept_thread_;
     std::mutex clients_mutex_;
-    std::vector<std::thread> client_threads_;
+    std::vector<client_slot> client_slots_;
     std::set<int> client_fds_; ///< open client sockets, for shutdown
     session_pool pool_;
     serve_stats serve_stats_;
     std::atomic<std::size_t> clients_{0};
     std::atomic<std::size_t> protocol_errors_{0};
+    std::atomic<std::size_t> overloaded_{0};
 };
 
 } // namespace phls::serve

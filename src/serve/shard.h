@@ -16,6 +16,17 @@
 // (explore_cache::merge_files, `phls cache merge`) into one cache whose
 // replay behaviour matches the single warm cache.
 //
+// Forked workers are *supervised*: a worker that dies mid-job (crash,
+// SIGKILL, torn pipe) is detected by EOF on its stream, reaped, and its
+// still-undelivered points are resubmitted to a respawned worker after
+// a capped exponential backoff, up to max_retries respawns per shard.
+// Reports already folded before the death are deduplicated by global
+// space index, so the recovered front (and every sink callback) is
+// byte-identical to a fault-free run.  With a manifest_path configured
+// the orchestrator atomically rewrites a checkpoint manifest as each
+// shard completes (see serve/manifest.h), so a killed sweep can be
+// resumed from its per-shard cache files.
+//
 // Adaptive (refine) spaces are rejected: their evaluation order is
 // data-dependent across the whole lattice, so cutting the lattice into
 // index ranges would change which points are evaluated at all.
@@ -60,6 +71,19 @@ struct shard_options {
     /// unbounded).  A binding budget trades front identity for cost,
     /// exactly like the single-session knob.
     std::size_t eval_budget = 0;
+    /// Respawns allowed per shard after a forked worker dies mid-job
+    /// (processes mode).  0 restores fail-fast: the first worker death
+    /// aborts the sweep.  Each respawned worker is handed only the
+    /// shard's still-undelivered points.
+    int max_retries = 2;
+    /// Delay before the first respawn of a shard, doubled per respawn.
+    int retry_backoff_ms = 100;
+    /// Ceiling of the doubling backoff.
+    int retry_backoff_cap_ms = 2000;
+    /// When non-empty, the checkpoint manifest is atomically rewritten
+    /// here each time a shard completes (requires cache_dir — resume
+    /// replays fronts from the per-shard cache files).
+    std::string manifest_path;
 };
 
 /// Outcome of one sharded sweep — the same counters as a session's
@@ -74,6 +98,7 @@ struct shard_summary {
     std::size_t verified = 0;  ///< guided sweeps: exact evaluations ordered by ready models
     std::vector<front_point> front; ///< global front == single-process front
     std::vector<std::string> cache_files; ///< saved per-shard caches, in shard order
+    std::size_t worker_retries = 0; ///< forked workers respawned after dying mid-job
     double wall_ms = 0.0;                 ///< wall-clock time of the sweep
 };
 
@@ -86,7 +111,8 @@ struct shard_summary {
 /// session computed.  Either way the returned front is byte-identical
 /// to single-process explore().
 /// @throws phls::error on invalid options or an adaptive space;
-/// wire_error when a subprocess worker misbehaves.
+/// wire_error when a subprocess worker misbehaves past the respawn
+/// budget (opts.max_retries per shard).
 shard_summary explore_sharded(const flow& prototype, const dse::space& s,
                               const shard_options& opts, const dse::sink& sk = {});
 

@@ -3,10 +3,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "cdfg/textio.h"
 #include "library/library.h"
+#include "support/faultpoints.h"
 #include "support/memo_key.h"
 
 namespace phls::serve {
@@ -315,10 +317,12 @@ std::string encode_frame(frame_type t, const std::string& payload)
 channel::channel(int read_fd, int write_fd) : read_fd_(read_fd), write_fd_(write_fd) {}
 
 channel::channel(channel&& other) noexcept
-    : read_fd_(other.read_fd_), write_fd_(other.write_fd_)
+    : read_fd_(other.read_fd_), write_fd_(other.write_fd_),
+      send_is_socket_(other.send_is_socket_)
 {
     other.read_fd_ = -1;
     other.write_fd_ = -1;
+    other.send_is_socket_ = -1;
 }
 
 channel& channel::operator=(channel&& other) noexcept
@@ -327,8 +331,10 @@ channel& channel::operator=(channel&& other) noexcept
         close();
         read_fd_ = other.read_fd_;
         write_fd_ = other.write_fd_;
+        send_is_socket_ = other.send_is_socket_;
         other.read_fd_ = -1;
         other.write_fd_ = -1;
+        other.send_is_socket_ = -1;
     }
     return *this;
 }
@@ -346,12 +352,31 @@ void channel::close()
 void channel::send_raw(const std::string& bytes)
 {
     if (write_fd_ < 0) throw wire_error("send on a closed channel");
+    if (fault_fire("wire.send.fail"))
+        throw wire_error("fault injected: wire send failed");
     std::size_t sent = 0;
     while (sent < bytes.size()) {
-        const ssize_t n =
-            ::write(write_fd_, bytes.data() + sent, bytes.size() - sent);
+        ssize_t n;
+        if (send_is_socket_ != 0) {
+            // MSG_NOSIGNAL turns a vanished socket peer into EPIPE
+            // instead of a process-killing SIGPIPE; pipes answer
+            // ENOTSOCK once and fall back to ::write permanently.
+            n = ::send(write_fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+            if (n < 0 && errno == ENOTSOCK) {
+                send_is_socket_ = 0;
+                continue;
+            }
+            if (send_is_socket_ < 0 && n >= 0) send_is_socket_ = 1;
+        } else {
+            n = ::write(write_fd_, bytes.data() + sent, bytes.size() - sent);
+        }
         if (n < 0) {
             if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                throw wire_error("wire send timed out");
+            if (errno == EPIPE)
+                throw wire_error("wire send failed: peer closed the connection");
             throw wire_error(std::string("wire send failed: ") + std::strerror(errno));
         }
         sent += static_cast<std::size_t>(n);
@@ -360,7 +385,15 @@ void channel::send_raw(const std::string& bytes)
 
 void channel::send(frame_type t, const std::string& payload)
 {
-    send_raw(encode_frame(t, payload));
+    const std::string frame = encode_frame(t, payload);
+    // Fault site: the peer observes EOF mid-payload — the "worker died
+    // half-way through a frame" transport failure.
+    if (fault_fire("wire.send.truncate")) {
+        send_raw(frame.substr(0, frame.size() / 2));
+        close();
+        throw wire_error("fault injected: frame truncated mid-send");
+    }
+    send_raw(frame);
 }
 
 namespace {
@@ -392,6 +425,8 @@ std::size_t read_exact(int fd, std::string& out, std::size_t n)
 std::optional<channel::frame> channel::recv()
 {
     if (read_fd_ < 0) throw wire_error("receive on a closed channel");
+    if (fault_fire("wire.recv.fail"))
+        throw wire_error("fault injected: wire receive failed");
     std::string header;
     const std::size_t got = read_exact(read_fd_, header, header_size);
     if (got == 0) return std::nullopt; // clean EOF at a frame boundary

@@ -146,7 +146,11 @@ public:
         std::string payload;
     };
 
-    /// Sends one frame; throws wire_error when the peer is gone.
+    /// Sends one frame; throws wire_error when the peer is gone or a
+    /// socket send timeout (SO_SNDTIMEO) expires.  Socket sends use
+    /// MSG_NOSIGNAL, so a vanished peer surfaces as wire_error rather
+    /// than a process-killing SIGPIPE (pipe transports still need the
+    /// caller to ignore SIGPIPE).
     void send(frame_type t, const std::string& payload);
     /// Ships raw bytes with no framing — exists so tests and fuzzers can
     /// inject malformed traffic through the same transport.
@@ -166,6 +170,9 @@ public:
 private:
     int read_fd_ = -1;
     int write_fd_ = -1;
+    /// Whether write_fd_ accepts ::send(MSG_NOSIGNAL): -1 until the
+    /// first send probes it, then 1 (socket) or 0 (pipe, use ::write).
+    int send_is_socket_ = -1;
 };
 
 /// Sends the version handshake on a fresh channel.

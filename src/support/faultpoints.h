@@ -1,0 +1,68 @@
+// Deterministic fault injection for recovery-path testing.
+//
+// A *fault site* is a named probe compiled into a failure-prone code
+// path (worker spawn, wire send/receive, cache save/load, manifest
+// I/O).  Production code calls fault_fire("site.name") and, when the
+// site is armed and the call is the site's nth hit, receives `true`
+// exactly once — the caller then simulates the failure the site stands
+// for (kill the worker, truncate the frame, tear the file).  Unarmed
+// sites cost one relaxed atomic load, so the probes stay compiled in
+// always: the recovery paths they exercise are ordinary ctest cases,
+// not luck.
+//
+// Arming:
+//
+//   * environment — PHLS_FAULT="site:nth[,site:nth...]" parsed once at
+//     process start (the CI chaos smoke drives the CLI this way);
+//   * API — fault_arm("site:nth") from tests, replacing any previous
+//     arming and resetting every hit counter.
+//
+// `nth` is 1-based: "shard.worker.kill:3" fires on the third hit of
+// that site and never again.  Counters are per process — a forked
+// child inherits the arming and the counts at fork time, then counts
+// its own hits.  The armed site list is append-only while armed (no
+// site is ever disarmed individually), so tests reset with
+// fault_clear().
+//
+// The site names in use are documented in docs/SERVE.md ("Fault
+// tolerance"); tests assert on fault_hits() to prove an injection
+// actually happened rather than silently missing its path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace phls {
+
+namespace detail {
+/// Number of armed fault sites; 0 keeps every probe on the fast path.
+extern std::atomic<int> fault_armed_sites;
+bool fault_fire_slow(const char* site);
+} // namespace detail
+
+/// Probes the named site.  Returns true exactly on the armed nth hit
+/// (once); false always when the site is unarmed.  Thread-safe.
+inline bool fault_fire(const char* site)
+{
+    if (detail::fault_armed_sites.load(std::memory_order_relaxed) == 0) return false;
+    return detail::fault_fire_slow(site);
+}
+
+/// Arms sites from a spec: "site:nth" or a comma-separated list, where
+/// nth >= 1 is the hit that fires.  Replaces any previous arming and
+/// zeroes every counter; an empty spec is fault_clear().
+/// @throws phls::error on a malformed spec.
+void fault_arm(const std::string& spec);
+
+/// Disarms every site and zeroes every counter.
+void fault_clear();
+
+/// Hits recorded for `site` since the last (re)arming.  Counts are only
+/// kept while at least one site is armed; unarmed processes return 0.
+std::size_t fault_hits(const std::string& site);
+
+/// True iff `site` already fired its injection.
+bool fault_fired(const std::string& site);
+
+} // namespace phls

@@ -10,13 +10,16 @@
 //         [--cache-file sweep.phlscache] [--memo-limit N] [--refine]
 //         [--guided [--prune-margin M] [--eval-budget N]]
 //         [--out front.csv|front.json]
-//         [--server unix:PATH|HOST:PORT]       run the sweep on a phls serve
-//         [--shards N [--shard-procs] [--shard-cache-dir DIR]]
+//         [--server unix:PATH|HOST:PORT [--server-retries N]]
+//         [--shards N [--shard-procs [--shard-retries N]]
+//          [--shard-cache-dir DIR [--checkpoint manifest]]]
+//         [--resume manifest]
 //   phls schedule <bench|file.cdfg> -T 17 -P 7 [--alg asap|alap|pasap|palap|fds]
 //   phls lifetime <bench|file.cdfg> -T 17 [--beta 0.1]
 //   phls serve --socket PATH | --port N | --stdio
-//         [--threads N] [--memo-limit N] [--timeout-ms N] [--allow-cache-save]
-//   phls cache merge <out.phlscache> <in.phlscache...>
+//         [--threads N] [--memo-limit N] [--timeout-ms N] [--max-clients N]
+//         [--allow-cache-save]
+//   phls cache merge <out.phlscache> <in.phlscache...> [--skip-bad]
 //   phls tasks <taskset-file> [--policy edf|battery] [--threads N]
 //         [--memo-limit N] [--out tasks.json|tasks.csv] [--progress]
 //   phls tasks --list-policies
@@ -47,6 +50,7 @@
 #include "flow/flow.h"
 #include "flow/pareto_stream.h"
 #include "serve/client.h"
+#include "serve/manifest.h"
 #include "serve/server.h"
 #include "serve/shard.h"
 #include "support/argparse.h"
@@ -357,6 +361,32 @@ int cmd_sweep(const arg_parser& args)
     const bool sharded = shards != 1 || shard_procs || !shard_dir.empty();
     check(server_spec.empty() || !sharded,
           "--server and --shards are different distribution modes; pick one");
+
+    // Fault-tolerance knobs.  Each one is rejected loudly when it cannot
+    // apply, instead of being silently ignored.
+    const int shard_retries = args.get_int("--shard-retries");
+    check(shard_retries >= 0, "--shard-retries must be >= 0 (0 = fail fast)");
+    check(!args.has("--shard-retries") || (sharded && shard_procs),
+          "--shard-retries supervises forked shard workers; add --shards N "
+          "--shard-procs");
+    const int server_retries = args.get_int("--server-retries");
+    check(server_retries >= 0, "--server-retries must be >= 0 (0 = fail fast)");
+    check(!args.has("--server-retries") || !server_spec.empty(),
+          "--server-retries only applies to --server sweeps");
+    const std::string checkpoint_path =
+        args.has("--checkpoint") ? args.get("--checkpoint") : "";
+    check(checkpoint_path.empty() || sharded,
+          "--checkpoint records shard completion; add --shards N");
+    check(checkpoint_path.empty() || !shard_dir.empty(),
+          "--checkpoint needs --shard-cache-dir: a resume replays the finished "
+          "ranges from the per-shard cache files");
+    const std::string resume_path = args.has("--resume") ? args.get("--resume") : "";
+    check(resume_path.empty() || (server_spec.empty() && !sharded),
+          "--resume replays the checkpointed caches into a local session; drop "
+          "--server/--shards");
+    check(resume_path.empty() || !args.has("--refine"),
+          "--resume resumes an eager (sharded) sweep; --refine sweeps cannot "
+          "be checkpointed");
     const bool guided = args.has("--guided");
     const double prune_margin = args.get_double("--prune-margin");
     const int eval_budget = args.get_int("--eval-budget");
@@ -425,6 +455,31 @@ int cmd_sweep(const arg_parser& args)
     const dse::space sp = args.has("--refine") ? dse::refine({T}, caps)
                                                : dse::cross({T}, caps);
 
+    // Resume: replay the checkpointed per-shard caches into the local
+    // session, then run the sweep normally — finished points are served
+    // from the warm memo, unfinished ones are computed, and stdout stays
+    // byte-identical to the fault-free run.  A manifest written for a
+    // different problem or grid is rejected loudly: warm answers for the
+    // wrong problem would be silently wrong.
+    if (!resume_path.empty()) {
+        const serve::sweep_manifest man = serve::load_manifest(resume_path);
+        check(man.problem_hash == serve::manifest_problem_hash(proto, sp),
+              "--resume manifest '" + resume_path +
+                  "' was checkpointed from a different problem (graph, library, "
+                  "latency or strategies changed)");
+        check(man.space_size == sp.size(),
+              strf("--resume manifest covers a %zu-point space but this sweep "
+                   "describes %zu points; rerun with the checkpointed run's "
+                   "--points",
+                   man.space_size, sp.size()));
+        std::size_t merged = 0;
+        for (const std::string& path : man.cache_files) merged += session->merge(path);
+        std::cerr << strf("resuming: %zu of %zu points already complete "
+                          "(%zu memo records from %zu cache file(s))\n",
+                          man.done_points(), sp.size(), merged,
+                          man.cache_files.size());
+    }
+
     // Stream per-point progress and the front *deltas* to stderr as
     // workers finish; stdout stays a deterministic, input-ordered table
     // either way.
@@ -457,13 +512,29 @@ int cmd_sweep(const arg_parser& args)
     guided_export gx;
     gx.space = sp.size();
     if (!server_spec.empty()) {
-        serve::client client(connect_server(server_spec));
         serve::job_request job = serve::make_job(proto, sp);
         job.threads = threads;
-        const serve::done_frame done = client.explore(job, sink);
-        client.bye();
-        front = done.front;
-        evaluated = static_cast<std::size_t>(done.evaluated);
+        serve::done_frame df;
+        if (server_retries > 0) {
+            // Survives a restarted/dropped server: redial with backoff,
+            // resubmit, deduplicate the replayed points (docs/SERVE.md,
+            // "Fault tolerance").
+            serve::reconnect_options ro;
+            ro.max_retries = server_retries;
+            serve::resilient_client client(
+                [&server_spec] { return connect_server(server_spec); }, ro);
+            df = client.explore(job, sink);
+            client.bye();
+            if (client.reconnects() > 0)
+                std::cerr << strf("reconnected to %s %zu time(s) mid-sweep\n",
+                                  server_spec.c_str(), client.reconnects());
+        } else {
+            serve::client client(connect_server(server_spec));
+            df = client.explore(job, sink);
+            client.bye();
+        }
+        front = df.front;
+        evaluated = static_cast<std::size_t>(df.evaluated);
     } else if (sharded) {
         serve::shard_options so;
         so.shards = shards;
@@ -474,6 +545,8 @@ int cmd_sweep(const arg_parser& args)
         so.guided = guided;
         so.prune_margin = prune_margin;
         so.eval_budget = static_cast<std::size_t>(eval_budget);
+        so.max_retries = shard_retries;
+        so.manifest_path = checkpoint_path;
         const serve::shard_summary sum = serve::explore_sharded(proto, sp, so, sink);
         front = sum.front;
         evaluated = sum.evaluated;
@@ -481,8 +554,13 @@ int cmd_sweep(const arg_parser& args)
         gx.memo_served = sum.evaluated - sum.computed;
         gx.skipped = sum.skipped;
         gx.verified = sum.verified;
+        if (sum.worker_retries > 0)
+            std::cerr << strf("respawned %zu shard worker(s) mid-sweep\n",
+                              sum.worker_retries);
         for (const std::string& path : sum.cache_files)
             std::cerr << "saved shard cache " << path << '\n';
+        if (!checkpoint_path.empty())
+            std::cerr << "saved checkpoint manifest " << checkpoint_path << '\n';
     } else if (guided) {
         dse::guided_options go;
         go.margin = prune_margin;
@@ -665,6 +743,8 @@ int cmd_serve(const arg_parser& args)
     else opts.port = args.get_int("--port");
     opts.client_timeout_ms = args.get_int("--timeout-ms");
     check(opts.client_timeout_ms >= 0, "--timeout-ms must be >= 0 (0 = no timeout)");
+    opts.max_clients = args.get_int("--max-clients");
+    check(opts.max_clients >= 1, "--max-clients must be >= 1");
     opts.limits = limits;
 
     serve::server srv(opts);
@@ -681,9 +761,9 @@ int cmd_serve(const arg_parser& args)
     g_server = nullptr;
     const serve::server::stats_snapshot st = srv.stats();
     std::cout << strf("served %zu client(s): %zu job(s), %zu rejected, "
-                      "%zu protocol error(s), %zu session(s)\n",
+                      "%zu protocol error(s), %zu over capacity, %zu session(s)\n",
                       st.clients, st.jobs, st.rejects, st.protocol_errors,
-                      st.sessions);
+                      st.overloaded, st.sessions);
     return 0;
 }
 
@@ -696,14 +776,21 @@ int cmd_cache(const arg_parser& args)
     const std::string out = pos[2];
     const std::vector<std::string> inputs(pos.begin() + 3, pos.end());
 
-    const cache_merge_stats stats = explore_cache::merge_files(out, inputs);
-    ascii_table t({"input", "committed", "metrics", "new committed", "new metrics"});
+    const cache_merge_stats stats =
+        explore_cache::merge_files(out, inputs, args.has("--skip-bad"));
+    ascii_table t({"input", "committed", "metrics", "new committed", "new metrics",
+                   "skipped"});
     t.set_align(0, align::left);
+    t.set_align(5, align::left);
     for (const cache_merge_stats::input& in : stats.inputs)
         t.add_row({in.path, std::to_string(in.committed), std::to_string(in.metrics),
-                   std::to_string(in.new_committed), std::to_string(in.new_metrics)});
+                   std::to_string(in.new_committed), std::to_string(in.new_metrics),
+                   in.skipped ? in.skip_reason : "-"});
     t.add_row({"= " + out, std::to_string(stats.committed_total),
-               std::to_string(stats.metric_total), "", ""});
+               std::to_string(stats.metric_total), "", "",
+               stats.skipped_inputs > 0
+                   ? strf("%zu input(s)", stats.skipped_inputs)
+                   : "-"});
     t.print(std::cout);
     return 0;
 }
@@ -855,9 +942,31 @@ int run(const std::vector<std::string>& argv)
     args.add_option("--socket", "", "unix socket path for 'serve'");
     args.add_option("--port", "", "loopback TCP port for 'serve' (0 = ephemeral)");
     args.add_option("--timeout-ms", "",
-                    "per-client receive timeout for 'serve' (0 = none)", "30000");
+                    "per-client receive/send timeout for 'serve' (0 = none)",
+                    "30000");
+    args.add_option("--max-clients", "",
+                    "concurrent connections a 'serve' accepts before rejecting "
+                    "with a loud reason",
+                    "64");
     args.add_flag("--shard-procs", "",
                   "run each shard in a forked subprocess over the wire protocol");
+    args.add_option("--shard-retries", "",
+                    "respawns allowed per shard after a forked worker dies "
+                    "mid-job (0 = fail fast)",
+                    "2");
+    args.add_option("--server-retries", "",
+                    "reconnect attempts after the --server connection breaks "
+                    "mid-sweep (0 = fail fast)",
+                    "0");
+    args.add_option("--checkpoint", "",
+                    "atomically rewrite a sweep manifest as each shard "
+                    "completes (needs --shard-cache-dir)");
+    args.add_option("--resume", "",
+                    "resume a killed sweep from its --checkpoint manifest: "
+                    "replay the finished ranges' caches, compute the rest");
+    args.add_flag("--skip-bad", "",
+                  "cache merge: skip (and report) corrupt or truncated inputs "
+                  "instead of aborting the merge");
     args.add_flag("--stdio", "", "serve the wire protocol on stdin/stdout");
     args.add_flag("--allow-cache-save", "",
                   "let jobs ask the server to save session caches to disk");
